@@ -1,0 +1,31 @@
+//! Microbenchmark: the in-network dirty set's register operations
+//! (insert/query/remove throughput of the §6.3 data structure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use switchfs_proto::{DirId, Fingerprint, ServerId};
+use switchfs_switch::{DirtySet, DirtySetConfig};
+
+fn bench_dirty_set(c: &mut Criterion) {
+    let fps: Vec<Fingerprint> = (0..10_000u64)
+        .map(|i| Fingerprint::of_dir(&DirId::generate(ServerId(0), i), "d"))
+        .collect();
+    c.bench_function("dirty_set_insert_query_remove", |b| {
+        b.iter(|| {
+            let mut ds = DirtySet::new(DirtySetConfig::tiny(10, 12));
+            for fp in &fps {
+                ds.insert(*fp);
+            }
+            let mut hits = 0usize;
+            for fp in &fps {
+                hits += usize::from(ds.query(*fp));
+            }
+            for fp in &fps {
+                ds.remove(*fp);
+            }
+            hits
+        })
+    });
+}
+
+criterion_group!(benches, bench_dirty_set);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Smoke benchmark over the evaluation pipeline: a miniature SwitchFS
+//! deployment runs a short create burst followed by a directory read, so
+//! `cargo bench` exercises the cluster builder, the driver and the
+//! asynchronous-update protocol end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use switchfs_core::{Cluster, ClusterConfig, SystemKind};
+use switchfs_workloads::{NamespaceSpec, WorkloadBuilder};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_pipeline");
+    group.sample_size(10);
+    group.bench_function("mini_create_burst", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+            cfg.servers = 4;
+            cfg.clients = 2;
+            let mut cluster = Cluster::new(cfg);
+            let ns = NamespaceSpec::multi_dir(8, 0);
+            for d in ns.all_dirs() {
+                cluster.preload_dir(&d);
+            }
+            let mut builder = WorkloadBuilder::new(ns, 3);
+            let items = builder.create_bursts(10, 100);
+            cluster.run_workload(items, 16, None).ops
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

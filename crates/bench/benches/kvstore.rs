@@ -1,0 +1,33 @@
+//! Microbenchmark: the metadata key-value store and WAL substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use switchfs_kvstore::{KvStore, Wal};
+
+fn bench_kvstore(c: &mut Criterion) {
+    c.bench_function("kvstore_put_get_10k", |b| {
+        b.iter(|| {
+            let mut kv = KvStore::new();
+            for i in 0..10_000u32 {
+                kv.put(i, i * 2);
+            }
+            let mut sum = 0u64;
+            for i in 0..10_000u32 {
+                sum += kv.get(&i).unwrap_or(0) as u64;
+            }
+            sum
+        })
+    });
+    c.bench_function("wal_append_mark_applied_10k", |b| {
+        b.iter(|| {
+            let mut wal = Wal::new();
+            let lsns: Vec<u64> = (0..10_000u32).map(|i| wal.append(i)).collect();
+            for lsn in lsns {
+                wal.mark_applied(lsn);
+            }
+            wal.unapplied().count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_kvstore);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end metadata operation benchmark: simulated wall-clock cost of
+//! running a burst of creates plus a directory read on a small SwitchFS
+//! deployment (exercises the full protocol stack per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use switchfs_core::{Cluster, ClusterConfig, SystemKind};
+use switchfs_workloads::{NamespaceSpec, WorkloadBuilder};
+
+fn bench_create_then_statdir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switchfs_protocol");
+    group.sample_size(10);
+    group.bench_function("create200_then_statdir", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+            cfg.servers = 4;
+            cfg.clients = 2;
+            let mut cluster = Cluster::new(cfg);
+            let ns = NamespaceSpec::single_large_dir(0);
+            cluster.preload_dir(&ns.dir_path(0));
+            let mut builder = WorkloadBuilder::new(ns, 1);
+            let items = builder.creates_then_statdir(200);
+            let report = cluster.run_workload(items, 32, None);
+            report.ops
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_create_then_statdir);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Regenerates the tables and figures of the SwitchFS evaluation (§7).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p switchfs-bench --bin figures -- <experiment> [--full] [--json]
+//! ```
+//!
+//! where `<experiment>` is one of `tab2`, `fig2`, `fig12a`, `fig12b`,
+//! `fig13`, `fig14`, `overflow`, `fig15`, `fig16`, `fig17a`, `fig17b`,
+//! `fig18`, `fig19`, `recovery`, or `all`. `--full` uses the larger
+//! experiment scale; `--json` emits machine-readable output.
+
+use switchfs_bench::{experiments, ExperimentScale, Row};
+
+fn print_rows(title: &str, rows: &[Row], json: bool) {
+    if json {
+        let obj: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                let mut m = serde_json::Map::new();
+                m.insert("label".into(), serde_json::Value::String(r.label.clone()));
+                for (k, v) in &r.values {
+                    m.insert(
+                        k.clone(),
+                        serde_json::Number::from_f64(*v)
+                            .map(serde_json::Value::Number)
+                            .unwrap_or(serde_json::Value::Null),
+                    );
+                }
+                serde_json::Value::Object(m)
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::json!({ "experiment": title, "rows": obj })
+        );
+        return;
+    }
+    println!("\n== {title} ==");
+    for row in rows {
+        let cols: Vec<String> = row
+            .values
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.1}"))
+            .collect();
+        println!("  {:<40} {}", row.label, cols.join("  "));
+    }
+}
+
+fn run(which: &str, scale: ExperimentScale, json: bool) {
+    match which {
+        "tab2" => print_rows("Tab. 2: PanguFS operation mix", &experiments::tab2(), json),
+        "fig2" => print_rows(
+            "Fig. 2: motivation — baseline scalability and contention",
+            &experiments::fig2(scale),
+            json,
+        ),
+        "fig12a" => print_rows(
+            "Fig. 12(a): throughput, single large directory (8 servers)",
+            &experiments::fig12(scale, true, 8),
+            json,
+        ),
+        "fig12b" => print_rows(
+            "Fig. 12(b): throughput, multiple directories (8 servers)",
+            &experiments::fig12(scale, false, 8),
+            json,
+        ),
+        "fig13" => print_rows(
+            "Fig. 13: operation latency (single client, 8 servers)",
+            &experiments::fig13(scale),
+            json,
+        ),
+        "fig14" => print_rows(
+            "Fig. 14: contribution breakdown (Baseline / +Async / +Compaction)",
+            &experiments::fig14(scale),
+            json,
+        ),
+        "overflow" => print_rows(
+            "§7.3.2: impact of dirty-set overflow",
+            &experiments::overflow(scale),
+            json,
+        ),
+        "fig15" => print_rows(
+            "Fig. 15: dedicated server vs programmable switch",
+            &experiments::fig15(scale),
+            json,
+        ),
+        "fig16" => print_rows(
+            "Fig. 16: owner-server tracking vs in-network tracking",
+            &experiments::fig16(scale),
+            json,
+        ),
+        "fig17a" => print_rows(
+            "Fig. 17(a): create bursts, 32 in-flight requests",
+            &experiments::fig17(scale, 32),
+            json,
+        ),
+        "fig17b" => print_rows(
+            "Fig. 17(b): create bursts, 256 in-flight requests",
+            &experiments::fig17(scale, 256),
+            json,
+        ),
+        "fig18" => print_rows(
+            "Fig. 18: statdir latency after preceding creates (aggregation overhead)",
+            &experiments::fig18(scale),
+            json,
+        ),
+        "fig19" => print_rows(
+            "Fig. 19: end-to-end workloads",
+            &experiments::fig19(scale),
+            json,
+        ),
+        "recovery" => print_rows(
+            "§7.7: crash recovery time",
+            &experiments::recovery(scale),
+            json,
+        ),
+        "all" => {
+            for w in [
+                "tab2", "fig2", "fig12a", "fig12b", "fig13", "fig14", "overflow", "fig15",
+                "fig16", "fig17a", "fig17b", "fig18", "fig19", "recovery",
+            ] {
+                run(w, scale, json);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if args.iter().any(|a| a == "--full") {
+        ExperimentScale::Full
+    } else {
+        ExperimentScale::Quick
+    };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    run(&which, scale, json);
+}

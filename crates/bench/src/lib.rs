@@ -1,0 +1,11 @@
+//! Shared helpers for the figure-regeneration harness (`figures` binary) and
+//! the Criterion micro-benchmarks.
+//!
+//! Every experiment of §7 is represented by a function in [`experiments`]
+//! that builds the corresponding cluster(s), runs the corresponding workload
+//! and returns the series the paper plots. The `figures` binary prints them;
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+
+pub mod experiments;
+
+pub use experiments::{ExperimentScale, Row};

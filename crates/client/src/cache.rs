@@ -1,0 +1,182 @@
+//! The client-side metadata cache.
+//!
+//! LibFS caches **only directory metadata** (§4.2): for every resolved
+//! directory path it remembers the directory's key, id, fingerprint and
+//! attributes, which is what path resolution needs. Entries are invalidated
+//! lazily: when a server answers `ESTALE` (because an ancestor appears in
+//! its invalidation list), the client drops every cached entry along that
+//! path and retries the operation from scratch (§5.2.1, §5.2.3).
+
+use std::collections::HashMap;
+
+use switchfs_proto::{DirId, Fingerprint, InodeAttrs, MetaKey};
+
+/// One cached directory.
+#[derive(Debug, Clone)]
+pub struct CachedDir {
+    /// The directory's `(pid, name)` key.
+    pub key: MetaKey,
+    /// The directory's id.
+    pub id: DirId,
+    /// The directory's fingerprint.
+    pub fp: Fingerprint,
+    /// The directory's attributes as of the last lookup.
+    pub attrs: Option<InodeAttrs>,
+}
+
+/// Path-indexed cache of directory metadata.
+#[derive(Debug, Default)]
+pub struct MetaCache {
+    dirs: HashMap<String, CachedDir>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl MetaCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a directory by absolute path.
+    pub fn get(&mut self, path: &str) -> Option<CachedDir> {
+        match self.dirs.get(path) {
+            Some(d) => {
+                self.hits += 1;
+                Some(d.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or refreshes a directory entry.
+    pub fn insert(&mut self, path: &str, dir: CachedDir) {
+        self.dirs.insert(path.to_string(), dir);
+    }
+
+    /// Drops the entry for `path` and for every path beneath it (a removed
+    /// or renamed directory invalidates its whole subtree).
+    pub fn invalidate_subtree(&mut self, path: &str) {
+        let prefix = if path.ends_with('/') {
+            path.to_string()
+        } else {
+            format!("{path}/")
+        };
+        let before = self.dirs.len();
+        self.dirs.retain(|p, _| p != path && !p.starts_with(&prefix));
+        self.invalidations += (before - self.dirs.len()) as u64;
+    }
+
+    /// Drops every cached entry along an absolute path (used after an
+    /// `ESTALE` response, when the client does not know which component went
+    /// stale).
+    pub fn invalidate_path(&mut self, path: &str) {
+        for prefix in path_prefixes(path) {
+            if self.dirs.remove(&prefix).is_some() {
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Number of cached directories.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// `(hits, misses, invalidations)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.dirs.clear();
+    }
+}
+
+/// Returns every directory prefix of an absolute path, excluding the root:
+/// `"/a/b/c"` → `["/a", "/a/b", "/a/b/c"]`.
+pub fn path_prefixes(path: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        current.push('/');
+        current.push_str(comp);
+        out.push(current.clone());
+    }
+    out
+}
+
+/// Splits an absolute path into its components.
+pub fn path_components(path: &str) -> Vec<String> {
+    path.split('/')
+        .filter(|c| !c.is_empty())
+        .map(|c| c.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(name: &str) -> CachedDir {
+        CachedDir {
+            key: MetaKey::new(DirId::ROOT, name),
+            id: DirId::ROOT,
+            fp: Fingerprint::of_dir(&DirId::ROOT, name),
+            attrs: None,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = MetaCache::new();
+        assert!(c.get("/a").is_none());
+        c.insert("/a", dir("a"));
+        assert!(c.get("/a").is_some());
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn invalidate_subtree_drops_descendants() {
+        let mut c = MetaCache::new();
+        c.insert("/a", dir("a"));
+        c.insert("/a/b", dir("b"));
+        c.insert("/a/b/c", dir("c"));
+        c.insert("/ab", dir("ab"));
+        c.invalidate_subtree("/a/b");
+        assert!(c.get("/a").is_some());
+        assert!(c.get("/a/b").is_none());
+        assert!(c.get("/a/b/c").is_none());
+        assert!(c.get("/ab").is_some(), "sibling with shared prefix must survive");
+    }
+
+    #[test]
+    fn invalidate_path_drops_all_prefixes() {
+        let mut c = MetaCache::new();
+        c.insert("/a", dir("a"));
+        c.insert("/a/b", dir("b"));
+        c.insert("/x", dir("x"));
+        c.invalidate_path("/a/b/file.txt");
+        assert!(c.is_empty() || c.get("/x").is_some());
+        assert!(c.get("/a").is_none());
+        assert!(c.get("/a/b").is_none());
+    }
+
+    #[test]
+    fn prefix_and_component_helpers() {
+        assert_eq!(path_prefixes("/a/b/c"), vec!["/a", "/a/b", "/a/b/c"]);
+        assert_eq!(path_components("/a/b/c"), vec!["a", "b", "c"]);
+        assert!(path_prefixes("/").is_empty());
+        assert!(path_components("/").is_empty());
+    }
+}

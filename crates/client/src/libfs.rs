@@ -1,0 +1,503 @@
+//! The LibFS client: path resolution, request execution, retries.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use switchfs_proto::message::{
+    Body, ClientRequest, ClientResponse, MetaOp, NetMsg, PacketSeq, ParentRef, ServerMsg,
+};
+use switchfs_proto::{
+    ClientId, DirEntry, DirId, DirtySetHeader, Fingerprint, FsError, FsResult, InodeAttrs, MetaKey,
+    OpId, OpResult, Permissions, ServerId,
+};
+use switchfs_simnet::sync::oneshot;
+use switchfs_simnet::{timeout, Endpoint, NodeId, SimDuration, SimHandle};
+
+use crate::cache::{path_components, CachedDir, MetaCache};
+use crate::router::RequestRouter;
+
+/// Client configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LibFsConfig {
+    /// This client's identity.
+    pub id: ClientId,
+    /// Retransmission timeout for a single request.
+    pub request_timeout: SimDuration,
+    /// Retransmissions per request before giving up.
+    pub max_retries: u32,
+    /// Whole-operation retries on retryable errors (stale cache, unavailable
+    /// server).
+    pub max_op_retries: u32,
+}
+
+impl LibFsConfig {
+    /// A sensible default configuration for client `id`.
+    pub fn new(id: ClientId) -> Self {
+        LibFsConfig {
+            id,
+            request_timeout: SimDuration::micros(400),
+            max_retries: 10,
+            max_op_retries: 16,
+        }
+    }
+}
+
+/// Client-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Operations attempted.
+    pub ops_issued: u64,
+    /// Operations that ultimately succeeded.
+    pub ops_ok: u64,
+    /// Operations that ultimately failed.
+    pub ops_err: u64,
+    /// Request retransmissions.
+    pub retransmissions: u64,
+    /// Whole-operation retries caused by stale caches.
+    pub stale_retries: u64,
+    /// Lookup RPCs issued during path resolution.
+    pub lookups: u64,
+}
+
+/// Result of path resolution.
+#[derive(Debug, Clone)]
+struct Resolution {
+    key: MetaKey,
+    parent: Option<ParentRef>,
+    ancestors: Vec<DirId>,
+    parent_path: String,
+}
+
+/// The SwitchFS client library.
+pub struct LibFs {
+    handle: SimHandle,
+    endpoint: Rc<Endpoint<NetMsg>>,
+    router: Rc<dyn RequestRouter>,
+    server_nodes: Rc<Vec<NodeId>>,
+    cfg: LibFsConfig,
+    cache: RefCell<MetaCache>,
+    pending: Rc<RefCell<HashMap<u64, oneshot::Sender<ClientResponse>>>>,
+    next_seq: Cell<u64>,
+    stats: RefCell<ClientStats>,
+}
+
+impl LibFs {
+    /// Creates a client bound to a network endpoint. Call [`LibFs::start`]
+    /// to spawn its response dispatcher before issuing operations.
+    pub fn new(
+        handle: SimHandle,
+        endpoint: Endpoint<NetMsg>,
+        router: Rc<dyn RequestRouter>,
+        server_nodes: Rc<Vec<NodeId>>,
+        cfg: LibFsConfig,
+    ) -> Rc<Self> {
+        Rc::new(LibFs {
+            handle,
+            endpoint: Rc::new(endpoint),
+            router,
+            server_nodes,
+            cfg,
+            cache: RefCell::new(MetaCache::new()),
+            pending: Rc::new(RefCell::new(HashMap::new())),
+            next_seq: Cell::new(1),
+            stats: RefCell::new(ClientStats::default()),
+        })
+    }
+
+    /// Spawns the response dispatcher task.
+    pub fn start(self: &Rc<Self>) {
+        let me = self.clone();
+        self.handle.spawn(async move {
+            loop {
+                let Some(pkt) = me.endpoint.recv().await else {
+                    return;
+                };
+                let response = match pkt.payload.body {
+                    Body::Response(r) => Some(r),
+                    // Asynchronous commits are delivered by the switch inside
+                    // an AsyncCommit envelope (§5.2.1 step 7a).
+                    Body::Server(ServerMsg::AsyncCommit { response, .. }) => Some(response),
+                    _ => None,
+                };
+                if let Some(r) = response {
+                    let tx = me.pending.borrow_mut().remove(&r.op_id.seq);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(r);
+                    }
+                }
+            }
+        });
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.cfg.id
+    }
+
+    /// Client counters.
+    pub fn stats(&self) -> ClientStats {
+        *self.stats.borrow()
+    }
+
+    /// Cache hit/miss/invalidation counters.
+    pub fn cache_counters(&self) -> (u64, u64, u64) {
+        self.cache.borrow().counters()
+    }
+
+    // ------------------------------------------------------------------
+    // Public metadata operations.
+    // ------------------------------------------------------------------
+
+    /// Creates a regular file.
+    pub async fn create(&self, path: &str) -> FsResult<InodeAttrs> {
+        match self
+            .run_path_op(path, |key| MetaOp::Create {
+                key,
+                perm: Permissions::default(),
+            })
+            .await?
+        {
+            OpResult::Attrs(a) => Ok(a),
+            OpResult::Done => Err(FsError::NotFound),
+            OpResult::Err(e) => Err(e),
+            OpResult::Listing { attrs, .. } => Ok(attrs),
+        }
+    }
+
+    /// Deletes a regular file.
+    pub async fn delete(&self, path: &str) -> FsResult<()> {
+        self.expect_done(self.run_path_op(path, |key| MetaOp::Delete { key }).await)
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, path: &str) -> FsResult<InodeAttrs> {
+        match self
+            .run_path_op(path, |key| MetaOp::Mkdir {
+                key,
+                perm: Permissions::default(),
+            })
+            .await?
+        {
+            OpResult::Attrs(a) => Ok(a),
+            OpResult::Err(e) => Err(e),
+            _ => Err(FsError::NotFound),
+        }
+    }
+
+    /// Removes an empty directory.
+    pub async fn rmdir(&self, path: &str) -> FsResult<()> {
+        let r = self.run_path_op(path, |key| MetaOp::Rmdir { key }).await;
+        // A removed directory must disappear from the cache.
+        self.cache.borrow_mut().invalidate_subtree(path);
+        self.expect_done(r)
+    }
+
+    /// Reads a file's attributes.
+    pub async fn stat(&self, path: &str) -> FsResult<InodeAttrs> {
+        self.expect_attrs(self.run_path_op(path, |key| MetaOp::Stat { key }).await)
+    }
+
+    /// Reads a directory's attributes.
+    pub async fn statdir(&self, path: &str) -> FsResult<InodeAttrs> {
+        self.expect_attrs(self.run_path_op(path, |key| MetaOp::Statdir { key }).await)
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, path: &str) -> FsResult<(InodeAttrs, Vec<DirEntry>)> {
+        match self.run_path_op(path, |key| MetaOp::Readdir { key }).await? {
+            OpResult::Listing { attrs, entries } => Ok((attrs, entries)),
+            OpResult::Err(e) => Err(e),
+            _ => Err(FsError::NotFound),
+        }
+    }
+
+    /// Opens a file.
+    pub async fn open(&self, path: &str) -> FsResult<InodeAttrs> {
+        self.expect_attrs(self.run_path_op(path, |key| MetaOp::Open { key }).await)
+    }
+
+    /// Closes a file.
+    pub async fn close(&self, path: &str) -> FsResult<()> {
+        match self.run_path_op(path, |key| MetaOp::Close { key }).await? {
+            OpResult::Err(e) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Changes permission bits.
+    pub async fn chmod(&self, path: &str, mode: u16) -> FsResult<()> {
+        self.expect_done(self.run_path_op(path, |key| MetaOp::Chmod { key, mode }).await)
+    }
+
+    /// Renames a file (or directory).
+    pub async fn rename(&self, src_path: &str, dst_path: &str) -> FsResult<()> {
+        let src_res = self.resolve(src_path, false).await?;
+        let dst_res = self.resolve(dst_path, false).await?;
+        let op = MetaOp::Rename {
+            src: src_res.key.clone(),
+            dst: dst_res.key.clone(),
+        };
+        let mut ancestors = src_res.ancestors.clone();
+        ancestors.extend(dst_res.ancestors.iter().copied());
+        let result = self
+            .issue(op, src_res.parent.clone(), ancestors, None)
+            .await?;
+        self.cache.borrow_mut().invalidate_subtree(src_path);
+        match result {
+            OpResult::Err(e) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn expect_done(&self, r: FsResult<OpResult>) -> FsResult<()> {
+        match r? {
+            OpResult::Err(e) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn expect_attrs(&self, r: FsResult<OpResult>) -> FsResult<InodeAttrs> {
+        match r? {
+            OpResult::Attrs(a) => Ok(a),
+            OpResult::Listing { attrs, .. } => Ok(attrs),
+            OpResult::Err(e) => Err(e),
+            OpResult::Done => Err(FsError::NotFound),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution and request execution.
+    // ------------------------------------------------------------------
+
+    /// Runs one path-addressed operation with stale-cache retries.
+    async fn run_path_op(
+        &self,
+        path: &str,
+        build: impl Fn(MetaKey) -> MetaOp,
+    ) -> FsResult<OpResult> {
+        self.stats.borrow_mut().ops_issued += 1;
+        let mut attempt = 0;
+        loop {
+            let op_probe = build(MetaKey::new(DirId::ROOT, String::new()));
+            let need_target = self.router.needs_target_resolution(&op_probe);
+            let res = match self.resolve(path, need_target).await {
+                Ok(r) => r,
+                Err(FsError::StaleCache) if attempt < self.cfg.max_op_retries => {
+                    attempt += 1;
+                    self.stats.borrow_mut().stale_retries += 1;
+                    self.cache.borrow_mut().invalidate_path(path);
+                    continue;
+                }
+                Err(e) => {
+                    self.stats.borrow_mut().ops_err += 1;
+                    return Err(e);
+                }
+            };
+            let op = build(res.key.clone());
+            let target_attrs = if need_target {
+                self.cache
+                    .borrow_mut()
+                    .get(path)
+                    .and_then(|c| c.attrs.clone())
+            } else {
+                None
+            };
+            let out = self
+                .issue(op, res.parent.clone(), res.ancestors.clone(), target_attrs)
+                .await;
+            match out {
+                Ok(OpResult::Err(e)) if e.is_retryable() && attempt < self.cfg.max_op_retries => {
+                    attempt += 1;
+                    if e == FsError::StaleCache {
+                        self.stats.borrow_mut().stale_retries += 1;
+                        self.cache.borrow_mut().invalidate_path(path);
+                        // Also drop the parent entry itself; the retry
+                        // re-resolves from the root.
+                        self.cache.borrow_mut().invalidate_path(&res.parent_path);
+                    } else {
+                        self.handle.sleep(self.cfg.request_timeout).await;
+                    }
+                    continue;
+                }
+                Ok(r) => {
+                    let mut stats = self.stats.borrow_mut();
+                    if r.is_ok() {
+                        stats.ops_ok += 1;
+                    } else {
+                        stats.ops_err += 1;
+                    }
+                    return Ok(r);
+                }
+                Err(e) => {
+                    self.stats.borrow_mut().ops_err += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Resolves the parent chain of `path` (and optionally the final
+    /// component), filling the metadata cache.
+    async fn resolve(&self, path: &str, resolve_target: bool) -> FsResult<Resolution> {
+        let comps = path_components(path);
+        if comps.is_empty() {
+            return Err(FsError::NotFound);
+        }
+        let mut ancestors = vec![DirId::ROOT];
+        let mut parent = ParentRef {
+            key: MetaKey::new(DirId::ROOT, String::new()),
+            id: DirId::ROOT,
+            fp: Fingerprint::of_dir(&DirId::ROOT, ""),
+        };
+        let mut parent_path = String::from("/");
+        let mut current = String::new();
+        let upto = if resolve_target {
+            comps.len()
+        } else {
+            comps.len() - 1
+        };
+        for comp in &comps[..upto] {
+            current.push('/');
+            current.push_str(comp);
+            let cached = self.cache.borrow_mut().get(&current);
+            let dir = match cached {
+                Some(d) => d,
+                None => {
+                    self.stats.borrow_mut().lookups += 1;
+                    let key = MetaKey::new(parent.id, comp.clone());
+                    let op = MetaOp::Lookup { key: key.clone() };
+                    let result = self
+                        .issue(op, Some(parent.clone()), ancestors.clone(), None)
+                        .await?;
+                    let attrs = match result {
+                        OpResult::Attrs(a) => a,
+                        OpResult::Err(e) => return Err(e),
+                        _ => return Err(FsError::NotFound),
+                    };
+                    let dir = CachedDir {
+                        fp: Fingerprint::of_dir(&key.pid, &key.name),
+                        id: attrs.id,
+                        key,
+                        attrs: Some(attrs),
+                    };
+                    self.cache.borrow_mut().insert(&current, dir.clone());
+                    dir
+                }
+            };
+            // Only the first `comps.len() - 1` components become the parent
+            // chain; a resolved target does not change the parent.
+            if current.matches('/').count() <= comps.len() - 1 {
+                ancestors.push(dir.id);
+                parent = ParentRef {
+                    key: dir.key.clone(),
+                    id: dir.id,
+                    fp: dir.fp,
+                };
+                parent_path = current.clone();
+            }
+        }
+        // The parent chain added the target's id when resolve_target included
+        // the final component; undo that for the ParentRef.
+        if resolve_target && comps.len() >= 1 {
+            // Recompute the parent as the second-to-last component.
+            // (Cheap: everything is cached by now.)
+            let mut p = ParentRef {
+                key: MetaKey::new(DirId::ROOT, String::new()),
+                id: DirId::ROOT,
+                fp: Fingerprint::of_dir(&DirId::ROOT, ""),
+            };
+            let mut ppath = String::from("/");
+            let mut cur = String::new();
+            for comp in &comps[..comps.len() - 1] {
+                cur.push('/');
+                cur.push_str(comp);
+                if let Some(d) = self.cache.borrow_mut().get(&cur) {
+                    p = ParentRef {
+                        key: d.key.clone(),
+                        id: d.id,
+                        fp: d.fp,
+                    };
+                    ppath = cur.clone();
+                }
+            }
+            parent = p;
+            parent_path = ppath;
+        }
+        let name = comps.last().expect("non-empty").clone();
+        let key = MetaKey::new(parent.id, name);
+        let parent_ref = if parent.id == DirId::ROOT && comps.len() == 1 {
+            // Operations directly under the root still carry the root as
+            // parent; only the root itself has no parent.
+            Some(parent.clone())
+        } else {
+            Some(parent.clone())
+        };
+        Ok(Resolution {
+            key,
+            parent: parent_ref,
+            ancestors,
+            parent_path,
+        })
+    }
+
+    /// Sends one request (with retransmission) and returns the server's
+    /// result.
+    async fn issue(
+        &self,
+        op: MetaOp,
+        parent: Option<ParentRef>,
+        ancestors: Vec<DirId>,
+        target_attrs: Option<InodeAttrs>,
+    ) -> FsResult<OpResult> {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        let op_id = OpId {
+            client: self.cfg.id,
+            seq,
+        };
+        let dst_server = self
+            .router
+            .destination(&op, parent.as_ref(), target_attrs.as_ref());
+        let dst_node = self.node_of(dst_server);
+        let attach_query = self.router.attach_dirty_query(&op);
+        let request = ClientRequest {
+            op_id,
+            op: op.clone(),
+            ancestors,
+            parent,
+        };
+        let fp = {
+            let key = op.primary_key();
+            Fingerprint::of_dir(&key.pid, &key.name)
+        };
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.borrow_mut().retransmissions += 1;
+            }
+            let (tx, rx) = oneshot::channel();
+            self.pending.borrow_mut().insert(seq, tx);
+            let pkt_seq = PacketSeq {
+                sender: self.endpoint.node().0,
+                seq: self.next_seq.get() + attempt as u64,
+            };
+            let msg = if attach_query {
+                NetMsg::with_dirty(pkt_seq, DirtySetHeader::query(fp), Body::Request(request.clone()))
+            } else {
+                NetMsg::plain(pkt_seq, Body::Request(request.clone()))
+            };
+            self.endpoint.send(dst_node, msg);
+            match timeout(&self.handle, self.cfg.request_timeout, rx.recv()).await {
+                Some(Ok(resp)) => return Ok(resp.result),
+                _ => {
+                    self.pending.borrow_mut().remove(&seq);
+                }
+            }
+        }
+        Err(FsError::TimedOut)
+    }
+
+    fn node_of(&self, server: ServerId) -> NodeId {
+        self.server_nodes[server.0 as usize]
+    }
+}

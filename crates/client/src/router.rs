@@ -1,0 +1,250 @@
+//! Request routing: which metadata server an operation is sent to, and
+//! whether the packet carries a dirty-set query header.
+//!
+//! SwitchFS routes by per-file hashing (files) and fingerprint (directories);
+//! the baselines route according to their partitioning policy (§2.1). The
+//! router is the only client-side difference between the systems.
+
+use switchfs_proto::message::{MetaOp, ParentRef};
+use switchfs_proto::{
+    DirId, Fingerprint, HashPlacement, InodeAttrs, PartitionPolicy, Placement, ServerId,
+};
+
+/// Decides the destination server of a request.
+pub trait RequestRouter {
+    /// The server the request must be sent to.
+    ///
+    /// `parent` is the resolved parent directory (if any) and `target` the
+    /// resolved attributes of the final path component when the router asked
+    /// for target resolution.
+    fn destination(
+        &self,
+        op: &MetaOp,
+        parent: Option<&ParentRef>,
+        target: Option<&InodeAttrs>,
+    ) -> ServerId;
+
+    /// True if the packet should carry a dirty-set `query` header for this
+    /// operation (only SwitchFS directory reads under in-network tracking).
+    fn attach_dirty_query(&self, op: &MetaOp) -> bool;
+
+    /// True if the client must resolve the final path component (learn its
+    /// id) before routing this operation.
+    fn needs_target_resolution(&self, op: &MetaOp) -> bool;
+
+    /// Number of metadata servers.
+    fn num_servers(&self) -> usize;
+}
+
+/// Router for SwitchFS clusters.
+#[derive(Debug, Clone)]
+pub struct SwitchFsRouter {
+    placement: HashPlacement,
+    /// Whether directory reads should carry a dirty-set query header (true
+    /// for in-network tracking; false when a dedicated coordinator or the
+    /// owner server tracks dirty state).
+    pub dirty_query_in_packet: bool,
+}
+
+impl SwitchFsRouter {
+    /// Creates a router over `servers` metadata servers.
+    pub fn new(servers: usize, dirty_query_in_packet: bool) -> Self {
+        SwitchFsRouter {
+            placement: HashPlacement::new(PartitionPolicy::PerFileHash, servers),
+            dirty_query_in_packet,
+        }
+    }
+}
+
+impl RequestRouter for SwitchFsRouter {
+    fn destination(
+        &self,
+        op: &MetaOp,
+        _parent: Option<&ParentRef>,
+        _target: Option<&InodeAttrs>,
+    ) -> ServerId {
+        let key = op.primary_key();
+        match op {
+            // Directory-target operations go to the fingerprint group owner.
+            MetaOp::Mkdir { .. }
+            | MetaOp::Rmdir { .. }
+            | MetaOp::Statdir { .. }
+            | MetaOp::Readdir { .. }
+            | MetaOp::Lookup { .. } => {
+                let fp = Fingerprint::of_dir(&key.pid, &key.name);
+                self.placement.dir_owner_by_fp(fp)
+            }
+            // Everything else is addressed by the file's own key.
+            _ => self.placement.file_owner(key),
+        }
+    }
+
+    fn attach_dirty_query(&self, op: &MetaOp) -> bool {
+        self.dirty_query_in_packet && op.is_dir_read()
+    }
+
+    fn needs_target_resolution(&self, _op: &MetaOp) -> bool {
+        false
+    }
+
+    fn num_servers(&self) -> usize {
+        self.placement.num_servers()
+    }
+}
+
+/// Router for the emulated baseline systems.
+///
+/// * `PerDirectoryHash` (E-InfiniFS, and the CephFS-/IndexFS-like systems):
+///   a directory's children and its *content inode* live on the server
+///   selected by hashing the directory's id, so sibling operations hit one
+///   server (metadata locality, but hotspots under skew).
+/// * `PerFileHash` (E-CFS): file inodes are spread by their own key; the
+///   parent's content inode lives on the server selected by hashing the
+///   parent's key, so double-inode operations need a cross-server update.
+#[derive(Debug, Clone)]
+pub struct BaselineRouter {
+    placement: HashPlacement,
+}
+
+impl BaselineRouter {
+    /// Creates a router with the given partitioning policy.
+    pub fn new(policy: PartitionPolicy, servers: usize) -> Self {
+        BaselineRouter {
+            placement: HashPlacement::new(policy, servers),
+        }
+    }
+
+    /// The underlying placement (shared with the baseline servers).
+    pub fn placement(&self) -> HashPlacement {
+        self.placement
+    }
+
+    /// Owner of a directory's content inode.
+    pub fn dir_content_owner(&self, dir_id: &DirId, dir_key: &switchfs_proto::MetaKey) -> ServerId {
+        match self.placement.policy() {
+            PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => {
+                self.placement.dir_owner_by_id(dir_id)
+            }
+            PartitionPolicy::PerFileHash => {
+                let fp = Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
+                self.placement.dir_owner_by_fp(fp)
+            }
+        }
+    }
+}
+
+impl RequestRouter for BaselineRouter {
+    fn destination(
+        &self,
+        op: &MetaOp,
+        parent: Option<&ParentRef>,
+        target: Option<&InodeAttrs>,
+    ) -> ServerId {
+        let key = op.primary_key();
+        match op {
+            MetaOp::Statdir { .. } | MetaOp::Readdir { .. } | MetaOp::Rmdir { .. } => {
+                // Directory-target operations are served by the directory's
+                // content owner; under P/C grouping that requires the
+                // directory's id (resolved by the client).
+                let dir_id = target.map(|a| a.id).unwrap_or(key.pid);
+                self.dir_content_owner(&dir_id, key)
+            }
+            MetaOp::Lookup { .. } => {
+                // Lookups read the child inode, which is colocated with the
+                // parent's children.
+                self.placement.file_owner(key)
+            }
+            _ => {
+                let _ = parent;
+                self.placement.file_owner(key)
+            }
+        }
+    }
+
+    fn attach_dirty_query(&self, _op: &MetaOp) -> bool {
+        false
+    }
+
+    fn needs_target_resolution(&self, op: &MetaOp) -> bool {
+        matches!(
+            self.placement.policy(),
+            PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree
+        ) && matches!(
+            op,
+            MetaOp::Statdir { .. } | MetaOp::Readdir { .. } | MetaOp::Rmdir { .. }
+        )
+    }
+
+    fn num_servers(&self) -> usize {
+        self.placement.num_servers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchfs_proto::{MetaKey, Permissions};
+
+    fn create_op(name: &str) -> MetaOp {
+        MetaOp::Create {
+            key: MetaKey::new(DirId::ROOT, name),
+            perm: Permissions::default(),
+        }
+    }
+
+    #[test]
+    fn switchfs_spreads_files_and_pins_fingerprint_groups() {
+        let r = SwitchFsRouter::new(8, true);
+        let owners: std::collections::HashSet<ServerId> = (0..200)
+            .map(|i| r.destination(&create_op(&format!("f{i}")), None, None))
+            .collect();
+        assert!(owners.len() > 1, "per-file hashing must spread siblings");
+        let statdir = MetaOp::Statdir {
+            key: MetaKey::new(DirId::ROOT, "dir"),
+        };
+        let mkdir = MetaOp::Mkdir {
+            key: MetaKey::new(DirId::ROOT, "dir"),
+            perm: Permissions::default(),
+        };
+        assert_eq!(
+            r.destination(&statdir, None, None),
+            r.destination(&mkdir, None, None),
+            "directory reads and mkdir of the same directory target its fingerprint owner"
+        );
+        assert!(r.attach_dirty_query(&statdir));
+        assert!(!r.attach_dirty_query(&mkdir));
+    }
+
+    #[test]
+    fn grouping_baseline_colocates_siblings() {
+        let r = BaselineRouter::new(PartitionPolicy::PerDirectoryHash, 8);
+        let owners: std::collections::HashSet<ServerId> = (0..200)
+            .map(|i| r.destination(&create_op(&format!("f{i}")), None, None))
+            .collect();
+        assert_eq!(owners.len(), 1, "P/C grouping must colocate siblings");
+        assert!(!r.attach_dirty_query(&MetaOp::Statdir {
+            key: MetaKey::new(DirId::ROOT, "d")
+        }));
+    }
+
+    #[test]
+    fn separation_baseline_spreads_siblings() {
+        let r = BaselineRouter::new(PartitionPolicy::PerFileHash, 8);
+        let owners: std::collections::HashSet<ServerId> = (0..200)
+            .map(|i| r.destination(&create_op(&format!("f{i}")), None, None))
+            .collect();
+        assert!(owners.len() > 1);
+        assert!(!r.needs_target_resolution(&MetaOp::Statdir {
+            key: MetaKey::new(DirId::ROOT, "d")
+        }));
+    }
+
+    #[test]
+    fn grouping_baseline_needs_target_resolution_for_dir_reads() {
+        let r = BaselineRouter::new(PartitionPolicy::PerDirectoryHash, 4);
+        assert!(r.needs_target_resolution(&MetaOp::Statdir {
+            key: MetaKey::new(DirId::ROOT, "d")
+        }));
+        assert!(!r.needs_target_resolution(&create_op("f")));
+    }
+}

@@ -1,0 +1,431 @@
+//! Building and controlling a simulated deployment.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use switchfs_client::{LibFs, LibFsConfig};
+use switchfs_proto::message::NetMsg;
+use switchfs_proto::{
+    ClientId, DirEntry, DirId, FileType, Fingerprint, HashPlacement, MetaKey, PartitionPolicy,
+    Placement, ServerId,
+};
+use switchfs_server::server::recovery::RecoveryReport;
+use switchfs_server::{DurableState, Server, ServerConfig, TrackingMode};
+use switchfs_simnet::{Network, NodeId, Sim, SimDuration, SimTime};
+use switchfs_switch::{DirtySetConfig, SwitchConfig, SwitchFsProgram, SwitchStats};
+
+use crate::config::{ClusterConfig, TrackingChoice};
+use crate::coordinator::Coordinator;
+use crate::switch_adapter::SwitchAdapter;
+
+/// Node-id layout of a deployment.
+fn server_node(i: usize) -> NodeId {
+    NodeId(i as u32)
+}
+fn client_node(i: usize) -> NodeId {
+    NodeId(1000 + i as u32)
+}
+const COORDINATOR_NODE: NodeId = NodeId(900);
+
+/// A fully built simulated deployment: servers, clients, switch, network.
+pub struct Cluster {
+    /// The simulation everything runs on.
+    pub sim: Sim,
+    cfg: ClusterConfig,
+    network: Network<NetMsg>,
+    servers: Vec<Server>,
+    durables: Vec<Rc<RefCell<DurableState>>>,
+    clients: Vec<Rc<LibFs>>,
+    switch: Option<Rc<RefCell<SwitchFsProgram>>>,
+    coordinator: Option<Rc<Coordinator>>,
+    placement: Rc<HashPlacement>,
+    /// Directories installed by preloading: path → (key, id).
+    pub preloaded_dirs: HashMap<String, (MetaKey, DirId)>,
+    preload_counter: u64,
+}
+
+impl Cluster {
+    /// Builds a deployment from a configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let sim = Sim::new(cfg.seed);
+        let handle = sim.handle();
+        let network: Network<NetMsg> = Network::new(
+            handle.clone(),
+            cfg.link_params,
+            cfg.net_faults,
+            cfg.seed ^ 0xbeef,
+        );
+
+        let placement = Rc::new(HashPlacement::new(
+            cfg.system.partition_policy(),
+            cfg.servers,
+        ));
+        let server_nodes: Rc<Vec<NodeId>> =
+            Rc::new((0..cfg.servers).map(server_node).collect());
+
+        // Programmable switch (only SwitchFS with in-network tracking).
+        let mut switch = None;
+        if cfg.system.uses_switch() && cfg.tracking == TrackingChoice::InNetwork {
+            let program = Rc::new(RefCell::new(SwitchFsProgram::new(SwitchConfig {
+                server_nodes: (0..cfg.servers).map(|i| server_node(i).0).collect(),
+                dirty_set: DirtySetConfig::default(),
+                pipes: 2,
+                force_insert_overflow: cfg.force_dirty_overflow,
+            })));
+            network.install_switch(
+                switchfs_simnet::SwitchId(0),
+                Box::new(SwitchAdapter::new(program.clone())),
+            );
+            switch = Some(program);
+        }
+        if let Some((racks, spines)) = cfg.leaf_spine {
+            let mut node_rack = HashMap::new();
+            for i in 0..cfg.servers {
+                node_rack.insert(server_node(i), i as u32 % racks);
+            }
+            for i in 0..cfg.clients {
+                node_rack.insert(client_node(i), racks.saturating_sub(1));
+            }
+            node_rack.insert(COORDINATOR_NODE, 0);
+            network.set_topology(switchfs_simnet::Topology::LeafSpine {
+                node_rack,
+                spine_count: spines,
+            });
+            // Dirty-set traffic is range-partitioned across spines by
+            // fingerprint prefix (§6.4).
+            network.set_spine_selector(Rc::new(|msg: &NetMsg, spines: u32| {
+                msg.dirty
+                    .map(|h| h.fingerprint.prefix(8) % spines.max(1))
+                    .unwrap_or(0)
+            }));
+            if let Some(program) = &switch {
+                for s in 0..spines {
+                    network.install_switch(
+                        switchfs_simnet::SwitchId(s),
+                        Box::new(SwitchAdapter::new(program.clone())),
+                    );
+                }
+            }
+        }
+
+        // Dedicated coordinator, if requested.
+        let mut coordinator = None;
+        if cfg.tracking == TrackingChoice::DedicatedServer {
+            let ep = network.register(COORDINATOR_NODE);
+            let c = Rc::new(Coordinator::new(handle.clone(), ep, 12));
+            c.start();
+            coordinator = Some(c);
+        }
+
+        let tracking_mode = match cfg.tracking {
+            TrackingChoice::InNetwork => TrackingMode::InNetwork,
+            TrackingChoice::DedicatedServer => TrackingMode::DedicatedServer(COORDINATOR_NODE),
+            TrackingChoice::OwnerServer => TrackingMode::OwnerServer,
+        };
+
+        // Metadata servers.
+        let mut servers = Vec::with_capacity(cfg.servers);
+        let mut durables = Vec::with_capacity(cfg.servers);
+        for i in 0..cfg.servers {
+            let endpoint = network.register(server_node(i));
+            let durable = Rc::new(RefCell::new(DurableState::new()));
+            let server = Server::new(
+                handle.clone(),
+                endpoint,
+                ServerConfig {
+                    id: ServerId(i as u32),
+                    node: server_node(i),
+                    cores: cfg.cores_per_server,
+                    costs: cfg.cost_model(),
+                    update_mode: cfg.update_mode(),
+                    tracking: tracking_mode,
+                    proactive: cfg.proactive,
+                    placement: placement.clone(),
+                    server_nodes: server_nodes.clone(),
+                },
+                durable.clone(),
+            );
+            server.start();
+            servers.push(server);
+            durables.push(durable);
+        }
+
+        // Clients.
+        let router = cfg
+            .system
+            .make_router(cfg.servers, cfg.tracking == TrackingChoice::InNetwork);
+        let mut clients = Vec::with_capacity(cfg.clients);
+        for i in 0..cfg.clients {
+            let endpoint = network.register(client_node(i));
+            let mut lib_cfg = LibFsConfig::new(ClientId(i as u32));
+            lib_cfg.request_timeout = cfg.effective_client_timeout();
+            let client = LibFs::new(
+                handle.clone(),
+                endpoint,
+                router.clone(),
+                server_nodes.clone(),
+                lib_cfg,
+            );
+            client.start();
+            clients.push(client);
+        }
+
+        let mut cluster = Cluster {
+            sim,
+            cfg,
+            network,
+            servers,
+            durables,
+            clients,
+            switch,
+            coordinator,
+            placement,
+            preloaded_dirs: HashMap::new(),
+            preload_counter: 0,
+        };
+        cluster.preload_root();
+        cluster
+    }
+
+    /// The configuration the deployment was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The metadata servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Client `i`.
+    pub fn client(&self, i: usize) -> Rc<LibFs> {
+        self.clients[i % self.clients.len()].clone()
+    }
+
+    /// All clients.
+    pub fn clients(&self) -> &[Rc<LibFs>] {
+        &self.clients
+    }
+
+    /// The crash-surviving durable state (WAL + checkpoint) of server `i`.
+    pub fn durable_state(&self, i: usize) -> Rc<RefCell<DurableState>> {
+        self.durables[i].clone()
+    }
+
+    /// Counters of the programmable switch, if one is deployed.
+    pub fn switch_stats(&self) -> Option<SwitchStats> {
+        self.switch.as_ref().map(|s| s.borrow().stats())
+    }
+
+    /// Number of fingerprints currently tracked by the switch.
+    pub fn switch_occupancy(&self) -> Option<usize> {
+        self.switch.as_ref().map(|s| s.borrow().occupancy())
+    }
+
+    /// Requests served by the dedicated coordinator, if one is deployed.
+    pub fn coordinator_requests(&self) -> u64 {
+        self.coordinator.as_ref().map(|c| c.stats().requests).unwrap_or(0)
+    }
+
+    /// Forces (or stops forcing) dirty-set insert overflow (§7.3.2).
+    pub fn set_force_dirty_overflow(&self, force: bool) {
+        if let Some(s) = &self.switch {
+            s.borrow_mut().set_force_overflow(force);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Running work on the simulation.
+    // ------------------------------------------------------------------
+
+    /// Runs an async closure against the deployment and returns its value.
+    ///
+    /// Background loops are stopped once the closure finishes so that the
+    /// simulation quiesces, then restarted so a later `block_on` still has
+    /// proactive aggregation available.
+    pub fn block_on<T: 'static, F>(&self, fut: F) -> T
+    where
+        F: std::future::Future<Output = T> + 'static,
+    {
+        let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let out2 = out.clone();
+        let servers = self.servers.clone();
+        self.sim.spawn(async move {
+            let value = fut.await;
+            *out2.borrow_mut() = Some(value);
+            for s in &servers {
+                s.stop_background();
+            }
+        });
+        self.sim.run();
+        for s in &self.servers {
+            s.restart_background();
+        }
+        let value = out.borrow_mut().take();
+        value.expect("block_on future did not complete; the simulation deadlocked")
+    }
+
+    /// Runs the simulation until `deadline` without injecting new work.
+    pub fn run_until(&self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Lets the deployment settle for `dur` of virtual time (e.g. to let
+    /// proactive aggregation drain change-logs).
+    pub fn settle(&self, dur: SimDuration) {
+        let deadline = self.sim.now() + dur;
+        self.sim.run_until(deadline);
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace preloading (experiment setup).
+    // ------------------------------------------------------------------
+
+    fn preload_root(&mut self) {
+        let root_key = MetaKey::new(DirId::ROOT, "");
+        let fp = Fingerprint::of_dir(&root_key.pid, &root_key.name);
+        let by_fp = self.placement.dir_owner_by_fp(fp);
+        let by_id = self.placement.dir_owner_by_id(&DirId::ROOT);
+        for owner in [by_fp, by_id] {
+            self.servers[owner.0 as usize].preload_dir(root_key.clone(), DirId::ROOT, 0);
+        }
+        self.preloaded_dirs
+            .insert("/".to_string(), (root_key, DirId::ROOT));
+    }
+
+    /// Installs a directory directly (without running the protocol), placing
+    /// its replicas according to the deployment's partitioning policy.
+    /// Returns the directory's id.
+    pub fn preload_dir(&mut self, path: &str) -> DirId {
+        if let Some((_, id)) = self.preloaded_dirs.get(path) {
+            return *id;
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        assert!(!comps.is_empty(), "cannot preload the root directory");
+        let parent_path = if comps.len() == 1 {
+            "/".to_string()
+        } else {
+            format!("/{}", comps[..comps.len() - 1].join("/"))
+        };
+        let parent_id = match self.preloaded_dirs.get(&parent_path) {
+            Some((_, id)) => *id,
+            None => self.preload_dir(&parent_path),
+        };
+        let name = comps[comps.len() - 1];
+        let key = MetaKey::new(parent_id, name);
+        self.preload_counter += 1;
+        let id = DirId::generate(ServerId(u32::MAX), self.preload_counter);
+        let fp = Fingerprint::of_dir(&key.pid, &key.name);
+
+        match self.cfg.system.partition_policy() {
+            PartitionPolicy::PerFileHash => {
+                let owner = self.placement.dir_owner_by_fp(fp);
+                self.servers[owner.0 as usize].preload_dir(key.clone(), id, 0);
+            }
+            PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => {
+                // Access replica with the parent's children; content replica
+                // with the directory's own children.
+                let access = self.placement.file_owner(&key);
+                let content = self.placement.dir_owner_by_id(&id);
+                self.servers[access.0 as usize].preload_dir(key.clone(), id, 0);
+                if content != access {
+                    self.servers[content.0 as usize].preload_dir(key.clone(), id, 0);
+                }
+            }
+        }
+        self.preloaded_dirs.insert(path.to_string(), (key, id));
+        id
+    }
+
+    /// Installs `count` files named `f0..f{count-1}` in an already preloaded
+    /// directory, updating the directory's entry list and size.
+    pub fn preload_files(&mut self, dir_path: &str, prefix: &str, count: usize) {
+        let (dir_key, dir_id) = self
+            .preloaded_dirs
+            .get(dir_path)
+            .cloned()
+            .unwrap_or_else(|| panic!("directory {dir_path} was not preloaded"));
+        let fp = Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
+        let content_owner = match self.cfg.system.partition_policy() {
+            PartitionPolicy::PerFileHash => self.placement.dir_owner_by_fp(fp),
+            _ => self.placement.dir_owner_by_id(&dir_id),
+        };
+        for i in 0..count {
+            let key = MetaKey::new(dir_id, format!("{prefix}{i}"));
+            let owner = self.placement.file_owner(&key);
+            self.servers[owner.0 as usize].preload_file(key.clone(), 0);
+            self.servers[content_owner.0 as usize].preload_entry(
+                dir_id,
+                DirEntry {
+                    name: key.name.clone(),
+                    file_type: FileType::File,
+                    mode: 0o644,
+                },
+            );
+        }
+        self.servers[content_owner.0 as usize].preload_dir_size(&dir_key, count as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault orchestration (§5.4, §7.7).
+    // ------------------------------------------------------------------
+
+    /// Crashes metadata server `i`: its volatile state is lost and its
+    /// traffic is dropped until recovery.
+    pub fn crash_server(&self, i: usize) {
+        self.servers[i].crash();
+        self.network.set_node_down(server_node(i), true);
+    }
+
+    /// Recovers metadata server `i` and returns the recovery report.
+    pub fn recover_server(&self, i: usize) -> RecoveryReport {
+        self.network.set_node_down(server_node(i), false);
+        let server = self.servers[i].clone();
+        self.block_on(async move { server.recover().await })
+    }
+
+    /// Reboots the programmable switch: all in-network state is lost, every
+    /// server aggregates the directories it owns, and the deployment returns
+    /// to a consistent state (§5.4.2). Returns the virtual time the recovery
+    /// took.
+    pub fn crash_and_recover_switch(&self) -> SimDuration {
+        if let Some(s) = &self.switch {
+            s.borrow_mut().reboot();
+        }
+        let servers = self.servers.clone();
+        let start = self.sim.now();
+        self.block_on(async move {
+            for s in &servers {
+                s.set_unavailable();
+            }
+            for s in &servers {
+                s.aggregate_all_owned().await;
+            }
+            for s in &servers {
+                s.set_available(true);
+            }
+        });
+        self.sim.now().duration_since(start)
+    }
+
+    /// Aggregate counters across all servers.
+    pub fn total_server_stats(&self) -> switchfs_server::ServerStats {
+        let mut total = switchfs_server::ServerStats::default();
+        for s in &self.servers {
+            let st = s.stats();
+            total.ops_completed += st.ops_completed;
+            total.ops_failed += st.ops_failed;
+            total.aggregations += st.aggregations;
+            total.entries_applied += st.entries_applied;
+            total.entries_compacted_away += st.entries_compacted_away;
+            total.pushes_sent += st.pushes_sent;
+            total.pushes_received += st.pushes_received;
+            total.fallback_syncs += st.fallback_syncs;
+            total.remote_updates += st.remote_updates;
+            total.retransmissions += st.retransmissions;
+            total.recoveries += st.recoveries;
+        }
+        total
+    }
+}

@@ -1,0 +1,137 @@
+//! Cluster-level configuration.
+
+use switchfs_baselines::SystemKind;
+use switchfs_server::{CostModel, ProactiveConfig, UpdateMode};
+use switchfs_simnet::net::LinkParams;
+use switchfs_simnet::{NetFaults, SimDuration};
+
+/// Where directory dirty state is tracked (the §7.3.3 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackingChoice {
+    /// In the programmable switch (SwitchFS's design).
+    InNetwork,
+    /// On a dedicated coordinator server reached by RPC.
+    DedicatedServer,
+    /// On each directory's owner server.
+    OwnerServer,
+}
+
+/// Configuration of one simulated deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Which system to deploy.
+    pub system: SystemKind,
+    /// Number of metadata servers (the paper sweeps 4–16).
+    pub servers: usize,
+    /// Cores per metadata server (the paper sweeps 2–12; default 4).
+    pub cores_per_server: usize,
+    /// Number of client (LibFS) instances.
+    pub clients: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Dirty-state tracking mode (only meaningful for SwitchFS).
+    pub tracking: TrackingChoice,
+    /// Overrides the system's update mode (used by the Fig. 14 breakdown to
+    /// run "+Async" without compaction).
+    pub update_mode_override: Option<UpdateMode>,
+    /// Overrides the system's cost model.
+    pub cost_override: Option<CostModel>,
+    /// Force every dirty-set insert to overflow (§7.3.2).
+    pub force_dirty_overflow: bool,
+    /// Proactive push / aggregation parameters.
+    pub proactive: ProactiveConfig,
+    /// Network fault injection.
+    pub net_faults: NetFaults,
+    /// Link and switch latency parameters.
+    pub link_params: LinkParams,
+    /// Per-client retransmission timeout (raised for the heavyweight
+    /// baselines automatically).
+    pub client_timeout: Option<SimDuration>,
+    /// Deploy a leaf–spine fabric with this many racks and spine switches
+    /// instead of a single rack (§6.4).
+    pub leaf_spine: Option<(u32, u32)>,
+}
+
+impl ClusterConfig {
+    /// A configuration matching the paper's default testbed shape: the given
+    /// system, 8 servers × 4 cores, 4 clients, single rack, reliable network.
+    pub fn paper_default(system: SystemKind) -> Self {
+        ClusterConfig {
+            system,
+            servers: 8,
+            cores_per_server: 4,
+            clients: 4,
+            seed: 42,
+            tracking: TrackingChoice::InNetwork,
+            update_mode_override: None,
+            cost_override: None,
+            force_dirty_overflow: false,
+            proactive: ProactiveConfig::default(),
+            net_faults: NetFaults::reliable(),
+            link_params: LinkParams::default(),
+            client_timeout: None,
+            leaf_spine: None,
+        }
+    }
+
+    /// Same as [`ClusterConfig::paper_default`] but with the given server
+    /// count.
+    pub fn with_servers(system: SystemKind, servers: usize) -> Self {
+        ClusterConfig {
+            servers,
+            ..Self::paper_default(system)
+        }
+    }
+
+    /// The effective update mode.
+    pub fn update_mode(&self) -> UpdateMode {
+        self.update_mode_override.unwrap_or_else(|| self.system.update_mode())
+    }
+
+    /// The effective cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_override.unwrap_or_else(|| self.system.cost_model())
+    }
+
+    /// The client request timeout: explicit override, or scaled to the
+    /// system's software stack so heavyweight baselines do not spuriously
+    /// retransmit.
+    pub fn effective_client_timeout(&self) -> SimDuration {
+        self.client_timeout.unwrap_or_else(|| {
+            let base = SimDuration::micros(400);
+            base + self.cost_model().extra_software * 4
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_testbed_shape() {
+        let c = ClusterConfig::paper_default(SystemKind::SwitchFs);
+        assert_eq!(c.servers, 8);
+        assert_eq!(c.cores_per_server, 4);
+        assert_eq!(c.tracking, TrackingChoice::InNetwork);
+        assert_eq!(c.update_mode(), UpdateMode::AsyncCompacted);
+    }
+
+    #[test]
+    fn overrides_take_effect() {
+        let mut c = ClusterConfig::paper_default(SystemKind::SwitchFs);
+        c.update_mode_override = Some(UpdateMode::AsyncNoCompaction);
+        assert_eq!(c.update_mode(), UpdateMode::AsyncNoCompaction);
+        assert_eq!(
+            ClusterConfig::with_servers(SystemKind::EmulatedCfs, 16).servers,
+            16
+        );
+    }
+
+    #[test]
+    fn heavy_baselines_get_longer_timeouts() {
+        let fast = ClusterConfig::paper_default(SystemKind::SwitchFs).effective_client_timeout();
+        let slow = ClusterConfig::paper_default(SystemKind::CephFsLike).effective_client_timeout();
+        assert!(slow > fast);
+    }
+}

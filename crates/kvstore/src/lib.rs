@@ -1,0 +1,26 @@
+//! An ordered in-memory key-value store with a write-ahead log.
+//!
+//! This crate is the substitute for the RocksDB instance each SwitchFS
+//! metadata server uses for its metadata (§4.2, §7.1: "RocksDB in
+//! asynchronous write mode"). It provides:
+//!
+//! * [`KvStore`] — an ordered map with point operations, prefix scans and
+//!   write batches, plus operation counters used to attribute storage-layer
+//!   costs in the simulation.
+//! * [`Wal`] — a write-ahead log with commit records, per-record "applied"
+//!   marks (used by the asynchronous-update protocol to distinguish
+//!   change-log entries that have already reached the directory owner,
+//!   §5.4.2) and replay support.
+//! * [`Checkpoint`] — an optional snapshot slot that bounds replay work, the
+//!   paper's suggested extension for reducing recovery time (§7.7).
+//!
+//! "Persistence" in a simulation means surviving a simulated crash: the WAL
+//! and checkpoint objects are kept by the cluster harness across a server's
+//! crash/restart cycle, while the [`KvStore`] and all other volatile server
+//! state are dropped and rebuilt by recovery.
+
+pub mod store;
+pub mod wal;
+
+pub use store::{KvStats, KvStore, WriteBatch};
+pub use wal::{Checkpoint, Wal, WalRecord};

@@ -1,0 +1,246 @@
+//! The ordered key-value store.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Operation counters, used by the simulation to attribute storage costs and
+/// by tests to assert how many mutations an operation performed (change-log
+/// compaction is evaluated partly by how many `put()` calls it saves, §5.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Number of `get` calls.
+    pub gets: u64,
+    /// Number of `put` calls (including those inside batches).
+    pub puts: u64,
+    /// Number of `delete` calls (including those inside batches).
+    pub deletes: u64,
+    /// Number of scan calls.
+    pub scans: u64,
+}
+
+/// An ordered, in-memory key-value store.
+///
+/// Keys must be `Ord + Clone`; values must be `Clone`. The store is the
+/// volatile half of a metadata server's storage: it is rebuilt from the WAL
+/// after a crash.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore<K: Ord + Clone, V: Clone> {
+    map: BTreeMap<K, V>,
+    stats: KvStats,
+}
+
+impl<K: Ord + Clone, V: Clone> KvStore<K, V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore {
+            map: BTreeMap::new(),
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Inserts or overwrites a value; returns the previous value if any.
+    pub fn put(&mut self, key: K, value: V) -> Option<V> {
+        self.stats.puts += 1;
+        self.map.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.stats.gets += 1;
+        self.map.get(key).cloned()
+    }
+
+    /// Looks up a key without recording a read (used by internal bookkeeping
+    /// that would not hit storage in a real server).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// True if the key exists.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Deletes a key; returns the previous value if any.
+    pub fn delete(&mut self, key: &K) -> Option<V> {
+        self.stats.deletes += 1;
+        self.map.remove(key)
+    }
+
+    /// Applies an atomic batch of mutations.
+    pub fn apply_batch(&mut self, batch: WriteBatch<K, V>) {
+        for op in batch.ops {
+            match op {
+                BatchOp::Put(k, v) => {
+                    self.put(k, v);
+                }
+                BatchOp::Delete(k) => {
+                    self.delete(&k);
+                }
+            }
+        }
+    }
+
+    /// Returns all entries in the half-open key range `[start, end)`, in key
+    /// order.
+    pub fn range(&mut self, start: &K, end: &K) -> Vec<(K, V)> {
+        self.stats.scans += 1;
+        self.map
+            .range((Bound::Included(start.clone()), Bound::Excluded(end.clone())))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Returns all entries whose key satisfies the predicate `starts_with`,
+    /// scanning from `start` (inclusive) while the predicate holds. This is
+    /// the prefix-scan pattern used to read a directory's entry list.
+    pub fn scan_while(&mut self, start: &K, keep: impl Fn(&K) -> bool) -> Vec<(K, V)> {
+        self.stats.scans += 1;
+        let mut out = Vec::new();
+        for (k, v) in self.map.range((Bound::Included(start.clone()), Bound::Unbounded)) {
+            if !keep(k) {
+                break;
+            }
+            out.push((k.clone(), v.clone()));
+        }
+        out
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over every entry in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+
+    /// Accumulated operation counters.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Resets the operation counters (e.g. between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = KvStats::default();
+    }
+
+    /// Drops every entry, keeping the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+enum BatchOp<K, V> {
+    Put(K, V),
+    Delete(K),
+}
+
+/// An ordered batch of mutations applied atomically by
+/// [`KvStore::apply_batch`].
+pub struct WriteBatch<K, V> {
+    ops: Vec<BatchOp<K, V>>,
+}
+
+impl<K, V> Default for WriteBatch<K, V> {
+    fn default() -> Self {
+        WriteBatch { ops: Vec::new() }
+    }
+}
+
+impl<K, V> WriteBatch<K, V> {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a put.
+    pub fn put(&mut self, key: K, value: V) -> &mut Self {
+        self.ops.push(BatchOp::Put(key, value));
+        self
+    }
+
+    /// Appends a delete.
+    pub fn delete(&mut self, key: K) -> &mut Self {
+        self.ops.push(BatchOp::Delete(key));
+        self
+    }
+
+    /// Number of mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the batch holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::new();
+        assert!(kv.is_empty());
+        assert_eq!(kv.put("a".to_string(), 1), None);
+        assert_eq!(kv.put("a".to_string(), 2), Some(1));
+        assert_eq!(kv.get(&"a".to_string()), Some(2));
+        assert!(kv.contains(&"a".to_string()));
+        assert_eq!(kv.delete(&"a".to_string()), Some(2));
+        assert_eq!(kv.get(&"a".to_string()), None);
+        let s = kv.stats();
+        assert_eq!((s.puts, s.gets, s.deletes), (2, 2, 1));
+    }
+
+    #[test]
+    fn range_and_scan_while() {
+        let mut kv = KvStore::new();
+        for i in 0..10u32 {
+            kv.put(format!("dir/{i:02}"), i);
+        }
+        kv.put("other/1".to_string(), 99);
+        let r = kv.range(&"dir/03".to_string(), &"dir/06".to_string());
+        assert_eq!(r.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![3, 4, 5]);
+        let scanned = kv.scan_while(&"dir/".to_string(), |k| k.starts_with("dir/"));
+        assert_eq!(scanned.len(), 10);
+    }
+
+    #[test]
+    fn batch_is_applied_in_order() {
+        let mut kv = KvStore::new();
+        let mut batch = WriteBatch::new();
+        batch.put("k".to_string(), 1).put("k".to_string(), 2);
+        batch.delete("gone".to_string());
+        assert_eq!(batch.len(), 3);
+        kv.apply_batch(batch);
+        assert_eq!(kv.get(&"k".to_string()), Some(2));
+    }
+
+    #[test]
+    fn peek_does_not_count_as_get() {
+        let mut kv = KvStore::new();
+        kv.put(1u32, "x");
+        assert_eq!(kv.peek(&1), Some(&"x"));
+        assert_eq!(kv.stats().gets, 0);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut kv = KvStore::new();
+        kv.put(1u32, 1u32);
+        kv.clear();
+        assert!(kv.is_empty());
+        assert_eq!(kv.stats().puts, 1);
+        kv.reset_stats();
+        assert_eq!(kv.stats().puts, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The dirty-set operation header parsed by the programmable switch (§6.1).
+//!
+//! SwitchFS packets are ordinary UDP datagrams; packets carrying a dirty-set
+//! operation use a reserved destination port and start with this header so
+//! the switch parser can extract the operation without touching the DFS
+//! request that follows.
+
+use crate::ids::Fingerprint;
+use serde::{Deserialize, Serialize};
+
+/// Operation requested from the in-network dirty set (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DirtySetOp {
+    /// Insert the fingerprint (directory becomes *scattered*).
+    Insert,
+    /// Query whether the fingerprint is present.
+    Query,
+    /// Remove the fingerprint (directory returns to *normal*).
+    Remove,
+}
+
+/// Directory state as tracked by the dirty set (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DirtyState {
+    /// All returned updates have been applied to the directory inode.
+    Normal,
+    /// One or more change-logs hold not-yet-applied updates.
+    Scattered,
+}
+
+/// The `RET` field: result of the dirty-set operation, written by the switch
+/// before the packet is forwarded onwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DirtyRet {
+    /// Not yet processed by the switch.
+    #[default]
+    Unset,
+    /// Query result: the directory's state.
+    State(DirtyState),
+    /// Insert succeeded (fingerprint stored or already present).
+    Inserted,
+    /// Insert failed because the set (all stages of the indexed set) is
+    /// full; the switch redirects the packet to the alternative address for
+    /// synchronous fallback handling (§5.2.1, §6.2).
+    Overflowed,
+    /// Remove processed (idempotent; also returned for stale duplicates).
+    Removed,
+}
+
+/// The dirty-set operation header (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtySetHeader {
+    /// Requested operation (`OP` field).
+    pub op: DirtySetOp,
+    /// The 49-bit directory fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Remove-sequence number (`SEQ` field), used to discard duplicate
+    /// `remove` requests that arrive after the aggregation completed
+    /// (§5.4.1). Ignored for `insert`/`query`.
+    pub remove_seq: u64,
+    /// Result written by the switch (`RET` field).
+    pub ret: DirtyRet,
+    /// Alternative destination (the "alternative MAC address") used by the
+    /// address rewriter when an insert overflows: the raw node id of the
+    /// server owning the parent directory's inode.
+    pub alt_dst: Option<u32>,
+}
+
+impl DirtySetHeader {
+    /// Builds an `insert` header.
+    pub fn insert(fingerprint: Fingerprint, alt_dst: u32) -> Self {
+        DirtySetHeader {
+            op: DirtySetOp::Insert,
+            fingerprint,
+            remove_seq: 0,
+            ret: DirtyRet::Unset,
+            alt_dst: Some(alt_dst),
+        }
+    }
+
+    /// Builds a `query` header.
+    pub fn query(fingerprint: Fingerprint) -> Self {
+        DirtySetHeader {
+            op: DirtySetOp::Query,
+            fingerprint,
+            remove_seq: 0,
+            ret: DirtyRet::Unset,
+            alt_dst: None,
+        }
+    }
+
+    /// Builds a `remove` header carrying the per-server remove sequence
+    /// number.
+    pub fn remove(fingerprint: Fingerprint, remove_seq: u64) -> Self {
+        DirtySetHeader {
+            op: DirtySetOp::Remove,
+            fingerprint,
+            remove_seq,
+            ret: DirtyRet::Unset,
+            alt_dst: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let fp = Fingerprint::from_raw(0xabcd);
+        let i = DirtySetHeader::insert(fp, 7);
+        assert_eq!(i.op, DirtySetOp::Insert);
+        assert_eq!(i.alt_dst, Some(7));
+        assert_eq!(i.ret, DirtyRet::Unset);
+        let q = DirtySetHeader::query(fp);
+        assert_eq!(q.op, DirtySetOp::Query);
+        assert_eq!(q.alt_dst, None);
+        let r = DirtySetHeader::remove(fp, 42);
+        assert_eq!(r.op, DirtySetOp::Remove);
+        assert_eq!(r.remove_seq, 42);
+    }
+
+    #[test]
+    fn default_ret_is_unset() {
+        assert_eq!(DirtyRet::default(), DirtyRet::Unset);
+    }
+}

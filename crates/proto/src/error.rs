@@ -1,0 +1,85 @@
+//! POSIX-style error codes for metadata operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors a metadata operation can return to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FsError {
+    /// The target (or a path component) does not exist (`ENOENT`).
+    NotFound,
+    /// The target already exists (`EEXIST`).
+    AlreadyExists,
+    /// `rmdir` on a non-empty directory (`ENOTEMPTY`).
+    NotEmpty,
+    /// The operation expected a directory but found a file (`ENOTDIR`).
+    NotADirectory,
+    /// The operation expected a file but found a directory (`EISDIR`).
+    IsADirectory,
+    /// The client's cached metadata for a path component is stale; the
+    /// client must invalidate its cache and retry the whole operation
+    /// (§5.2.1, "Locking and checking").
+    StaleCache,
+    /// A `rename` would create a cycle (orphaned loop, §5.2).
+    WouldOrphan,
+    /// The server is recovering or migrating and cannot serve requests;
+    /// retry later (§5.4.2, §5.5).
+    Unavailable,
+    /// The request timed out after the configured number of retransmissions.
+    TimedOut,
+    /// Permission denied (`EACCES`).
+    PermissionDenied,
+}
+
+impl FsError {
+    /// The conventional errno-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsError::NotFound => "ENOENT",
+            FsError::AlreadyExists => "EEXIST",
+            FsError::NotEmpty => "ENOTEMPTY",
+            FsError::NotADirectory => "ENOTDIR",
+            FsError::IsADirectory => "EISDIR",
+            FsError::StaleCache => "ESTALE",
+            FsError::WouldOrphan => "ELOOP",
+            FsError::Unavailable => "EAGAIN",
+            FsError::TimedOut => "ETIMEDOUT",
+            FsError::PermissionDenied => "EACCES",
+        }
+    }
+
+    /// True for errors that a client should transparently retry
+    /// (stale caches, unavailable servers and timeouts).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FsError::StaleCache | FsError::Unavailable | FsError::TimedOut
+        )
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for metadata operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_retryability() {
+        assert_eq!(FsError::NotFound.name(), "ENOENT");
+        assert_eq!(FsError::NotEmpty.to_string(), "ENOTEMPTY");
+        assert!(FsError::StaleCache.is_retryable());
+        assert!(FsError::TimedOut.is_retryable());
+        assert!(!FsError::AlreadyExists.is_retryable());
+        assert!(!FsError::WouldOrphan.is_retryable());
+    }
+}

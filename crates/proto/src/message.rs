@@ -1,0 +1,632 @@
+//! Typed messages exchanged between clients, metadata servers, the
+//! programmable switch and the dedicated coordinator.
+//!
+//! A [`NetMsg`] models one SwitchFS UDP datagram (§6.1): a destination port
+//! (which tells the switch whether a dirty-set operation header is present),
+//! an optional [`DirtySetHeader`], and a body that only end hosts interpret.
+//! The switch never looks at [`Body`], mirroring the real data plane, which
+//! parses only the fixed-format header.
+
+use crate::changelog::ChangeLogEntry;
+use crate::dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp};
+use crate::error::FsError;
+use crate::ids::{DirId, Fingerprint, OpId, ServerId};
+use crate::schema::{DirEntry, InodeAttrs, MetaKey, Permissions};
+use serde::{Deserialize, Serialize};
+
+/// Reserved UDP ports (§6.1): one for packets carrying a dirty-set operation
+/// header, one for plain SwitchFS packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpPorts;
+
+impl UdpPorts {
+    /// Destination port of packets that begin with a [`DirtySetHeader`].
+    pub const DIRTY_SET: u16 = 5310;
+    /// Destination port of plain SwitchFS packets.
+    pub const PLAIN: u16 = 5311;
+}
+
+/// Per-packet sender sequencing, used by receivers to detect duplicates
+/// introduced by retransmission (§5.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct PacketSeq {
+    /// Raw node id of the sender.
+    pub sender: u32,
+    /// Monotonically increasing per-sender sequence number.
+    pub seq: u64,
+}
+
+/// A client-visible metadata operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetaOp {
+    /// Resolve one path component: return the inode stored under `key`.
+    Lookup {
+        /// `(pid, name)` of the component.
+        key: MetaKey,
+    },
+    /// Create a regular file.
+    Create {
+        /// `(pid, name)` of the new file.
+        key: MetaKey,
+        /// Permissions of the new file.
+        perm: Permissions,
+    },
+    /// Delete a regular file.
+    Delete {
+        /// `(pid, name)` of the file.
+        key: MetaKey,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// `(pid, name)` of the new directory.
+        key: MetaKey,
+        /// Permissions of the new directory.
+        perm: Permissions,
+    },
+    /// Remove an (empty) directory.
+    Rmdir {
+        /// `(pid, name)` of the directory.
+        key: MetaKey,
+    },
+    /// Read a file's attributes.
+    Stat {
+        /// `(pid, name)` of the file.
+        key: MetaKey,
+    },
+    /// Read a directory's attributes.
+    Statdir {
+        /// `(pid, name)` of the directory.
+        key: MetaKey,
+    },
+    /// List a directory.
+    Readdir {
+        /// `(pid, name)` of the directory.
+        key: MetaKey,
+    },
+    /// Open a file (permission check + location lookup).
+    Open {
+        /// `(pid, name)` of the file.
+        key: MetaKey,
+    },
+    /// Close a file.
+    Close {
+        /// `(pid, name)` of the file.
+        key: MetaKey,
+    },
+    /// Change permission bits of a file or directory.
+    Chmod {
+        /// `(pid, name)` of the object.
+        key: MetaKey,
+        /// New mode bits.
+        mode: u16,
+    },
+    /// Rename (and possibly move) a file or directory.
+    Rename {
+        /// Source `(pid, name)`.
+        src: MetaKey,
+        /// Destination `(pid, name)`.
+        dst: MetaKey,
+    },
+}
+
+impl MetaOp {
+    /// The primary key the operation targets (the destination key for
+    /// `rename`), which determines the server the client sends it to.
+    pub fn primary_key(&self) -> &MetaKey {
+        match self {
+            MetaOp::Lookup { key }
+            | MetaOp::Create { key, .. }
+            | MetaOp::Delete { key }
+            | MetaOp::Mkdir { key, .. }
+            | MetaOp::Rmdir { key }
+            | MetaOp::Stat { key }
+            | MetaOp::Statdir { key }
+            | MetaOp::Readdir { key }
+            | MetaOp::Open { key }
+            | MetaOp::Close { key }
+            | MetaOp::Chmod { key, .. } => key,
+            MetaOp::Rename { src, .. } => src,
+        }
+    }
+
+    /// True for double-inode operations that update the parent directory
+    /// (§5.2: `create`, `delete`, `mkdir`, `rmdir`).
+    pub fn is_double_inode(&self) -> bool {
+        matches!(
+            self,
+            MetaOp::Create { .. } | MetaOp::Delete { .. } | MetaOp::Mkdir { .. } | MetaOp::Rmdir { .. }
+        )
+    }
+
+    /// True for operations that read directory metadata (`statdir`,
+    /// `readdir`) and therefore must check the dirty set.
+    pub fn is_dir_read(&self) -> bool {
+        matches!(self, MetaOp::Statdir { .. } | MetaOp::Readdir { .. })
+    }
+
+    /// Short operation name, used in metrics and harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetaOp::Lookup { .. } => "lookup",
+            MetaOp::Create { .. } => "create",
+            MetaOp::Delete { .. } => "delete",
+            MetaOp::Mkdir { .. } => "mkdir",
+            MetaOp::Rmdir { .. } => "rmdir",
+            MetaOp::Stat { .. } => "stat",
+            MetaOp::Statdir { .. } => "statdir",
+            MetaOp::Readdir { .. } => "readdir",
+            MetaOp::Open { .. } => "open",
+            MetaOp::Close { .. } => "close",
+            MetaOp::Chmod { .. } => "chmod",
+            MetaOp::Rename { .. } => "rename",
+        }
+    }
+}
+
+/// Information about the parent directory of an operation's target, resolved
+/// by the client during path resolution and needed by the server to log the
+/// deferred parent update and to address the switch (Fig. 4: the commit
+/// packet "contains the fingerprint of the parent directory").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParentRef {
+    /// The parent directory's own `(pid, name)` key.
+    pub key: MetaKey,
+    /// The parent directory's id.
+    pub id: DirId,
+    /// The parent directory's fingerprint.
+    pub fp: Fingerprint,
+}
+
+/// A metadata request from a client to a metadata server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRequest {
+    /// Operation id (client + per-client sequence number).
+    pub op_id: OpId,
+    /// The requested operation.
+    pub op: MetaOp,
+    /// Directory ids of every path component the client resolved from its
+    /// cache, checked by the server against its invalidation list (§5.2.1).
+    pub ancestors: Vec<DirId>,
+    /// Parent-directory reference for double-inode operations; `None` for
+    /// operations whose target is the root directory itself.
+    pub parent: Option<ParentRef>,
+}
+
+/// The result of a metadata operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpResult {
+    /// The operation succeeded and returns no payload.
+    Done,
+    /// The operation succeeded and returns inode attributes.
+    Attrs(InodeAttrs),
+    /// The operation succeeded and returns a directory listing together with
+    /// the directory's attributes.
+    Listing {
+        /// Directory attributes after applying any pending updates.
+        attrs: InodeAttrs,
+        /// Directory entries.
+        entries: Vec<DirEntry>,
+    },
+    /// The operation failed.
+    Err(FsError),
+}
+
+impl OpResult {
+    /// True unless the result is an error.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, OpResult::Err(_))
+    }
+
+    /// The error, if any.
+    pub fn err(&self) -> Option<FsError> {
+        match self {
+            OpResult::Err(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+/// A metadata response from a server (or the switch multicasting on a
+/// server's behalf) to a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientResponse {
+    /// The operation this responds to.
+    pub op_id: OpId,
+    /// The result.
+    pub result: OpResult,
+    /// The server that executed the operation.
+    pub server: ServerId,
+}
+
+/// Payload of a fallback synchronous directory update, used when a dirty-set
+/// insert overflows and the switch redirects the commit notification to the
+/// parent directory's owner server (§5.2.1, §6.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncFallback {
+    /// Key of the parent directory to update synchronously.
+    pub dir_key: MetaKey,
+    /// The update to apply.
+    pub entry: ChangeLogEntry,
+    /// Network node id of the client waiting for the response.
+    pub client_node: u32,
+}
+
+/// Data carried by an aggregation-related message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregationPayload {
+    /// Fingerprint group being aggregated.
+    pub fp: Fingerprint,
+    /// Unique aggregation id chosen by the directory owner (used to match
+    /// replies and acks and to make retries idempotent).
+    pub agg_id: u64,
+    /// The directory owner that issued the aggregation.
+    pub owner: ServerId,
+}
+
+/// Server-to-server and server-to-switch protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// Commit notification of an asynchronous double-inode operation,
+    /// carrying a dirty-set `insert`. On success the switch multicasts it to
+    /// the client (operation completion) and back to the origin server
+    /// (lock release); on overflow the address rewriter redirects it to the
+    /// parent directory's owner for synchronous fallback (§5.2.1).
+    AsyncCommit {
+        /// Response destined for the client.
+        response: ClientResponse,
+        /// Server that executed the local half (to release its locks when
+        /// the packet is mirrored back).
+        origin: ServerId,
+        /// Token identifying the pending operation on the origin server.
+        op_token: u64,
+        /// Fallback information for the overflow path.
+        fallback: SyncFallback,
+    },
+    /// Aggregation request from a directory owner, carrying a dirty-set
+    /// `remove`: the switch removes the fingerprint and multicasts the
+    /// request to every other metadata server (§5.2.2, step 5).
+    AggregationRequest {
+        /// Aggregation identity.
+        agg: AggregationPayload,
+        /// For `rmdir`: the directory to append to every server's
+        /// invalidation list before replying (§5.2.3, step 5).
+        invalidate: Option<(DirId, MetaKey)>,
+    },
+    /// A server's change-log entries for the requested fingerprint group,
+    /// sent back to the aggregation owner (§5.2.2, step 6).
+    AggregationEntries {
+        /// Aggregation identity (copied from the request).
+        agg: AggregationPayload,
+        /// Responding server.
+        from: ServerId,
+        /// All change-log entries of directories in the fingerprint group.
+        entries: Vec<ChangeLogEntry>,
+    },
+    /// Acknowledgment from the aggregation owner: the entries have been
+    /// applied and logged; receivers unlock their change-logs and mark the
+    /// entries "applied" in their WALs (§5.2.2, steps 9a/9b).
+    AggregationAck {
+        /// Aggregation identity.
+        agg: AggregationPayload,
+    },
+    /// Proactive change-log push from a holder to the directory's owner
+    /// (§5.3): entries are transferred without an explicit aggregation so a
+    /// later read does not stall.
+    ChangeLogPush {
+        /// Key of the directory whose change-log is being pushed.
+        dir_key: MetaKey,
+        /// Fingerprint of the directory.
+        fp: Fingerprint,
+        /// Pushing server.
+        from: ServerId,
+        /// The pushed entries.
+        entries: Vec<ChangeLogEntry>,
+    },
+    /// Acknowledgment of a `ChangeLogPush`; the pusher marks the entries
+    /// applied.
+    ChangeLogPushAck {
+        /// Key of the directory.
+        dir_key: MetaKey,
+        /// Ids of the entries that were applied by the owner.
+        applied: Vec<OpId>,
+    },
+    /// Synchronous remote directory update, used by the baselines
+    /// (E-InfiniFS / E-CFS cross-server double-inode operations) and by the
+    /// SwitchFS overflow fallback.
+    RemoteDirUpdate {
+        /// Request token for matching the acknowledgment.
+        req_id: u64,
+        /// Key of the directory to update.
+        dir_key: MetaKey,
+        /// The update.
+        entry: ChangeLogEntry,
+    },
+    /// Acknowledgment of a `RemoteDirUpdate`.
+    RemoteDirUpdateAck {
+        /// Token copied from the request.
+        req_id: u64,
+        /// Outcome.
+        result: Result<(), FsError>,
+    },
+    /// Two-phase-commit prepare for `rename` (and baseline transactions).
+    TxnPrepare {
+        /// Transaction id.
+        txn_id: u64,
+        /// Coordinating server.
+        coordinator: ServerId,
+        /// Mutations this participant must apply at commit.
+        ops: Vec<TxnOp>,
+    },
+    /// Participant vote.
+    TxnVote {
+        /// Transaction id.
+        txn_id: u64,
+        /// Voting server.
+        from: ServerId,
+        /// Whether the participant can commit.
+        ok: bool,
+    },
+    /// Commit decision.
+    TxnCommit {
+        /// Transaction id.
+        txn_id: u64,
+    },
+    /// Abort decision.
+    TxnAbort {
+        /// Transaction id.
+        txn_id: u64,
+    },
+    /// Broadcast appending a removed / renamed / re-permissioned directory
+    /// to every server's invalidation list (§5.2, invalidation list).
+    InvalidationBroadcast {
+        /// Id of the invalidated directory.
+        dir_id: DirId,
+        /// Key of the invalidated directory.
+        dir_key: MetaKey,
+    },
+    /// Broadcast retracting an invalidation-list entry: sent when an `rmdir`
+    /// that already announced the directory's removal (through the
+    /// aggregation multicast) fails its emptiness check and therefore does
+    /// not remove the directory after all.
+    InvalidationRevoke {
+        /// Id of the directory whose invalidation is retracted.
+        dir_id: DirId,
+    },
+    /// Request to clone the invalidation list during crash recovery
+    /// (§5.4.2).
+    RecoveryCloneInvalidation {
+        /// Recovering server.
+        from: ServerId,
+    },
+    /// Reply carrying the invalidation list.
+    RecoveryInvalidationList {
+        /// Entries of the responding server's invalidation list.
+        list: Vec<(DirId, MetaKey)>,
+    },
+    /// Notification from the synchronous-fallback server back to the origin
+    /// server that an overflowed asynchronous commit has been applied
+    /// synchronously; the origin releases its locks and discards the
+    /// corresponding change-log entry.
+    FallbackDone {
+        /// Token of the pending operation on the origin server.
+        op_token: u64,
+        /// Id of the change-log entry that was applied synchronously.
+        entry_id: OpId,
+    },
+    /// Owner-server dirty tracking (§7.3.3 variant): ask the directory's
+    /// owner to mark the directory dirty before an asynchronous commit
+    /// returns.
+    MarkDirty {
+        /// Request token.
+        req_id: u64,
+        /// Fingerprint of the directory.
+        fp: Fingerprint,
+    },
+    /// Acknowledgment of a `MarkDirty`.
+    MarkDirtyAck {
+        /// Token copied from the request.
+        req_id: u64,
+    },
+    /// Baseline (P/C grouping) `mkdir`: initialize the new directory's
+    /// content replica on its content server (the server that will hold the
+    /// directory's entry list and its children's inodes).
+    InitDirContent {
+        /// Request token.
+        req_id: u64,
+        /// Id of the new directory.
+        dir_id: DirId,
+        /// Key under which the content replica is stored.
+        key: MetaKey,
+        /// Attributes of the new directory.
+        attrs: InodeAttrs,
+    },
+    /// Acknowledgment of an `InitDirContent`.
+    InitDirContentAck {
+        /// Token copied from the request.
+        req_id: u64,
+    },
+    /// A single synchronous remote mutation (used by the baseline `rmdir`
+    /// to delete the access replica of a removed directory).
+    RemoteTxnOp {
+        /// Request token; acknowledged with `RemoteDirUpdateAck`.
+        req_id: u64,
+        /// The mutation to apply.
+        op: TxnOp,
+    },
+}
+
+/// A single mutation inside a two-phase-commit transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnOp {
+    /// Insert or overwrite an inode.
+    PutInode {
+        /// Inode key.
+        key: MetaKey,
+        /// New attributes.
+        attrs: InodeAttrs,
+    },
+    /// Delete an inode.
+    DeleteInode {
+        /// Inode key.
+        key: MetaKey,
+    },
+    /// Apply a directory update (entry insert/remove plus attribute deltas).
+    DirUpdate {
+        /// Directory key.
+        dir_key: MetaKey,
+        /// The update.
+        entry: ChangeLogEntry,
+    },
+}
+
+/// Messages understood by the dedicated dirty-set coordinator server used by
+/// the §7.3.3 comparison ("tracking directory state with a dedicated
+/// server").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordMsg {
+    /// A dirty-set operation submitted over RPC instead of in-network.
+    Request {
+        /// Request token.
+        token: u64,
+        /// The operation.
+        op: DirtySetOp,
+        /// Target fingerprint.
+        fp: Fingerprint,
+        /// Remove sequence number.
+        seq: u64,
+    },
+    /// The coordinator's reply.
+    Reply {
+        /// Token copied from the request.
+        token: u64,
+        /// Result of the operation.
+        ret: DirtyRet,
+    },
+}
+
+/// The body of a SwitchFS packet. Only end hosts interpret it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Body {
+    /// A client request.
+    Request(ClientRequest),
+    /// A response to a client.
+    Response(ClientResponse),
+    /// A server-to-server protocol message.
+    Server(ServerMsg),
+    /// A dedicated-coordinator message.
+    Coord(CoordMsg),
+    /// No body: the packet exists only for its dirty-set operation header.
+    Empty,
+}
+
+/// One SwitchFS UDP datagram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetMsg {
+    /// Destination UDP port; [`UdpPorts::DIRTY_SET`] if and only if `dirty`
+    /// is present.
+    pub dst_port: u16,
+    /// Per-sender packet sequence number for duplicate detection.
+    pub pkt_seq: PacketSeq,
+    /// Optional dirty-set operation header, parsed by the switch.
+    pub dirty: Option<DirtySetHeader>,
+    /// Payload, opaque to the switch.
+    pub body: Body,
+}
+
+impl NetMsg {
+    /// Builds a plain packet (no dirty-set header).
+    pub fn plain(pkt_seq: PacketSeq, body: Body) -> NetMsg {
+        NetMsg {
+            dst_port: UdpPorts::PLAIN,
+            pkt_seq,
+            dirty: None,
+            body,
+        }
+    }
+
+    /// Builds a packet carrying a dirty-set operation header.
+    pub fn with_dirty(pkt_seq: PacketSeq, dirty: DirtySetHeader, body: Body) -> NetMsg {
+        NetMsg {
+            dst_port: UdpPorts::DIRTY_SET,
+            pkt_seq,
+            dirty: Some(dirty),
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    fn key(name: &str) -> MetaKey {
+        MetaKey::new(DirId::ROOT, name)
+    }
+
+    #[test]
+    fn metaop_classification() {
+        assert!(MetaOp::Create {
+            key: key("a"),
+            perm: Permissions::default()
+        }
+        .is_double_inode());
+        assert!(MetaOp::Rmdir { key: key("d") }.is_double_inode());
+        assert!(!MetaOp::Stat { key: key("a") }.is_double_inode());
+        assert!(MetaOp::Statdir { key: key("d") }.is_dir_read());
+        assert!(MetaOp::Readdir { key: key("d") }.is_dir_read());
+        assert!(!MetaOp::Open { key: key("f") }.is_dir_read());
+        assert_eq!(MetaOp::Delete { key: key("a") }.name(), "delete");
+    }
+
+    #[test]
+    fn primary_key_of_rename_is_source() {
+        let op = MetaOp::Rename {
+            src: key("a"),
+            dst: key("b"),
+        };
+        assert_eq!(op.primary_key().name, "a");
+    }
+
+    #[test]
+    fn op_result_helpers() {
+        assert!(OpResult::Done.is_ok());
+        assert!(!OpResult::Err(FsError::NotFound).is_ok());
+        assert_eq!(
+            OpResult::Err(FsError::NotEmpty).err(),
+            Some(FsError::NotEmpty)
+        );
+        assert_eq!(OpResult::Done.err(), None);
+    }
+
+    #[test]
+    fn netmsg_port_matches_header_presence() {
+        let seq = PacketSeq { sender: 1, seq: 2 };
+        let plain = NetMsg::plain(seq, Body::Empty);
+        assert_eq!(plain.dst_port, UdpPorts::PLAIN);
+        assert!(plain.dirty.is_none());
+        let hdr = DirtySetHeader::query(Fingerprint::from_raw(5));
+        let dirty = NetMsg::with_dirty(seq, hdr, Body::Empty);
+        assert_eq!(dirty.dst_port, UdpPorts::DIRTY_SET);
+        assert!(dirty.dirty.is_some());
+    }
+
+    #[test]
+    fn client_request_roundtrips_through_serde() {
+        let req = ClientRequest {
+            op_id: OpId {
+                client: ClientId(3),
+                seq: 9,
+            },
+            op: MetaOp::Create {
+                key: key("file"),
+                perm: Permissions::default(),
+            },
+            ancestors: vec![DirId::ROOT],
+            parent: None,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ClientRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+}

@@ -1,0 +1,152 @@
+//! Metadata partitioning policies (§2.1, Tab. 1).
+//!
+//! * **P/C separation** (per-file hashing): every metadata object is placed
+//!   by hashing its `(pid, name)` key — the policy of CFS and SwitchFS.
+//!   SwitchFS additionally requires that all directories sharing a
+//!   fingerprint live on the same server, so *directory* inodes are placed
+//!   by fingerprint (which is itself a hash of `(pid, name)`).
+//! * **P/C grouping** (per-directory hashing): a directory's children are
+//!   colocated with the directory's entry list on the server selected by
+//!   hashing the directory id — the policy of InfiniFS / IndexFS / BeeGFS.
+//! * **Subtree**: entire top-level subtrees are assigned to servers — the
+//!   (static) approximation of CephFS's subtree partitioning used by the
+//!   CephFS-like baseline.
+
+use crate::ids::{DirId, Fingerprint, ServerId};
+use crate::schema::MetaKey;
+use serde::{Deserialize, Serialize};
+
+/// Which partitioning rule a cluster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionPolicy {
+    /// Per-file hashing (parent/children separation).
+    PerFileHash,
+    /// Per-directory hashing (parent/children grouping).
+    PerDirectoryHash,
+    /// Static subtree partitioning by top-level directory.
+    Subtree,
+}
+
+/// Maps metadata objects to their owner servers.
+pub trait Placement {
+    /// Number of metadata servers.
+    fn num_servers(&self) -> usize;
+
+    /// Owner of a *file* inode identified by its `(pid, name)` key.
+    fn file_owner(&self, key: &MetaKey) -> ServerId;
+
+    /// Owner of a *directory* inode (and its entry list) identified by the
+    /// directory's fingerprint. Used by SwitchFS so that a fingerprint group
+    /// maps to exactly one server (§4.3).
+    fn dir_owner_by_fp(&self, fp: Fingerprint) -> ServerId;
+
+    /// Owner of a directory's children under P/C grouping, identified by the
+    /// directory id.
+    fn dir_owner_by_id(&self, id: &DirId) -> ServerId;
+
+    /// Owner for an arbitrary pre-computed hash (used by the subtree policy
+    /// and by tests).
+    fn owner_of_hash(&self, hash: u64) -> ServerId;
+}
+
+/// Modulo-hash placement over `n` servers with a given policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashPlacement {
+    policy: PartitionPolicy,
+    servers: usize,
+}
+
+impl HashPlacement {
+    /// Creates a placement over `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(policy: PartitionPolicy, servers: usize) -> Self {
+        assert!(servers > 0, "placement needs at least one server");
+        HashPlacement { policy, servers }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+}
+
+impl Placement for HashPlacement {
+    fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    fn file_owner(&self, key: &MetaKey) -> ServerId {
+        match self.policy {
+            // Files are spread by their own key.
+            PartitionPolicy::PerFileHash => self.owner_of_hash(key.hash64()),
+            // Files are colocated with their parent directory's children.
+            PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => {
+                self.dir_owner_by_id(&key.pid)
+            }
+        }
+    }
+
+    fn dir_owner_by_fp(&self, fp: Fingerprint) -> ServerId {
+        self.owner_of_hash(crate::ids::splitmix64(fp.raw()))
+    }
+
+    fn dir_owner_by_id(&self, id: &DirId) -> ServerId {
+        self.owner_of_hash(id.hash64())
+    }
+
+    fn owner_of_hash(&self, hash: u64) -> ServerId {
+        ServerId((hash % self.servers as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn per_file_hash_spreads_one_directory() {
+        let p = HashPlacement::new(PartitionPolicy::PerFileHash, 8);
+        let mut counts: HashMap<ServerId, usize> = HashMap::new();
+        for i in 0..8000 {
+            let key = MetaKey::new(DirId::ROOT, format!("f{i}"));
+            *counts.entry(p.file_owner(&key)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 8);
+        // Reasonably balanced: no server owns more than 2x the fair share.
+        assert!(counts.values().all(|&c| c < 2000));
+    }
+
+    #[test]
+    fn per_directory_hash_groups_one_directory() {
+        let p = HashPlacement::new(PartitionPolicy::PerDirectoryHash, 8);
+        let owners: std::collections::HashSet<_> = (0..1000)
+            .map(|i| p.file_owner(&MetaKey::new(DirId::ROOT, format!("f{i}"))))
+            .collect();
+        assert_eq!(owners.len(), 1, "P/C grouping must colocate siblings");
+    }
+
+    #[test]
+    fn fingerprint_groups_map_to_one_server() {
+        let p = HashPlacement::new(PartitionPolicy::PerFileHash, 8);
+        let fp = Fingerprint::of_dir(&DirId::ROOT, "dir");
+        assert_eq!(p.dir_owner_by_fp(fp), p.dir_owner_by_fp(fp));
+    }
+
+    #[test]
+    fn owner_is_always_in_range() {
+        let p = HashPlacement::new(PartitionPolicy::PerFileHash, 5);
+        for h in [0u64, 1, u64::MAX, 12345678901234567] {
+            assert!(p.owner_of_hash(h).0 < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = HashPlacement::new(PartitionPolicy::PerFileHash, 0);
+    }
+}

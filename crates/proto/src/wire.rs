@@ -1,0 +1,191 @@
+//! Binary wire format of the switch-visible packet headers (Fig. 9).
+//!
+//! The simulated network carries typed Rust values, so this codec is not on
+//! the hot path; it exists to pin down the exact on-the-wire layout a real
+//! deployment would use and to let the switch crate's parser tests operate
+//! on raw bytes, as the Tofino parser does.
+//!
+//! Layout of the dirty-set operation header (all fields little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     OP            (0 = insert, 1 = query, 2 = remove)
+//! 1       8     FINGERPRINT   (49 significant bits)
+//! 9       8     SEQ           (remove sequence number)
+//! 17      1     RET           (0 unset, 1 normal, 2 scattered, 3 inserted,
+//!                              4 overflowed, 5 removed)
+//! 18      1     ALT flag      (0 = absent, 1 = present)
+//! 19      4     ALT address   (raw node id of the fallback destination)
+//! ```
+//!
+//! Total: 23 bytes, well within the parser budget of a Tofino stage.
+
+use crate::dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp, DirtyState};
+use crate::ids::Fingerprint;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Size in bytes of an encoded [`DirtySetHeader`].
+pub const DIRTY_HEADER_LEN: usize = 23;
+
+/// Errors produced when decoding a header from raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than a full header.
+    Truncated,
+    /// A field holds a value outside its legal range.
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated dirty-set header"),
+            WireError::InvalidField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a dirty-set header into its 23-byte wire representation.
+pub fn encode_dirty_header(h: &DirtySetHeader) -> Bytes {
+    let mut buf = BytesMut::with_capacity(DIRTY_HEADER_LEN);
+    buf.put_u8(match h.op {
+        DirtySetOp::Insert => 0,
+        DirtySetOp::Query => 1,
+        DirtySetOp::Remove => 2,
+    });
+    buf.put_u64_le(h.fingerprint.raw());
+    buf.put_u64_le(h.remove_seq);
+    buf.put_u8(match h.ret {
+        DirtyRet::Unset => 0,
+        DirtyRet::State(DirtyState::Normal) => 1,
+        DirtyRet::State(DirtyState::Scattered) => 2,
+        DirtyRet::Inserted => 3,
+        DirtyRet::Overflowed => 4,
+        DirtyRet::Removed => 5,
+    });
+    match h.alt_dst {
+        Some(node) => {
+            buf.put_u8(1);
+            buf.put_u32_le(node);
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a dirty-set header from its wire representation.
+pub fn decode_dirty_header(mut buf: &[u8]) -> Result<DirtySetHeader, WireError> {
+    if buf.len() < DIRTY_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let op = match buf.get_u8() {
+        0 => DirtySetOp::Insert,
+        1 => DirtySetOp::Query,
+        2 => DirtySetOp::Remove,
+        _ => return Err(WireError::InvalidField("op")),
+    };
+    let raw_fp = buf.get_u64_le();
+    if raw_fp > Fingerprint::MASK {
+        return Err(WireError::InvalidField("fingerprint"));
+    }
+    let fingerprint = Fingerprint::from_raw(raw_fp);
+    let remove_seq = buf.get_u64_le();
+    let ret = match buf.get_u8() {
+        0 => DirtyRet::Unset,
+        1 => DirtyRet::State(DirtyState::Normal),
+        2 => DirtyRet::State(DirtyState::Scattered),
+        3 => DirtyRet::Inserted,
+        4 => DirtyRet::Overflowed,
+        5 => DirtyRet::Removed,
+        _ => return Err(WireError::InvalidField("ret")),
+    };
+    let alt_flag = buf.get_u8();
+    let alt_raw = buf.get_u32_le();
+    let alt_dst = match alt_flag {
+        0 => None,
+        1 => Some(alt_raw),
+        _ => return Err(WireError::InvalidField("alt_flag")),
+    };
+    Ok(DirtySetHeader {
+        op,
+        fingerprint,
+        remove_seq,
+        ret,
+        alt_dst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn headers() -> Vec<DirtySetHeader> {
+        vec![
+            DirtySetHeader::insert(Fingerprint::from_raw(0x1_2345_6789_abcd), 42),
+            DirtySetHeader::query(Fingerprint::from_raw(7)),
+            DirtySetHeader::remove(Fingerprint::from_raw(Fingerprint::MASK), u64::MAX),
+            DirtySetHeader {
+                ret: DirtyRet::State(DirtyState::Scattered),
+                ..DirtySetHeader::query(Fingerprint::from_raw(99))
+            },
+            DirtySetHeader {
+                ret: DirtyRet::Overflowed,
+                ..DirtySetHeader::insert(Fingerprint::from_raw(3), 1)
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for h in headers() {
+            let bytes = encode_dirty_header(&h);
+            assert_eq!(bytes.len(), DIRTY_HEADER_LEN);
+            let back = decode_dirty_header(&bytes).unwrap();
+            assert_eq!(h, back);
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let bytes = encode_dirty_header(&DirtySetHeader::query(Fingerprint::from_raw(1)));
+        assert_eq!(
+            decode_dirty_header(&bytes[..DIRTY_HEADER_LEN - 1]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(decode_dirty_header(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        let mut bytes = encode_dirty_header(&DirtySetHeader::query(Fingerprint::from_raw(1))).to_vec();
+        bytes[0] = 9;
+        assert_eq!(
+            decode_dirty_header(&bytes),
+            Err(WireError::InvalidField("op"))
+        );
+        let mut bytes = encode_dirty_header(&DirtySetHeader::query(Fingerprint::from_raw(1))).to_vec();
+        bytes[17] = 77;
+        assert_eq!(
+            decode_dirty_header(&bytes),
+            Err(WireError::InvalidField("ret"))
+        );
+        let mut bytes = encode_dirty_header(&DirtySetHeader::query(Fingerprint::from_raw(1))).to_vec();
+        // Fingerprint with bits above bit 48 set.
+        bytes[8] = 0xff;
+        assert_eq!(
+            decode_dirty_header(&bytes),
+            Err(WireError::InvalidField("fingerprint"))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::InvalidField("op").to_string().contains("op"));
+    }
+}

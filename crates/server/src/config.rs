@@ -1,0 +1,156 @@
+//! Server configuration: identity, placement, update protocol and
+//! directory-state tracking modes.
+
+use std::rc::Rc;
+
+use switchfs_proto::{HashPlacement, ServerId};
+use switchfs_simnet::{NodeId, SimDuration};
+
+use crate::costs::CostModel;
+
+/// How directory updates of double-inode operations are performed; used by
+/// the contribution breakdown of Fig. 14 and by the emulated baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Full SwitchFS: asynchronous updates with change-log compaction.
+    AsyncCompacted,
+    /// "+Async" in Fig. 14: asynchronous updates, but aggregation applies
+    /// every change-log entry individually and serially.
+    AsyncNoCompaction,
+    /// Synchronous updates ("Baseline" in Fig. 14 and all emulated baseline
+    /// systems): the parent directory is updated in place — locally when
+    /// colocated, through a synchronous cross-server RPC otherwise — before
+    /// the operation returns.
+    Synchronous,
+}
+
+impl UpdateMode {
+    /// True for the asynchronous (change-log based) modes.
+    pub fn is_async(&self) -> bool {
+        !matches!(self, UpdateMode::Synchronous)
+    }
+}
+
+/// Where directory dirty state is tracked; used by the §7.3.3 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackingMode {
+    /// In the programmable switch (the SwitchFS design).
+    InNetwork,
+    /// On a dedicated coordinator server reached by RPC (adds one RTT to
+    /// every double-inode operation and directory read, Fig. 15).
+    DedicatedServer(NodeId),
+    /// On each directory's owner server (doubles the packets per
+    /// double-inode operation and adds queueing, Fig. 16).
+    OwnerServer,
+}
+
+/// Proactive change-log pushing and aggregation parameters (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProactiveConfig {
+    /// Whether proactive pushing / aggregation is enabled at all (the paper
+    /// enables it in every experiment).
+    pub enabled: bool,
+    /// Push a directory's change-log once its marshalled entries would fill
+    /// this many bytes (one MTU in the paper; ≈29 entries).
+    pub mtu_bytes: usize,
+    /// Push a change-log if no new entry arrived for this long.
+    pub idle_push_after: SimDuration,
+    /// Owner side: start an aggregation if no push arrived for this long
+    /// after the last one.
+    pub owner_aggregate_after: SimDuration,
+    /// How often the background task scans for push/aggregation work.
+    pub scan_interval: SimDuration,
+}
+
+impl Default for ProactiveConfig {
+    fn default() -> Self {
+        ProactiveConfig {
+            enabled: true,
+            mtu_bytes: 2048,
+            idle_push_after: SimDuration::micros(500),
+            owner_aggregate_after: SimDuration::micros(800),
+            scan_interval: SimDuration::micros(200),
+        }
+    }
+}
+
+/// Full configuration of one metadata server.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// This server's identity.
+    pub id: ServerId,
+    /// This server's network node.
+    pub node: NodeId,
+    /// Number of cores (Fig. 2(d) / Fig. 14 vary this).
+    pub cores: usize,
+    /// Calibrated service times.
+    pub costs: CostModel,
+    /// Asynchronous update mode.
+    pub update_mode: UpdateMode,
+    /// Dirty-state tracking mode.
+    pub tracking: TrackingMode,
+    /// Proactive push / aggregation configuration.
+    pub proactive: ProactiveConfig,
+    /// Placement policy shared by the whole cluster.
+    pub placement: Rc<HashPlacement>,
+    /// Network node of every metadata server, indexed by `ServerId.0`.
+    pub server_nodes: Rc<Vec<NodeId>>,
+}
+
+impl ServerConfig {
+    /// The network node hosting `server`.
+    pub fn node_of(&self, server: ServerId) -> NodeId {
+        self.server_nodes[server.0 as usize]
+    }
+
+    /// Number of metadata servers in the cluster.
+    pub fn num_servers(&self) -> usize {
+        self.server_nodes.len()
+    }
+
+    /// All server ids other than this one (the aggregation fan-out set).
+    pub fn other_servers(&self) -> Vec<ServerId> {
+        (0..self.num_servers() as u32)
+            .map(ServerId)
+            .filter(|s| *s != self.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchfs_proto::PartitionPolicy;
+
+    fn cfg(n: usize) -> ServerConfig {
+        ServerConfig {
+            id: ServerId(1),
+            node: NodeId(101),
+            cores: 4,
+            costs: CostModel::default(),
+            update_mode: UpdateMode::AsyncCompacted,
+            tracking: TrackingMode::InNetwork,
+            proactive: ProactiveConfig::default(),
+            placement: Rc::new(HashPlacement::new(PartitionPolicy::PerFileHash, n)),
+            server_nodes: Rc::new((0..n as u32).map(|i| NodeId(100 + i)).collect()),
+        }
+    }
+
+    #[test]
+    fn other_servers_excludes_self() {
+        let c = cfg(4);
+        assert_eq!(c.num_servers(), 4);
+        let others = c.other_servers();
+        assert_eq!(others.len(), 3);
+        assert!(!others.contains(&ServerId(1)));
+        assert_eq!(c.node_of(ServerId(2)), NodeId(102));
+    }
+
+    #[test]
+    fn proactive_defaults_are_enabled() {
+        let p = ProactiveConfig::default();
+        assert!(p.enabled);
+        assert!(p.mtu_bytes > 0);
+        assert!(p.owner_aggregate_after > p.idle_push_after);
+    }
+}

@@ -1,0 +1,935 @@
+//! The metadata server runtime: state, packet dispatch, single-inode
+//! operations, bulk loading and crash/recovery entry points.
+//!
+//! The double-inode operation handlers live in [`crate::server::ops`], the
+//! directory-read / aggregation machinery in [`crate::server::aggregate`],
+//! and `rename` in [`crate::server::rename`]. They are sub-modules so they
+//! can share the [`Server`] context.
+//!
+//! Lock ordering (deadlock freedom): handlers acquire locks in the order
+//! *parent change-log lock* → *fingerprint-group lock* → *inode lock*, and
+//! never wait for a remote server while holding a lock that a remote
+//! handler on this server would need in conflicting mode before replying.
+
+pub mod aggregate;
+pub mod ops;
+pub mod recovery;
+pub mod rename;
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use switchfs_kvstore::KvStore;
+use switchfs_proto::message::{
+    Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, NetMsg, OpResult, PacketSeq, ServerMsg,
+};
+use switchfs_proto::{
+    ChangeLogEntry, DirEntry, DirId, DirtyRet, DirtySetOp, DirtyState, FileType, Fingerprint,
+    FsError, InodeAttrs, MetaKey, OpId, ServerId, Timestamps,
+};
+use switchfs_simnet::sync::oneshot;
+use switchfs_simnet::{timeout, CpuPool, Endpoint, NodeId, SimHandle, SimTime};
+use switchfs_switch::SoftwareDirtySet;
+
+use crate::changelog::ChangeLogStore;
+use crate::config::{ServerConfig, TrackingMode};
+use crate::locks::LockManager;
+use crate::wal::{DurableState, KvEffect, WalOp};
+
+/// Counters describing what a server has done; read by tests and by the
+/// evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Client operations answered (including errors).
+    pub ops_completed: u64,
+    /// Client operations that failed.
+    pub ops_failed: u64,
+    /// Aggregations this server initiated as directory owner.
+    pub aggregations: u64,
+    /// Change-log entries applied to directories this server owns.
+    pub entries_applied: u64,
+    /// Entries that change-log compaction merged away before applying.
+    pub entries_compacted_away: u64,
+    /// Proactive change-log pushes sent.
+    pub pushes_sent: u64,
+    /// Proactive change-log pushes received and applied.
+    pub pushes_received: u64,
+    /// Asynchronous commits that overflowed the dirty set and fell back to a
+    /// synchronous update.
+    pub fallback_syncs: u64,
+    /// Synchronous remote directory updates served (baseline path and
+    /// overflow fallback).
+    pub remote_updates: u64,
+    /// Retransmissions performed by this server.
+    pub retransmissions: u64,
+    /// Crash recoveries completed.
+    pub recoveries: u64,
+}
+
+/// Reply delivered to a waiting double-inode handler when its asynchronous
+/// commit resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CommitSignal {
+    /// The switch stored the fingerprint and mirrored the packet back.
+    Mirrored,
+    /// The insert overflowed; the fallback server applied the update
+    /// synchronously and notified us.
+    FallbackDone,
+}
+
+/// Reply to a token-matched request (coordinator RPC, remote update, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokenReply {
+    /// A dirty-set RPC result.
+    Dirty(DirtyRet),
+    /// A remote update / mark-dirty acknowledgment.
+    Ack,
+    /// A remote update failed.
+    Failed(FsError),
+}
+
+/// Collector for an aggregation this server owns.
+pub(crate) struct AggCollector {
+    pub expected: HashSet<ServerId>,
+    pub entries: Vec<ChangeLogEntry>,
+    pub done: Option<oneshot::Sender<Vec<ChangeLogEntry>>>,
+}
+
+/// The volatile state of a metadata server. Rebuilt from the WAL after a
+/// crash.
+pub(crate) struct ServerInner {
+    /// Inode store: `(pid, name)` → attributes.
+    pub inodes: KvStore<MetaKey, InodeAttrs>,
+    /// Entry-list store: `(directory id, entry name)` → entry.
+    pub entries: KvStore<(DirId, String), DirEntry>,
+    /// Index of directories this server owns: id → key.
+    pub dir_index: HashMap<DirId, MetaKey>,
+    /// Per-directory change-logs of deferred updates to remote parents.
+    pub changelogs: ChangeLogStore,
+    /// Invalidation list (§5.2): directories removed/renamed elsewhere whose
+    /// client cache entries must be invalidated lazily.
+    pub invalidation: HashMap<DirId, MetaKey>,
+    /// Remote change-log entries already applied (duplicate suppression).
+    pub applied_entry_ids: HashSet<OpId>,
+    /// Responses already sent, re-sent verbatim on duplicate requests.
+    pub completed_ops: HashMap<OpId, ClientResponse>,
+    /// Local software dirty set, used in [`TrackingMode::OwnerServer`].
+    pub local_dirty: SoftwareDirtySet,
+    /// Per-fingerprint time of the last received proactive push, driving
+    /// owner-side proactive aggregation.
+    pub push_timers: HashMap<u64, SimTime>,
+    /// Counter used to build fresh directory ids.
+    pub dir_counter: u64,
+    /// Counter for request tokens, aggregation ids and packet sequences.
+    pub next_token: u64,
+    /// Monotonic remove-sequence number for dirty-set removes (§5.4.1).
+    pub remove_seq: u64,
+    /// Pending asynchronous commits: token → waker.
+    pub pending_commits: HashMap<u64, oneshot::Sender<CommitSignal>>,
+    /// Pending token-matched acknowledgments.
+    pub pending_tokens: HashMap<u64, oneshot::Sender<TokenReply>>,
+    /// Aggregations in flight, keyed by aggregation id.
+    pub pending_aggs: HashMap<u64, AggCollector>,
+    /// Remote-side aggregation lock holders waiting for the owner's ack.
+    pub pending_agg_acks: HashMap<u64, oneshot::Sender<()>>,
+    /// Rename transactions prepared on this participant, awaiting a decision.
+    pub prepared_txns: HashMap<u64, crate::server::rename::PreparedTxn>,
+    /// Coordinator-side routing of transaction votes to waiting tokens.
+    pub txn_vote_tokens: HashMap<u64, u64>,
+    /// Whether the server is currently crashed (drops all work).
+    pub crashed: bool,
+    /// Whether the server is recovering or migrating (rejects client work).
+    pub unavailable: bool,
+    /// Whether background loops should terminate (end of experiment).
+    pub shutdown: bool,
+    /// Statistics.
+    pub stats: ServerStats,
+}
+
+impl ServerInner {
+    fn new() -> Self {
+        ServerInner {
+            inodes: KvStore::new(),
+            entries: KvStore::new(),
+            dir_index: HashMap::new(),
+            changelogs: ChangeLogStore::new(),
+            invalidation: HashMap::new(),
+            applied_entry_ids: HashSet::new(),
+            completed_ops: HashMap::new(),
+            local_dirty: SoftwareDirtySet::new(),
+            push_timers: HashMap::new(),
+            dir_counter: 0,
+            next_token: 1,
+            remove_seq: 0,
+            pending_commits: HashMap::new(),
+            pending_tokens: HashMap::new(),
+            pending_aggs: HashMap::new(),
+            pending_agg_acks: HashMap::new(),
+            prepared_txns: HashMap::new(),
+            txn_vote_tokens: HashMap::new(),
+            crashed: false,
+            unavailable: false,
+            shutdown: false,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Applies one replayable effect to the volatile stores.
+    pub fn apply_effect(&mut self, effect: &KvEffect) {
+        match effect {
+            KvEffect::PutInode(k, v) => {
+                self.inodes.put(k.clone(), v.clone());
+            }
+            KvEffect::DeleteInode(k) => {
+                self.inodes.delete(k);
+            }
+            KvEffect::PutEntry(dir, e) => {
+                self.entries.put((*dir, e.name.clone()), e.clone());
+            }
+            KvEffect::DeleteEntry(dir, name) => {
+                self.entries.delete(&(*dir, name.clone()));
+            }
+            KvEffect::IndexDir(id, key) => {
+                self.dir_index.insert(*id, key.clone());
+            }
+            KvEffect::UnindexDir(id) => {
+                self.dir_index.remove(id);
+            }
+            KvEffect::Invalidate(id, key) => {
+                self.invalidation.insert(*id, key.clone());
+            }
+        }
+    }
+}
+
+/// One SwitchFS metadata server, bound to a simulated network endpoint.
+#[derive(Clone)]
+pub struct Server {
+    pub(crate) handle: SimHandle,
+    pub(crate) cpu: CpuPool,
+    pub(crate) endpoint: Rc<Endpoint<NetMsg>>,
+    pub(crate) cfg: Rc<ServerConfig>,
+    pub(crate) inner: Rc<RefCell<ServerInner>>,
+    pub(crate) durable: Rc<RefCell<DurableState>>,
+    pub(crate) locks: LockManager,
+}
+
+impl Server {
+    /// Creates a server bound to `endpoint`. `durable` is the crash-surviving
+    /// WAL/checkpoint bundle owned by the cluster harness.
+    pub fn new(
+        handle: SimHandle,
+        endpoint: Endpoint<NetMsg>,
+        cfg: ServerConfig,
+        durable: Rc<RefCell<DurableState>>,
+    ) -> Self {
+        let cpu = CpuPool::new(handle.clone(), cfg.cores);
+        Server {
+            handle,
+            cpu,
+            endpoint: Rc::new(endpoint),
+            cfg: Rc::new(cfg),
+            inner: Rc::new(RefCell::new(ServerInner::new())),
+            durable,
+            locks: LockManager::new(),
+        }
+    }
+
+    /// This server's identity.
+    pub fn id(&self) -> ServerId {
+        self.cfg.id
+    }
+
+    /// This server's network node.
+    pub fn node(&self) -> NodeId {
+        self.cfg.node
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.borrow().stats
+    }
+
+    /// Number of change-log entries waiting to be applied remotely.
+    pub fn pending_changelog_entries(&self) -> usize {
+        self.inner.borrow().changelogs.total_pending()
+    }
+
+    /// Number of inodes stored on this server.
+    pub fn inode_count(&self) -> usize {
+        self.inner.borrow().inodes.len()
+    }
+
+    /// Looks up an inode directly (test/verification helper; does not charge
+    /// simulated cost).
+    pub fn peek_inode(&self, key: &MetaKey) -> Option<InodeAttrs> {
+        self.inner.borrow().inodes.peek(key).cloned()
+    }
+
+    /// Lists a directory's entry names directly (test/verification helper).
+    pub fn peek_entries(&self, dir: &DirId) -> Vec<String> {
+        let inner = self.inner.borrow();
+        inner
+            .entries
+            .iter()
+            .filter(|((d, _), _)| d == dir)
+            .map(|((_, name), _)| name.clone())
+            .collect()
+    }
+
+    /// Starts the server: spawns the packet loop and, if enabled, the
+    /// proactive push/aggregation loop.
+    pub fn start(&self) {
+        let me = self.clone();
+        self.handle.spawn(async move { me.run_loop().await });
+        if self.cfg.proactive.enabled {
+            let me = self.clone();
+            self.handle.spawn(async move { me.proactive_loop().await });
+        }
+    }
+
+    async fn run_loop(&self) {
+        loop {
+            let Some(pkt) = self.endpoint.recv().await else {
+                return;
+            };
+            if self.inner.borrow().crashed {
+                continue;
+            }
+            let me = self.clone();
+            self.handle.spawn(async move {
+                me.dispatch(pkt.src, pkt.payload).await;
+            });
+        }
+    }
+
+    async fn dispatch(&self, src: NodeId, msg: NetMsg) {
+        if self.inner.borrow().crashed {
+            return;
+        }
+        let dirty_ret = msg.dirty.map(|h| h.ret);
+        match msg.body {
+            Body::Request(req) => self.handle_client_request(src, req, dirty_ret).await,
+            Body::Server(smsg) => self.handle_server_msg(src, smsg, dirty_ret).await,
+            Body::Coord(CoordMsg::Reply { token, ret }) => {
+                self.complete_token(token, TokenReply::Dirty(ret));
+            }
+            Body::Coord(CoordMsg::Request { .. }) => {
+                // Metadata servers are not coordinators; ignore.
+            }
+            Body::Response(_) | Body::Empty => {}
+        }
+    }
+
+    async fn handle_client_request(
+        &self,
+        client_node: NodeId,
+        req: ClientRequest,
+        dirty_ret: Option<DirtyRet>,
+    ) {
+        // Duplicate suppression: a retransmitted request gets the cached
+        // response back without re-executing. (Bind the lookup first so the
+        // RefCell borrow is released before sending.)
+        let cached = self.inner.borrow().completed_ops.get(&req.op_id).cloned();
+        if let Some(resp) = cached {
+            self.send_plain(client_node, Body::Response(resp));
+            return;
+        }
+        if self.inner.borrow().unavailable {
+            self.reply(
+                client_node,
+                req.op_id,
+                OpResult::Err(FsError::Unavailable),
+            );
+            return;
+        }
+        let result = match &req.op {
+            MetaOp::Create { .. } | MetaOp::Delete { .. } | MetaOp::Mkdir { .. } => {
+                self.handle_double_inode(client_node, &req).await
+            }
+            MetaOp::Rmdir { .. } => self.handle_rmdir(client_node, &req).await,
+            MetaOp::Statdir { .. } | MetaOp::Readdir { .. } => {
+                Some(self.handle_dir_read(&req, dirty_ret).await)
+            }
+            MetaOp::Rename { .. } => Some(self.handle_rename(&req).await),
+            _ => Some(self.handle_single_inode(&req).await),
+        };
+        // `None` means the operation replies through the switch multicast
+        // (asynchronous commit); anything else is replied here.
+        if let Some(result) = result {
+            self.reply(client_node, req.op_id, result);
+        }
+    }
+
+    async fn handle_server_msg(&self, src: NodeId, msg: ServerMsg, dirty_ret: Option<DirtyRet>) {
+        match msg {
+            ServerMsg::AsyncCommit {
+                response,
+                origin,
+                op_token,
+                fallback,
+            } => {
+                self.handle_async_commit_packet(src, response, origin, op_token, fallback, dirty_ret)
+                    .await;
+            }
+            ServerMsg::AggregationRequest { agg, invalidate } => {
+                self.handle_aggregation_request(agg, invalidate).await;
+            }
+            ServerMsg::AggregationEntries { agg, from, entries } => {
+                self.handle_aggregation_entries(agg, from, entries);
+            }
+            ServerMsg::AggregationAck { agg } => {
+                self.handle_aggregation_ack(agg);
+            }
+            ServerMsg::ChangeLogPush {
+                dir_key,
+                fp,
+                from,
+                entries,
+            } => {
+                self.handle_changelog_push(dir_key, fp, from, entries).await;
+            }
+            ServerMsg::ChangeLogPushAck { dir_key, applied } => {
+                self.handle_push_ack(dir_key, applied);
+            }
+            ServerMsg::RemoteDirUpdate {
+                req_id,
+                dir_key,
+                entry,
+            } => {
+                self.handle_remote_dir_update(src, req_id, dir_key, entry).await;
+            }
+            ServerMsg::RemoteDirUpdateAck { req_id, result } => {
+                let reply = match result {
+                    Ok(()) => TokenReply::Ack,
+                    Err(e) => TokenReply::Failed(e),
+                };
+                self.complete_token(req_id, reply);
+            }
+            ServerMsg::FallbackDone { op_token, entry_id } => {
+                self.handle_fallback_done(op_token, entry_id);
+            }
+            ServerMsg::MarkDirty { req_id, fp } => {
+                self.handle_mark_dirty(src, req_id, fp).await;
+            }
+            ServerMsg::MarkDirtyAck { req_id } => {
+                self.complete_token(req_id, TokenReply::Ack);
+            }
+            ServerMsg::InvalidationBroadcast { dir_id, dir_key } => {
+                self.apply_and_log(
+                    None,
+                    vec![KvEffect::Invalidate(dir_id, dir_key)],
+                    None,
+                    Vec::new(),
+                )
+                .await;
+            }
+            ServerMsg::InvalidationRevoke { dir_id } => {
+                self.inner.borrow_mut().invalidation.remove(&dir_id);
+            }
+            ServerMsg::TxnPrepare {
+                txn_id,
+                coordinator,
+                ops,
+            } => {
+                self.handle_txn_prepare(txn_id, coordinator, ops).await;
+            }
+            ServerMsg::TxnVote { txn_id, from, ok } => {
+                self.handle_txn_vote(txn_id, from, ok);
+            }
+            ServerMsg::TxnCommit { txn_id } => {
+                self.handle_txn_decision(txn_id, true).await;
+            }
+            ServerMsg::TxnAbort { txn_id } => {
+                self.handle_txn_decision(txn_id, false).await;
+            }
+            ServerMsg::RecoveryCloneInvalidation { from } => {
+                let list: Vec<(DirId, MetaKey)> = self
+                    .inner
+                    .borrow()
+                    .invalidation
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                self.send_plain(
+                    self.cfg.node_of(from),
+                    Body::Server(ServerMsg::RecoveryInvalidationList { list }),
+                );
+            }
+            ServerMsg::RecoveryInvalidationList { list } => {
+                let mut inner = self.inner.borrow_mut();
+                for (id, key) in list {
+                    inner.invalidation.insert(id, key);
+                }
+            }
+            ServerMsg::InitDirContent {
+                req_id,
+                dir_id,
+                key,
+                attrs,
+            } => {
+                // Baseline helper: register a directory's content replica on
+                // the server that will hold its children.
+                self.cpu
+                    .run(self.cfg.costs.software_path + self.cfg.costs.kv_put)
+                    .await;
+                self.apply_and_log(
+                    None,
+                    vec![
+                        KvEffect::PutInode(key.clone(), attrs),
+                        KvEffect::IndexDir(dir_id, key),
+                    ],
+                    None,
+                    Vec::new(),
+                )
+                .await;
+                self.send_plain(
+                    src,
+                    Body::Server(ServerMsg::InitDirContentAck { req_id }),
+                );
+            }
+            ServerMsg::InitDirContentAck { req_id } => {
+                self.complete_token(req_id, TokenReply::Ack);
+            }
+            ServerMsg::RemoteTxnOp { req_id, op } => {
+                self.cpu.run(self.cfg.costs.software_path).await;
+                self.apply_txn_ops(std::slice::from_ref(&op)).await;
+                self.send_plain(
+                    src,
+                    Body::Server(ServerMsg::RemoteDirUpdateAck {
+                        req_id,
+                        result: Ok(()),
+                    }),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Single-inode operations (§5.2: performed synchronously).
+    // ------------------------------------------------------------------
+
+    async fn handle_single_inode(&self, req: &ClientRequest) -> OpResult {
+        let costs = self.cfg.costs;
+        self.cpu.run(costs.request_overhead()).await;
+        if self.is_stale(&req.ancestors) {
+            return OpResult::Err(FsError::StaleCache);
+        }
+        let key = req.op.primary_key().clone();
+        match &req.op {
+            MetaOp::Stat { .. } | MetaOp::Open { .. } | MetaOp::Lookup { .. } | MetaOp::Close { .. } => {
+                let lock = self.locks.inode(&key);
+                let _g = lock.read().await;
+                self.cpu.run(costs.lock_op + costs.kv_get).await;
+                match self.inner.borrow_mut().inodes.get(&key) {
+                    Some(attrs) => OpResult::Attrs(attrs),
+                    None => OpResult::Err(FsError::NotFound),
+                }
+            }
+            MetaOp::Chmod { mode, .. } => {
+                let lock = self.locks.inode(&key);
+                let _g = lock.write().await;
+                self.cpu
+                    .run(costs.lock_op + costs.kv_get + costs.kv_put + costs.wal_append)
+                    .await;
+                let existing = self.inner.borrow_mut().inodes.get(&key);
+                let Some(mut attrs) = existing else {
+                    return OpResult::Err(FsError::NotFound);
+                };
+                attrs.perm.mode = *mode;
+                attrs.times.ctime = self.now_ns();
+                let effects = vec![KvEffect::PutInode(key.clone(), attrs.clone())];
+                self.apply_and_log(Some(req.op_id), effects, None, Vec::new()).await;
+                OpResult::Done
+            }
+            _ => OpResult::Err(FsError::NotFound),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers shared by the operation modules.
+    // ------------------------------------------------------------------
+
+    /// Current virtual time in nanoseconds (used as the timestamp source).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.handle.now().as_nanos()
+    }
+
+    /// True if any ancestor directory appears in the invalidation list.
+    pub(crate) fn is_stale(&self, ancestors: &[DirId]) -> bool {
+        let inner = self.inner.borrow();
+        ancestors.iter().any(|a| inner.invalidation.contains_key(a))
+    }
+
+    /// Allocates a fresh token / aggregation id.
+    pub(crate) fn next_token(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let t = inner.next_token;
+        inner.next_token += 1;
+        t
+    }
+
+    /// Allocates the next dirty-set remove sequence number (§5.4.1).
+    pub(crate) fn next_remove_seq(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.remove_seq += 1;
+        inner.remove_seq
+    }
+
+    fn next_pkt_seq(&self) -> PacketSeq {
+        PacketSeq {
+            sender: self.cfg.node.0,
+            seq: self.next_token(),
+        }
+    }
+
+    /// Sends a plain (no dirty-set header) packet.
+    pub(crate) fn send_plain(&self, dst: NodeId, body: Body) {
+        let msg = NetMsg::plain(self.next_pkt_seq(), body);
+        self.endpoint.send(dst, msg);
+    }
+
+    /// Sends a packet carrying a dirty-set operation header.
+    pub(crate) fn send_dirty(
+        &self,
+        dst: NodeId,
+        hdr: switchfs_proto::DirtySetHeader,
+        body: Body,
+    ) {
+        let msg = NetMsg::with_dirty(self.next_pkt_seq(), hdr, body);
+        self.endpoint.send(dst, msg);
+    }
+
+    /// Sends a response to a client and records it for duplicate suppression.
+    pub(crate) fn reply(&self, client_node: NodeId, op_id: OpId, result: OpResult) {
+        let response = ClientResponse {
+            op_id,
+            result,
+            server: self.cfg.id,
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.ops_completed += 1;
+            if !response.result.is_ok() {
+                inner.stats.ops_failed += 1;
+            }
+            inner.completed_ops.insert(op_id, response.clone());
+        }
+        self.send_plain(client_node, Body::Response(response));
+    }
+
+    /// Builds the response object without sending it (the asynchronous commit
+    /// path lets the switch deliver it).
+    pub(crate) fn make_response(&self, op_id: OpId, result: OpResult) -> ClientResponse {
+        let response = ClientResponse {
+            op_id,
+            result,
+            server: self.cfg.id,
+        };
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.ops_completed += 1;
+        inner.completed_ops.insert(op_id, response.clone());
+        response
+    }
+
+    /// Completes a token-matched wait, if still registered.
+    pub(crate) fn complete_token(&self, token: u64, reply: TokenReply) {
+        let tx = self.inner.borrow_mut().pending_tokens.remove(&token);
+        if let Some(tx) = tx {
+            let _ = tx.send(reply);
+        }
+    }
+
+    /// Registers a token-matched wait and returns its receiver.
+    pub(crate) fn register_token(&self, token: u64) -> oneshot::Receiver<TokenReply> {
+        let (tx, rx) = oneshot::channel();
+        self.inner.borrow_mut().pending_tokens.insert(token, tx);
+        rx
+    }
+
+    /// Sends `body` to `dst` and waits for a token-matched acknowledgment,
+    /// retransmitting on timeout (§5.4.1). Returns `None` after exhausting
+    /// the retry budget.
+    pub(crate) async fn send_with_ack(&self, dst: NodeId, token: u64, body: Body) -> Option<TokenReply> {
+        for attempt in 0..=self.cfg.costs.max_retries {
+            if attempt > 0 {
+                self.inner.borrow_mut().stats.retransmissions += 1;
+            }
+            let rx = self.register_token(token);
+            self.send_plain(dst, body.clone());
+            match timeout(&self.handle, self.cfg.costs.request_timeout, rx.recv()).await {
+                Some(Ok(reply)) => return Some(reply),
+                _ => {
+                    self.inner.borrow_mut().pending_tokens.remove(&token);
+                }
+            }
+        }
+        None
+    }
+
+    /// Appends a WAL record, applies its effects to the volatile stores and
+    /// charges the corresponding storage costs.
+    pub(crate) async fn apply_and_log(
+        &self,
+        op_id: Option<OpId>,
+        effects: Vec<KvEffect>,
+        pending_entry: Option<(DirId, MetaKey, ChangeLogEntry)>,
+        applied_entry_ids: Vec<OpId>,
+    ) -> u64 {
+        let costs = self.cfg.costs;
+        let kv_cost = costs.kv_put * effects.len().max(1) as u64;
+        self.cpu.run(costs.wal_append + kv_cost).await;
+        let record = WalOp {
+            op_id,
+            effects,
+            pending_entry,
+            applied_entry_ids: applied_entry_ids.clone(),
+        };
+        let size = record.wire_size();
+        let lsn = self.durable.borrow_mut().wal.append_sized(record.clone(), size);
+        {
+            let mut inner = self.inner.borrow_mut();
+            for e in &record.effects {
+                inner.apply_effect(e);
+            }
+            for id in applied_entry_ids {
+                inner.applied_entry_ids.insert(id);
+            }
+        }
+        lsn
+    }
+
+    /// Broadcasts an invalidation-list append to every other server.
+    pub(crate) fn broadcast_invalidation(&self, dir_id: DirId, dir_key: MetaKey) {
+        for other in self.cfg.other_servers() {
+            self.send_plain(
+                self.cfg.node_of(other),
+                Body::Server(ServerMsg::InvalidationBroadcast {
+                    dir_id,
+                    dir_key: dir_key.clone(),
+                }),
+            );
+        }
+    }
+
+    /// Resolves the dirty state of a fingerprint according to the tracking
+    /// mode: the value attached by the switch, a coordinator RPC, or the
+    /// local software set.
+    pub(crate) async fn dirty_state_for_read(
+        &self,
+        fp: Fingerprint,
+        attached: Option<DirtyRet>,
+    ) -> DirtyState {
+        match self.cfg.tracking {
+            TrackingMode::InNetwork => match attached {
+                Some(DirtyRet::State(s)) => s,
+                // Without switch information be conservative: aggregating an
+                // already-clean group is correct, just slower.
+                _ => DirtyState::Scattered,
+            },
+            TrackingMode::DedicatedServer(coord) => {
+                let token = self.next_token();
+                let rx = self.register_token(token);
+                self.send_plain(
+                    coord,
+                    Body::Coord(CoordMsg::Request {
+                        token,
+                        op: DirtySetOp::Query,
+                        fp,
+                        seq: 0,
+                    }),
+                );
+                match timeout(&self.handle, self.cfg.costs.request_timeout, rx.recv()).await {
+                    Some(Ok(TokenReply::Dirty(DirtyRet::State(s)))) => s,
+                    _ => DirtyState::Scattered,
+                }
+            }
+            TrackingMode::OwnerServer => {
+                if self.inner.borrow_mut().local_dirty.query(fp) {
+                    DirtyState::Scattered
+                } else {
+                    DirtyState::Normal
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading (experiment setup) and direct state inspection.
+    // ------------------------------------------------------------------
+
+    /// Directly installs a directory inode this server owns, without going
+    /// through the protocol. Used to pre-populate experiment namespaces
+    /// (e.g. "10 million files in 1024 directories") at setup time.
+    pub fn preload_dir(&self, key: MetaKey, id: DirId, now: u64) {
+        let attrs = InodeAttrs::new_dir(id, now, Default::default());
+        let mut inner = self.inner.borrow_mut();
+        inner.inodes.put(key.clone(), attrs);
+        inner.dir_index.insert(id, key);
+    }
+
+    /// Directly installs a file inode (and optionally counts it in the parent
+    /// directory entry list if this server also owns the parent).
+    pub fn preload_file(&self, key: MetaKey, now: u64) {
+        let id = DirId::generate(self.cfg.id, {
+            let mut inner = self.inner.borrow_mut();
+            inner.dir_counter += 1;
+            inner.dir_counter
+        });
+        let attrs = InodeAttrs::new_file(id, now, Default::default());
+        self.inner.borrow_mut().inodes.put(key, attrs);
+    }
+
+    /// Directly installs a directory entry on the owner of the directory.
+    pub fn preload_entry(&self, dir: DirId, entry: DirEntry) {
+        self.inner.borrow_mut().entries.put((dir, entry.name.clone()), entry);
+    }
+
+    /// Directly bumps a preloaded directory's entry count so `statdir`
+    /// reports a size consistent with preloaded entries.
+    pub fn preload_dir_size(&self, key: &MetaKey, size: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(attrs) = inner.inodes.peek(key).cloned() {
+            let mut attrs = attrs;
+            attrs.size = size;
+            inner.inodes.put(key.clone(), attrs);
+        }
+    }
+
+    /// Generates a fresh directory id.
+    pub(crate) fn fresh_dir_id(&self) -> DirId {
+        let mut inner = self.inner.borrow_mut();
+        inner.dir_counter += 1;
+        DirId::generate(self.cfg.id, inner.dir_counter)
+    }
+
+    /// Builds a change-log entry for a deferred parent-directory update.
+    pub(crate) fn make_entry(
+        &self,
+        op_id: OpId,
+        parent_id: DirId,
+        name: &str,
+        op: switchfs_proto::ChangeOp,
+        size_delta: i64,
+    ) -> ChangeLogEntry {
+        ChangeLogEntry {
+            entry_id: op_id,
+            dir: parent_id,
+            name: name.to_string(),
+            op,
+            timestamp: self.now_ns(),
+            size_delta,
+        }
+    }
+
+    /// Applies a single change-log entry to a locally-owned directory inode
+    /// and entry list, returning the KV effects (shared by the aggregation,
+    /// push, fallback and baseline remote-update paths).
+    pub(crate) fn entry_effects(&self, dir_key: &MetaKey, entry: &ChangeLogEntry) -> Vec<KvEffect> {
+        let mut effects = Vec::new();
+        let inner = self.inner.borrow();
+        let Some(attrs) = inner.inodes.peek(dir_key) else {
+            return effects;
+        };
+        let mut attrs = attrs.clone();
+        attrs.size = (attrs.size as i64 + entry.size_delta).max(0) as u64;
+        let mut times = Timestamps::at(entry.timestamp);
+        times.atime = attrs.times.atime;
+        attrs.times.merge_max(&times);
+        effects.push(KvEffect::PutInode(dir_key.clone(), attrs));
+        match entry.op {
+            switchfs_proto::ChangeOp::Insert { file_type, mode } => {
+                effects.push(KvEffect::PutEntry(
+                    entry.dir,
+                    DirEntry {
+                        name: entry.name.clone(),
+                        file_type,
+                        mode,
+                    },
+                ));
+            }
+            switchfs_proto::ChangeOp::Remove => {
+                effects.push(KvEffect::DeleteEntry(entry.dir, entry.name.clone()));
+            }
+        }
+        effects
+    }
+
+    /// Reads a directory's attributes and entries for `readdir`, charging the
+    /// per-entry scan cost.
+    pub(crate) async fn read_listing(&self, key: &MetaKey) -> Option<(InodeAttrs, Vec<DirEntry>)> {
+        let attrs = self.inner.borrow_mut().inodes.get(key)?;
+        if attrs.file_type != FileType::Directory {
+            return None;
+        }
+        let entries: Vec<DirEntry> = {
+            let mut inner = self.inner.borrow_mut();
+            let dir = attrs.id;
+            inner
+                .entries
+                .scan_while(&(dir, String::new()), |(d, _)| *d == dir)
+                .into_iter()
+                .map(|(_, e)| e)
+                .collect()
+        };
+        let scan_cost = self.cfg.costs.readdir_per_entry * entries.len().max(1) as u64;
+        self.cpu.run(self.cfg.costs.kv_get + scan_cost).await;
+        Some((attrs, entries))
+    }
+
+    /// Marks the server crashed: volatile state will be rebuilt by
+    /// [`Server::recover`]. The caller should also mark the node down in the
+    /// network so in-flight packets are dropped.
+    pub fn crash(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.crashed = true;
+        inner.unavailable = true;
+    }
+
+    /// True if the server is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.borrow().crashed
+    }
+
+    /// Marks the server available again after recovery or reconfiguration.
+    pub fn set_available(&self, available: bool) {
+        self.inner.borrow_mut().unavailable = !available;
+    }
+
+    /// Pause serving client requests (used by stop-the-world
+    /// reconfiguration, §5.5).
+    pub fn set_unavailable(&self) {
+        self.inner.borrow_mut().unavailable = true;
+    }
+
+    /// Asks the background proactive loop to stop at its next wake-up so the
+    /// simulation can quiesce at the end of an experiment.
+    pub fn stop_background(&self) {
+        self.inner.borrow_mut().shutdown = true;
+    }
+
+    /// Restarts the background proactive loop after [`Server::stop_background`].
+    pub fn restart_background(&self) {
+        let was_shutdown = {
+            let mut inner = self.inner.borrow_mut();
+            let was = inner.shutdown;
+            inner.shutdown = false;
+            was
+        };
+        if was_shutdown && self.cfg.proactive.enabled {
+            let me = self.clone();
+            self.handle.spawn(async move { me.proactive_loop().await });
+        }
+    }
+
+    /// Whether this server currently owns (stores the inode of) `key`.
+    pub fn owns_inode(&self, key: &MetaKey) -> bool {
+        self.inner.borrow().inodes.contains(key)
+    }
+
+    /// The cost model in effect (shared with benches).
+    pub fn costs(&self) -> crate::costs::CostModel {
+        self.cfg.costs
+    }
+}

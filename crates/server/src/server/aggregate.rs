@@ -1,0 +1,621 @@
+//! Directory reads, metadata aggregation, change-log compaction and the
+//! proactive push / aggregation machinery (§5.2.2, §5.3).
+
+use std::collections::HashSet;
+
+use switchfs_proto::message::{AggregationPayload, Body, ClientRequest, ServerMsg};
+use switchfs_proto::{
+    changelog::CompactedChanges, ChangeLogEntry, ChangeOp, DirEntry, DirId, DirtyRet,
+    DirtySetHeader, DirtySetOp, DirtyState, Fingerprint, FsError, MetaKey, OpId, OpResult,
+    Placement, ServerId, Timestamps,
+};
+use switchfs_proto::message::{CoordMsg, MetaOp};
+use switchfs_simnet::timeout;
+
+use crate::config::{TrackingMode, UpdateMode};
+use crate::server::{AggCollector, Server};
+use crate::wal::KvEffect;
+
+impl Server {
+    /// Handles `statdir` and `readdir` (§5.2.2). The dirty-set query result
+    /// attached by the switch decides whether an aggregation is needed.
+    pub(crate) async fn handle_dir_read(
+        &self,
+        req: &ClientRequest,
+        dirty_ret: Option<DirtyRet>,
+    ) -> OpResult {
+        let costs = self.cfg.costs;
+        self.cpu.run(costs.request_overhead()).await;
+        if self.is_stale(&req.ancestors) {
+            return OpResult::Err(FsError::StaleCache);
+        }
+        let key = req.op.primary_key().clone();
+        let want_listing = matches!(req.op, MetaOp::Readdir { .. });
+        if self.cfg.update_mode == UpdateMode::Synchronous {
+            // Baseline systems read directories in place: the inode is always
+            // up to date, no dirty-set involvement.
+            let lock = self.locks.inode(&key);
+            let _g = lock.read().await;
+            self.cpu.run(costs.lock_op + costs.kv_get).await;
+            return self.finish_dir_read(&key, want_listing).await;
+        }
+        let fp = Fingerprint::of_dir(&key.pid, &key.name);
+        let state = self.dirty_state_for_read(fp, dirty_ret).await;
+
+        if state == DirtyState::Scattered {
+            // Aggregation path: block every directory read of the fingerprint
+            // group, pull the change-logs, apply them, then serve the read.
+            let fpg = self.locks.fp_group(fp);
+            let _w = fpg.write().await;
+            self.cpu.run(costs.lock_op).await;
+            // The directory may have been removed concurrently.
+            if self.inner.borrow().inodes.peek(&key).is_none() {
+                return OpResult::Err(FsError::NotFound);
+            }
+            self.aggregate_group(fp, None).await;
+            self.finish_dir_read(&key, want_listing).await
+        } else {
+            // Normal state: a plain read, serialized after any in-flight
+            // aggregation of the same group.
+            let fpg = self.locks.fp_group(fp);
+            let _r = fpg.read().await;
+            let lock = self.locks.inode(&key);
+            let _g = lock.read().await;
+            self.cpu.run(costs.lock_op + costs.kv_get).await;
+            self.finish_dir_read(&key, want_listing).await
+        }
+    }
+
+    async fn finish_dir_read(&self, key: &MetaKey, want_listing: bool) -> OpResult {
+        if want_listing {
+            match self.read_listing(key).await {
+                Some((attrs, entries)) => OpResult::Listing { attrs, entries },
+                None => OpResult::Err(FsError::NotFound),
+            }
+        } else {
+            match self.inner.borrow_mut().inodes.get(key) {
+                Some(attrs) if attrs.is_dir() => OpResult::Attrs(attrs),
+                Some(_) => OpResult::Err(FsError::NotADirectory),
+                None => OpResult::Err(FsError::NotFound),
+            }
+        }
+    }
+
+    /// Runs one aggregation for a fingerprint group this server owns.
+    ///
+    /// The caller must hold the fingerprint-group write lock. Returns the
+    /// number of change-log entries applied.
+    pub(crate) async fn aggregate_group(
+        &self,
+        fp: Fingerprint,
+        invalidate: Option<(DirId, MetaKey)>,
+    ) -> usize {
+        let costs = self.cfg.costs;
+        let others = self.cfg.other_servers();
+        let agg_id = self.next_token();
+        let payload = AggregationPayload {
+            fp,
+            agg_id,
+            owner: self.cfg.id,
+        };
+
+        // Locally-held entries for directories in this group (the file owner
+        // and the directory owner can be the same server).
+        let local_entries: Vec<ChangeLogEntry> = {
+            let inner = self.inner.borrow();
+            inner.changelogs.snapshot_group(fp)
+        };
+
+        // Collect remote change-logs, retrying lost requests (§5.4.1).
+        let mut remote_entries: Vec<ChangeLogEntry> = Vec::new();
+        let mut responders: HashSet<ServerId> = HashSet::new();
+        if !others.is_empty() {
+            let mut attempt = 0;
+            loop {
+                let (tx, rx) = switchfs_simnet::sync::oneshot::channel();
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.pending_aggs.insert(
+                        agg_id,
+                        AggCollector {
+                            expected: others.iter().copied().collect(),
+                            entries: Vec::new(),
+                            done: Some(tx),
+                        },
+                    );
+                }
+                self.send_aggregation_request(&payload, invalidate.clone());
+                let wait = timeout(
+                    &self.handle,
+                    costs.request_timeout * (attempt as u64 + 2),
+                    rx.recv(),
+                )
+                .await;
+                match wait {
+                    Some(Ok(entries)) => {
+                        self.inner.borrow_mut().pending_aggs.remove(&agg_id);
+                        responders = others.iter().copied().collect();
+                        remote_entries = entries;
+                        break;
+                    }
+                    _ => {
+                        // Timeout: collect whatever arrived so far, then
+                        // retry with a fresh multicast.
+                        let collector = self.inner.borrow_mut().pending_aggs.remove(&agg_id);
+                        if let Some(c) = collector {
+                            responders.extend(
+                                others
+                                    .iter()
+                                    .copied()
+                                    .filter(|s| !c.expected.contains(s)),
+                            );
+                            remote_entries = c.entries;
+                        }
+                        attempt += 1;
+                        self.inner.borrow_mut().stats.retransmissions += 1;
+                        if attempt > costs.max_retries {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Filter out anything already applied (duplicate aggregations,
+        // re-sent entries).
+        let mut entries: Vec<ChangeLogEntry> = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            for e in local_entries.into_iter().chain(remote_entries.into_iter()) {
+                if !inner.applied_entry_ids.contains(&e.entry_id) {
+                    entries.push(e);
+                }
+            }
+        }
+        let applied = self.apply_entries_to_owned_dirs(fp, &entries).await;
+
+        // Acknowledge the responders so they can mark their entries applied
+        // and release their change-log locks (§5.2.2 steps 9a/9b).
+        for s in &responders {
+            self.send_plain(
+                self.cfg.node_of(*s),
+                Body::Server(ServerMsg::AggregationAck { agg: payload.clone() }),
+            );
+        }
+        // The owner's own deferred entries for this group are now applied.
+        let own_ids: HashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.changelogs.discard_applied_in_group(fp, &own_ids);
+            inner.push_timers.remove(&fp.raw());
+            inner.stats.aggregations += 1;
+        }
+        self.durable.borrow_mut().wal.mark_applied_where(|rec| {
+            rec.pending_entry
+                .as_ref()
+                .map(|(_, _, e)| own_ids.contains(&e.entry_id))
+                .unwrap_or(false)
+        });
+        applied
+    }
+
+    /// Sends the aggregation request according to the tracking mode: through
+    /// the switch (which removes the fingerprint and multicasts), or by
+    /// removing the state locally / at the coordinator and unicasting.
+    fn send_aggregation_request(
+        &self,
+        payload: &AggregationPayload,
+        invalidate: Option<(DirId, MetaKey)>,
+    ) {
+        let body = Body::Server(ServerMsg::AggregationRequest {
+            agg: payload.clone(),
+            invalidate,
+        });
+        match self.cfg.tracking {
+            TrackingMode::InNetwork => {
+                let seq = self.next_remove_seq();
+                let hdr = DirtySetHeader::remove(payload.fp, seq);
+                // Destination is nominally this server; the switch replaces it
+                // with a multicast to every other metadata server.
+                self.send_dirty(self.cfg.node, hdr, body);
+            }
+            TrackingMode::DedicatedServer(coord) => {
+                let token = self.next_token();
+                self.send_plain(
+                    coord,
+                    Body::Coord(CoordMsg::Request {
+                        token,
+                        op: DirtySetOp::Remove,
+                        fp: payload.fp,
+                        seq: self.next_remove_seq(),
+                    }),
+                );
+                for s in self.cfg.other_servers() {
+                    self.send_plain(self.cfg.node_of(s), body.clone());
+                }
+            }
+            TrackingMode::OwnerServer => {
+                self.inner.borrow_mut().local_dirty.remove(payload.fp);
+                for s in self.cfg.other_servers() {
+                    self.send_plain(self.cfg.node_of(s), body.clone());
+                }
+            }
+        }
+    }
+
+    /// Applies change-log entries to the directories of a fingerprint group
+    /// owned by this server, with or without compaction depending on the
+    /// update mode (Fig. 14's "+Async" vs "+Compaction").
+    pub(crate) async fn apply_entries_to_owned_dirs(
+        &self,
+        _fp: Fingerprint,
+        entries: &[ChangeLogEntry],
+    ) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        let costs = self.cfg.costs;
+        // Group entries per directory, preserving FIFO order within each.
+        let mut per_dir: Vec<(DirId, Vec<ChangeLogEntry>)> = Vec::new();
+        for e in entries {
+            match per_dir.iter_mut().find(|(d, _)| *d == e.dir) {
+                Some((_, v)) => v.push(e.clone()),
+                None => per_dir.push((e.dir, vec![e.clone()])),
+            }
+        }
+        let mut applied = 0usize;
+        for (dir, dir_entries) in per_dir {
+            let dir_key = {
+                let inner = self.inner.borrow();
+                inner.dir_index.get(&dir).cloned()
+            };
+            let Some(dir_key) = dir_key else {
+                // The directory was removed; its deferred updates are moot,
+                // but they still count as consumed.
+                applied += dir_entries.len();
+                continue;
+            };
+            match self.cfg.update_mode {
+                UpdateMode::AsyncCompacted => {
+                    let compacted = CompactedChanges::from_entries(&dir_entries);
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.stats.entries_compacted_away += compacted.merged_entries as u64;
+                    }
+                    // One attribute update for the whole batch.
+                    let attr_effect = {
+                        let inner = self.inner.borrow();
+                        inner.inodes.peek(&dir_key).cloned().map(|mut attrs| {
+                            attrs.size =
+                                (attrs.size as i64 + compacted.size_delta).max(0) as u64;
+                            let mut t = Timestamps::at(compacted.max_timestamp);
+                            t.atime = attrs.times.atime;
+                            attrs.times.merge_max(&t);
+                            KvEffect::PutInode(dir_key.clone(), attrs)
+                        })
+                    };
+                    let mut effects: Vec<KvEffect> = attr_effect.into_iter().collect();
+                    for (name, op) in &compacted.entry_ops {
+                        match op {
+                            ChangeOp::Insert { file_type, mode } => {
+                                effects.push(KvEffect::PutEntry(
+                                    dir,
+                                    DirEntry {
+                                        name: name.clone(),
+                                        file_type: *file_type,
+                                        mode: *mode,
+                                    },
+                                ));
+                            }
+                            ChangeOp::Remove => {
+                                effects.push(KvEffect::DeleteEntry(dir, name.clone()));
+                            }
+                        }
+                    }
+                    // Entry-list mutations are spread across cores: different
+                    // keys do not conflict, which is what restores
+                    // intra-server parallelism (Fig. 14).
+                    let per_core = entries_chunk_cost(
+                        compacted.entry_ops.len(),
+                        self.cpu.num_cores(),
+                        costs.entry_apply,
+                    );
+                    let mut joins = Vec::new();
+                    for chunk_cost in per_core {
+                        let cpu = self.cpu.clone();
+                        joins.push(self.handle.spawn_with_result(async move {
+                            cpu.run(chunk_cost).await;
+                        }));
+                    }
+                    for j in joins {
+                        j.join().await;
+                    }
+                    let ids: Vec<OpId> = dir_entries.iter().map(|e| e.entry_id).collect();
+                    self.apply_and_log(None, effects, None, ids).await;
+                }
+                UpdateMode::AsyncNoCompaction | UpdateMode::Synchronous => {
+                    // Apply every entry individually and serially: one
+                    // attribute read-modify-write plus one entry mutation per
+                    // deferred update, all under the key-value store's
+                    // serialization (the "+Async" bar of Fig. 14).
+                    for e in &dir_entries {
+                        self.cpu.run(costs.entry_apply + costs.kv_get).await;
+                        let effects = self.entry_effects(&dir_key, e);
+                        self.apply_and_log(None, effects, None, vec![e.entry_id]).await;
+                    }
+                }
+            }
+            applied += dir_entries.len();
+        }
+        self.inner.borrow_mut().stats.entries_applied += applied as u64;
+        applied
+    }
+
+    // ------------------------------------------------------------------
+    // Remote-side aggregation handling.
+    // ------------------------------------------------------------------
+
+    /// Handles an aggregation request multicast by the switch (or unicast by
+    /// the owner in the server-tracking modes): send the matching change-log
+    /// entries to the owner, then hold the change-log read locks until the
+    /// owner's acknowledgment arrives (§5.2.2 step 6 / 9a).
+    pub(crate) async fn handle_aggregation_request(
+        &self,
+        agg: AggregationPayload,
+        invalidate: Option<(DirId, MetaKey)>,
+    ) {
+        let costs = self.cfg.costs;
+        self.cpu.run(costs.software_path).await;
+        if agg.owner == self.cfg.id {
+            // Our own multicast reflected back (possible in the unicast
+            // modes); nothing to do.
+            return;
+        }
+        if let Some((dir_id, dir_key)) = invalidate {
+            self.apply_and_log(
+                None,
+                vec![KvEffect::Invalidate(dir_id, dir_key)],
+                None,
+                Vec::new(),
+            )
+            .await;
+        }
+        // Read-lock every change-log in the fingerprint group while its
+        // entries are in flight.
+        let dirs = {
+            let inner = self.inner.borrow();
+            inner.changelogs.dirs_in_group(agg.fp)
+        };
+        let mut guards = Vec::new();
+        for d in &dirs {
+            let lock = self.locks.changelog(d);
+            guards.push(lock.read().await);
+        }
+        self.cpu.run(costs.lock_op * dirs.len().max(1) as u64).await;
+        let entries = {
+            let inner = self.inner.borrow();
+            inner.changelogs.snapshot_group(agg.fp)
+        };
+        let sent_ids: HashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
+        let owner_node = self.cfg.node_of(agg.owner);
+        self.send_plain(
+            owner_node,
+            Body::Server(ServerMsg::AggregationEntries {
+                agg: agg.clone(),
+                from: self.cfg.id,
+                entries,
+            }),
+        );
+        // Wait for the owner's ack (bounded), then mark the entries applied.
+        let (tx, rx) = switchfs_simnet::sync::oneshot::channel();
+        self.inner.borrow_mut().pending_agg_acks.insert(agg.agg_id, tx);
+        let acked = timeout(
+            &self.handle,
+            costs.request_timeout * (costs.max_retries as u64 + 2),
+            rx.recv(),
+        )
+        .await
+        .is_some();
+        self.inner.borrow_mut().pending_agg_acks.remove(&agg.agg_id);
+        if acked && !sent_ids.is_empty() {
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.changelogs.discard_applied_in_group(agg.fp, &sent_ids);
+            }
+            self.durable.borrow_mut().wal.mark_applied_where(|rec| {
+                rec.pending_entry
+                    .as_ref()
+                    .map(|(_, _, e)| sent_ids.contains(&e.entry_id))
+                    .unwrap_or(false)
+            });
+        }
+        drop(guards);
+    }
+
+    /// Owner side: a server's change-log entries arrived.
+    pub(crate) fn handle_aggregation_entries(
+        &self,
+        agg: AggregationPayload,
+        from: ServerId,
+        entries: Vec<ChangeLogEntry>,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(collector) = inner.pending_aggs.get_mut(&agg.agg_id) else {
+            return;
+        };
+        if collector.expected.remove(&from) {
+            collector.entries.extend(entries);
+        }
+        if collector.expected.is_empty() {
+            let all = std::mem::take(&mut collector.entries);
+            if let Some(tx) = collector.done.take() {
+                let _ = tx.send(all);
+            }
+        }
+    }
+
+    /// Remote side: the owner acknowledged our entries.
+    pub(crate) fn handle_aggregation_ack(&self, agg: AggregationPayload) {
+        let tx = self.inner.borrow_mut().pending_agg_acks.remove(&agg.agg_id);
+        if let Some(tx) = tx {
+            let _ = tx.send(());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proactive pushing and proactive aggregation (§5.3).
+    // ------------------------------------------------------------------
+
+    /// Owner side: a holder proactively pushed change-log entries.
+    pub(crate) async fn handle_changelog_push(
+        &self,
+        dir_key: MetaKey,
+        fp: Fingerprint,
+        from: ServerId,
+        entries: Vec<ChangeLogEntry>,
+    ) {
+        let costs = self.cfg.costs;
+        self.cpu.run(costs.software_path).await;
+        let fpg = self.locks.fp_group(fp);
+        let _w = fpg.write().await;
+        let fresh: Vec<ChangeLogEntry> = {
+            let inner = self.inner.borrow();
+            entries
+                .iter()
+                .filter(|e| !inner.applied_entry_ids.contains(&e.entry_id))
+                .cloned()
+                .collect()
+        };
+        let applied_ids: Vec<OpId> = entries.iter().map(|e| e.entry_id).collect();
+        self.apply_entries_to_owned_dirs(fp, &fresh).await;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.pushes_received += 1;
+            let now = self.handle.now();
+            inner.push_timers.insert(fp.raw(), now);
+        }
+        self.send_plain(
+            self.cfg.node_of(from),
+            Body::Server(ServerMsg::ChangeLogPushAck {
+                dir_key,
+                applied: applied_ids,
+            }),
+        );
+    }
+
+    /// Pusher side: the owner applied our pushed entries.
+    pub(crate) fn handle_push_ack(&self, _dir_key: MetaKey, applied: Vec<OpId>) {
+        let ids: HashSet<OpId> = applied.into_iter().collect();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let dirty: Vec<(DirId, Fingerprint)> = inner.changelogs.dirty_dirs();
+            for (_, fp) in dirty {
+                inner.changelogs.discard_applied_in_group(fp, &ids);
+            }
+        }
+        self.durable.borrow_mut().wal.mark_applied_where(|rec| {
+            rec.pending_entry
+                .as_ref()
+                .map(|(_, _, e)| ids.contains(&e.entry_id))
+                .unwrap_or(false)
+        });
+    }
+
+    /// The background loop driving MTU/idle-based pushes (holder side) and
+    /// idle-triggered aggregations (owner side).
+    pub(crate) async fn proactive_loop(&self) {
+        let cfg = self.cfg.proactive;
+        loop {
+            self.handle.sleep(cfg.scan_interval).await;
+            {
+                let inner = self.inner.borrow();
+                if inner.crashed {
+                    continue;
+                }
+            }
+            if self.shutdown_requested() {
+                return;
+            }
+            self.proactive_push_round().await;
+            self.proactive_aggregate_round().await;
+        }
+    }
+
+    /// One round of holder-side pushes.
+    pub(crate) async fn proactive_push_round(&self) {
+        let cfg = self.cfg.proactive;
+        let now = self.handle.now();
+        let mut to_push: Vec<(DirId, MetaKey, Fingerprint, Vec<ChangeLogEntry>)> = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            for (dir, fp) in inner.changelogs.dirty_dirs() {
+                if let Some(log) = inner.changelogs.get(&dir) {
+                    let idle = now.duration_since(log.last_append()) >= cfg.idle_push_after;
+                    if log.pending_bytes() >= cfg.mtu_bytes || (idle && !log.is_empty()) {
+                        to_push.push((dir, log.dir_key.clone(), fp, log.snapshot()));
+                    }
+                }
+            }
+        }
+        for (_dir, dir_key, fp, entries) in to_push {
+            let owner = self.cfg.placement.dir_owner_by_fp(fp);
+            self.inner.borrow_mut().stats.pushes_sent += 1;
+            self.send_plain(
+                self.cfg.node_of(owner),
+                Body::Server(ServerMsg::ChangeLogPush {
+                    dir_key,
+                    fp,
+                    from: self.cfg.id,
+                    entries,
+                }),
+            );
+        }
+    }
+
+    /// One round of owner-side proactive aggregations.
+    pub(crate) async fn proactive_aggregate_round(&self) {
+        let cfg = self.cfg.proactive;
+        let now = self.handle.now();
+        let due: Vec<u64> = {
+            let inner = self.inner.borrow();
+            inner
+                .push_timers
+                .iter()
+                .filter(|(_, last)| now.duration_since(**last) >= cfg.owner_aggregate_after)
+                .map(|(fp, _)| *fp)
+                .collect()
+        };
+        for raw in due {
+            let fp = Fingerprint::from_raw(raw);
+            let fpg = self.locks.fp_group(fp);
+            let _w = fpg.write().await;
+            self.aggregate_group(fp, None).await;
+        }
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.inner.borrow().shutdown
+    }
+}
+
+/// Splits `n` entry applications across `cores` chunks and returns the CPU
+/// cost of each chunk.
+fn entries_chunk_cost(
+    n: usize,
+    cores: usize,
+    unit: switchfs_simnet::SimDuration,
+) -> Vec<switchfs_simnet::SimDuration> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cores = cores.max(1);
+    let chunks = cores.min(n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    (0..chunks)
+        .map(|i| {
+            let count = base + usize::from(i < extra);
+            unit * count as u64
+        })
+        .collect()
+}

@@ -1,0 +1,247 @@
+//! Crash recovery (§5.4.2, §A.1).
+//!
+//! A crashed server loses every volatile structure (key-value store,
+//! change-logs, invalidation list); only the WAL and the optional checkpoint
+//! survive. Recovery proceeds in four steps:
+//!
+//! 1. replay the WAL (starting from the checkpoint, if present) to rebuild
+//!    the key-value store and the change-log entries not yet marked
+//!    "applied";
+//! 2. proactively aggregate every directory this server owns, so that any
+//!    aggregation it had issued before the crash runs to completion and the
+//!    on-switch dirty set again reflects the true directory states;
+//! 3. clone the invalidation list from another server;
+//! 4. resume serving requests.
+//!
+//! A switch reboot is handled by the cluster harness: it clears the switch
+//! state and calls [`Server::aggregate_all_owned`] on every server, after
+//! which every directory is back in *normal* state, consistent with the
+//! empty dirty set.
+
+use switchfs_proto::message::{Body, ServerMsg};
+use switchfs_proto::{Fingerprint, Placement};
+
+use crate::server::Server;
+use crate::wal::CheckpointData;
+
+/// Summary of one recovery run, reported to the harness (used by the §7.7
+/// experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL records replayed.
+    pub wal_records_replayed: usize,
+    /// Inodes restored into the key-value store.
+    pub inodes_recovered: usize,
+    /// Not-yet-applied change-log entries rebuilt.
+    pub changelog_entries_recovered: usize,
+    /// Directories re-aggregated after the replay.
+    pub directories_aggregated: usize,
+    /// Virtual time the recovery took, in nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl Server {
+    /// Recovers this server after a crash. The caller must have brought the
+    /// node back up in the network before calling this.
+    pub async fn recover(&self) -> RecoveryReport {
+        let start = self.handle.now();
+        let costs = self.cfg.costs;
+        let mut report = RecoveryReport::default();
+
+        // Volatile state starts from scratch.
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.crashed = false;
+            inner.unavailable = true;
+            inner.inodes.clear();
+            inner.entries.clear();
+            inner.dir_index.clear();
+            inner.changelogs.clear();
+            inner.invalidation.clear();
+            inner.applied_entry_ids.clear();
+            inner.completed_ops.clear();
+            inner.push_timers.clear();
+            inner.pending_commits.clear();
+            inner.pending_tokens.clear();
+            inner.pending_aggs.clear();
+            inner.pending_agg_acks.clear();
+            inner.prepared_txns.clear();
+            inner.txn_vote_tokens.clear();
+        }
+        // Drop packets addressed to the previous incarnation.
+        self.endpoint.drain();
+
+        // Step 0: load the checkpoint, if one exists.
+        let checkpoint = self.durable.borrow().checkpoint.load();
+        let replay_from = if let Some((lsn, data)) = checkpoint {
+            self.load_checkpoint(&data);
+            lsn
+        } else {
+            0
+        };
+
+        // Step 1: replay the WAL.
+        let records: Vec<(u64, crate::wal::WalOp, bool)> = self
+            .durable
+            .borrow()
+            .wal
+            .records()
+            .iter()
+            .filter(|r| r.lsn > replay_from)
+            .map(|r| (r.lsn, r.payload.clone(), r.applied))
+            .collect();
+        for (_lsn, op, applied) in &records {
+            // Each replayed record costs one KV write's worth of CPU; this is
+            // what makes the §7.7 recovery time proportional to the number of
+            // operations to recover.
+            self.cpu.run(costs.kv_put).await;
+            {
+                let mut inner = self.inner.borrow_mut();
+                for e in &op.effects {
+                    inner.apply_effect(e);
+                }
+                for id in &op.applied_entry_ids {
+                    inner.applied_entry_ids.insert(*id);
+                }
+            }
+            if let Some((dir_id, dir_key, entry)) = &op.pending_entry {
+                if !applied {
+                    // The deferred update never reached the directory owner:
+                    // rebuild it into the change-log.
+                    let fp = Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
+                    let now = self.handle.now();
+                    self.inner
+                        .borrow_mut()
+                        .changelogs
+                        .append(*dir_id, dir_key, fp, entry.clone(), now);
+                    report.changelog_entries_recovered += 1;
+                }
+            }
+            report.wal_records_replayed += 1;
+        }
+        report.inodes_recovered = self.inner.borrow().inodes.len();
+
+        // Step 2: proactively aggregate every directory this server owns so
+        // interrupted aggregations complete and the dirty set converges.
+        report.directories_aggregated = self.aggregate_all_owned().await;
+
+        // Step 3: clone the invalidation list from another server.
+        if let Some(other) = self.cfg.other_servers().first() {
+            self.send_plain(
+                self.cfg.node_of(*other),
+                Body::Server(ServerMsg::RecoveryCloneInvalidation { from: self.cfg.id }),
+            );
+            // The reply is handled by the dispatcher; give it a bounded wait.
+            self.handle.sleep(costs.request_timeout).await;
+        }
+
+        // Step 4: resume serving.
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.unavailable = false;
+            inner.stats.recoveries += 1;
+        }
+        report.duration_ns = self.handle.now().duration_since(start).as_nanos();
+        report
+    }
+
+    /// Aggregates every fingerprint group that owns at least one directory on
+    /// this server. Used by server recovery, switch recovery and
+    /// stop-the-world reconfiguration (§5.5). Returns how many groups were
+    /// aggregated.
+    pub async fn aggregate_all_owned(&self) -> usize {
+        let fps: std::collections::HashSet<u64> = {
+            let inner = self.inner.borrow();
+            inner
+                .dir_index
+                .values()
+                .map(|key| Fingerprint::of_dir(&key.pid, &key.name).raw())
+                .collect()
+        };
+        let mut aggregated = 0;
+        for raw in fps {
+            let fp = Fingerprint::from_raw(raw);
+            // Only aggregate groups this server actually owns (preloaded
+            // namespaces can index foreign directories defensively).
+            if self.cfg.placement.dir_owner_by_fp(fp) != self.cfg.id {
+                continue;
+            }
+            let fpg = self.locks.fp_group(fp);
+            let _w = fpg.write().await;
+            self.aggregate_group(fp, None).await;
+            aggregated += 1;
+        }
+        aggregated
+    }
+
+    /// Writes a checkpoint of the current volatile state, allowing the WAL
+    /// prefix to be truncated (the recovery-time optimization §7.7 mentions).
+    pub fn checkpoint(&self) {
+        let data = {
+            let inner = self.inner.borrow();
+            CheckpointData {
+                inodes: inner
+                    .inodes
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+                entries: inner
+                    .entries
+                    .iter()
+                    .map(|((d, _), e)| (*d, e.clone()))
+                    .collect(),
+                dir_index: inner
+                    .dir_index
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect(),
+                invalidation: inner
+                    .invalidation
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect(),
+                pending: {
+                    let mut out = Vec::new();
+                    for (dir, fp) in inner.changelogs.dirty_dirs() {
+                        if let Some(log) = inner.changelogs.get(&dir) {
+                            for e in log.entries() {
+                                out.push((dir, log.dir_key.clone(), e.clone()));
+                            }
+                        }
+                        let _ = fp;
+                    }
+                    out
+                },
+                applied_entry_ids: inner.applied_entry_ids.iter().copied().collect(),
+            }
+        };
+        let mut durable = self.durable.borrow_mut();
+        let lsn = durable.wal.next_lsn().saturating_sub(1);
+        durable.checkpoint.store(lsn, data);
+        durable.wal.truncate_through(lsn);
+    }
+
+    fn load_checkpoint(&self, data: &CheckpointData) {
+        let mut inner = self.inner.borrow_mut();
+        for (k, v) in &data.inodes {
+            inner.inodes.put(k.clone(), v.clone());
+        }
+        for (d, e) in &data.entries {
+            inner.entries.put((*d, e.name.clone()), e.clone());
+        }
+        for (id, key) in &data.dir_index {
+            inner.dir_index.insert(*id, key.clone());
+        }
+        for (id, key) in &data.invalidation {
+            inner.invalidation.insert(*id, key.clone());
+        }
+        for id in &data.applied_entry_ids {
+            inner.applied_entry_ids.insert(*id);
+        }
+        let now = self.handle.now();
+        for (dir, key, entry) in &data.pending {
+            let fp = Fingerprint::of_dir(&key.pid, &key.name);
+            inner.changelogs.append(*dir, key, fp, entry.clone(), now);
+        }
+    }
+}

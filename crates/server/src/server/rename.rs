@@ -1,0 +1,297 @@
+//! `rename`: the one operation SwitchFS executes with distributed
+//! transactions (§5.2).
+//!
+//! Rename can touch up to four inodes (source, destination, and both parent
+//! directories). The server owning the source acts as the transaction
+//! coordinator: it aggregates the source directory first when the source is
+//! itself a directory, performs an orphaned-loop check, then drives a
+//! two-phase commit whose participants are the destination inode's owner and
+//! both parent directories' owners.
+
+use std::collections::HashMap;
+
+use switchfs_proto::message::{Body, ClientRequest, MetaOp, ServerMsg, TxnOp};
+use switchfs_proto::{
+    ChangeLogEntry, ChangeOp, FsError, Fingerprint, OpResult, Placement, ServerId,
+};
+
+use crate::server::{Server, TokenReply};
+use crate::wal::KvEffect;
+
+/// A prepared-but-undecided transaction on a participant.
+pub(crate) struct PreparedTxn {
+    /// The staged mutations, applied when the commit decision arrives.
+    pub ops: Vec<TxnOp>,
+    /// The coordinating server (kept for a crash-recovery decision query).
+    #[allow(dead_code)]
+    pub coordinator: ServerId,
+}
+
+impl Server {
+    /// Handles a `rename` request as the transaction coordinator.
+    pub(crate) async fn handle_rename(&self, req: &ClientRequest) -> OpResult {
+        let costs = self.cfg.costs;
+        self.cpu.run(costs.request_overhead()).await;
+        if self.is_stale(&req.ancestors) {
+            return OpResult::Err(FsError::StaleCache);
+        }
+        let MetaOp::Rename { src, dst } = &req.op else {
+            return OpResult::Err(FsError::NotFound);
+        };
+        // Lock the source inode for the duration of the transaction.
+        let src_lock = self.locks.inode(src);
+        let _src_guard = src_lock.write().await;
+        self.cpu.run(costs.lock_op + costs.kv_get).await;
+        let Some(src_attrs) = self.inner.borrow_mut().inodes.get(src) else {
+            return OpResult::Err(FsError::NotFound);
+        };
+
+        if src_attrs.is_dir() {
+            // Orphaned-loop prevention: the destination path must not pass
+            // through the directory being moved (§5.2).
+            if req.ancestors.contains(&src_attrs.id) {
+                return OpResult::Err(FsError::WouldOrphan);
+            }
+            // Apply every delayed update to the source directory before the
+            // transaction observes it.
+            let fp = Fingerprint::of_dir(&src.pid, &src.name);
+            let fpg = self.locks.fp_group(fp);
+            let _w = fpg.write().await;
+            self.aggregate_group(fp, None).await;
+        }
+
+        // Build the per-participant mutations.
+        let now = self.now_ns();
+        let mut dst_attrs = src_attrs.clone();
+        dst_attrs.times.ctime = now;
+        let src_parent_entry = ChangeLogEntry {
+            entry_id: req.op_id,
+            dir: src.pid,
+            name: src.name.clone(),
+            op: ChangeOp::Remove,
+            timestamp: now,
+            size_delta: -1,
+        };
+        let dst_parent_entry = ChangeLogEntry {
+            entry_id: switchfs_proto::OpId {
+                client: req.op_id.client,
+                // Derive a distinct id for the second directory update so the
+                // two deferred effects are tracked independently.
+                seq: req.op_id.seq | (1 << 63),
+            },
+            dir: dst.pid,
+            name: dst.name.clone(),
+            op: ChangeOp::Insert {
+                file_type: src_attrs.file_type,
+                mode: src_attrs.perm.mode,
+            },
+            timestamp: now,
+            size_delta: 1,
+        };
+
+        // Participant mutation lists, grouped by owning server.
+        let placement = &self.cfg.placement;
+        let mut per_server: HashMap<ServerId, Vec<TxnOp>> = HashMap::new();
+        per_server
+            .entry(placement.file_owner(dst))
+            .or_default()
+            .push(TxnOp::PutInode {
+                key: dst.clone(),
+                attrs: dst_attrs.clone(),
+            });
+        per_server
+            .entry(self.cfg.id)
+            .or_default()
+            .push(TxnOp::DeleteInode { key: src.clone() });
+        // Parent directory updates are applied synchronously at their owners.
+        let src_parent_key = req
+            .parent
+            .as_ref()
+            .map(|p| p.key.clone())
+            .unwrap_or_else(|| switchfs_proto::MetaKey::new(switchfs_proto::DirId::ROOT, ""));
+        let src_parent_fp = Fingerprint::of_dir(&src_parent_key.pid, &src_parent_key.name);
+        per_server
+            .entry(placement.dir_owner_by_fp(src_parent_fp))
+            .or_default()
+            .push(TxnOp::DirUpdate {
+                dir_key: src_parent_key,
+                entry: src_parent_entry,
+            });
+        let dst_parent_key = switchfs_proto::MetaKey::new(dst.pid, String::new());
+        // The destination parent's key is not directly known from the request
+        // (only its id); the directory-update participant resolves the inode
+        // by scanning its owner index, so an id-keyed placeholder suffices.
+        let dst_parent_fp = Fingerprint::of_dir(&dst_parent_key.pid, &dst_parent_key.name);
+        per_server
+            .entry(placement.dir_owner_by_fp(dst_parent_fp))
+            .or_default()
+            .push(TxnOp::DirUpdate {
+                dir_key: dst_parent_key,
+                entry: dst_parent_entry,
+            });
+
+        // Two-phase commit.
+        let txn_id = self.next_token();
+        let mut vote_ok = true;
+        for (server, ops) in &per_server {
+            if *server == self.cfg.id {
+                continue;
+            }
+            let token = self.next_token();
+            let rx = self.register_token(token);
+            // The participant replies with a TxnVote; handle_txn_vote routes
+            // it back to this token through the per-transaction vote table.
+            self.inner.borrow_mut().txn_vote_tokens.insert(txn_id, token);
+            self.send_plain(
+                self.cfg.node_of(*server),
+                Body::Server(ServerMsg::TxnPrepare {
+                    txn_id,
+                    coordinator: self.cfg.id,
+                    ops: ops.clone(),
+                }),
+            );
+            let vote = switchfs_simnet::timeout(
+                &self.handle,
+                self.cfg.costs.request_timeout * 4,
+                rx.recv(),
+            )
+            .await;
+            match vote {
+                Some(Ok(TokenReply::Ack)) => {}
+                _ => {
+                    // Either an explicit negative vote or a timeout.
+                    vote_ok = false;
+                }
+            }
+        }
+
+        if !vote_ok {
+            for server in per_server.keys() {
+                if *server != self.cfg.id {
+                    self.send_plain(
+                        self.cfg.node_of(*server),
+                        Body::Server(ServerMsg::TxnAbort { txn_id }),
+                    );
+                }
+            }
+            return OpResult::Err(FsError::Unavailable);
+        }
+
+        // Commit: apply the local mutations, then tell every participant.
+        if let Some(local_ops) = per_server.get(&self.cfg.id) {
+            self.apply_txn_ops(local_ops).await;
+        }
+        for server in per_server.keys() {
+            if *server != self.cfg.id {
+                self.send_plain(
+                    self.cfg.node_of(*server),
+                    Body::Server(ServerMsg::TxnCommit { txn_id }),
+                );
+            }
+        }
+        OpResult::Done
+    }
+
+    /// Applies a participant's transaction mutations locally.
+    pub(crate) async fn apply_txn_ops(&self, ops: &[TxnOp]) {
+        let costs = self.cfg.costs;
+        for op in ops {
+            match op {
+                TxnOp::PutInode { key, attrs } => {
+                    let lock = self.locks.inode(key);
+                    let _g = lock.write().await;
+                    self.cpu.run(costs.lock_op + costs.kv_put + costs.wal_append).await;
+                    self.apply_and_log(
+                        None,
+                        vec![KvEffect::PutInode(key.clone(), attrs.clone())],
+                        None,
+                        Vec::new(),
+                    )
+                    .await;
+                }
+                TxnOp::DeleteInode { key } => {
+                    self.cpu.run(costs.kv_put + costs.wal_append).await;
+                    self.apply_and_log(None, vec![KvEffect::DeleteInode(key.clone())], None, Vec::new())
+                        .await;
+                }
+                TxnOp::DirUpdate { dir_key, entry } => {
+                    // Resolve the directory key: prefer the provided key, but
+                    // fall back to the owner index when only the id is known.
+                    let resolved = {
+                        let inner = self.inner.borrow();
+                        if inner.inodes.peek(dir_key).is_some() {
+                            Some(dir_key.clone())
+                        } else {
+                            inner.dir_index.get(&entry.dir).cloned()
+                        }
+                    };
+                    if let Some(key) = resolved {
+                        let lock = self.locks.inode(&key);
+                        let _g = lock.write().await;
+                        self.cpu
+                            .run(costs.lock_op + costs.kv_get + costs.kv_put + costs.wal_append)
+                            .await;
+                        let effects = self.entry_effects(&key, entry);
+                        self.apply_and_log(None, effects, None, vec![entry.entry_id]).await;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Participant side of the two-phase commit: stage the mutations and
+    /// vote.
+    pub(crate) async fn handle_txn_prepare(
+        &self,
+        txn_id: u64,
+        coordinator: ServerId,
+        ops: Vec<TxnOp>,
+    ) {
+        self.cpu.run(self.cfg.costs.software_path + self.cfg.costs.wal_append).await;
+        // Log the prepared transaction so a crash before the decision can be
+        // resolved by re-asking the coordinator (simplified presumed-abort).
+        self.inner.borrow_mut().prepared_txns.insert(
+            txn_id,
+            PreparedTxn {
+                ops,
+                coordinator,
+            },
+        );
+        self.send_plain(
+            self.cfg.node_of(coordinator),
+            Body::Server(ServerMsg::TxnVote {
+                txn_id,
+                from: self.cfg.id,
+                ok: true,
+            }),
+        );
+    }
+
+    /// Coordinator side: a participant's vote arrived.
+    pub(crate) fn handle_txn_vote(&self, txn_id: u64, _from: ServerId, ok: bool) {
+        // Complete the waiting prepare; the coordinator waits for the
+        // participants one at a time, so the table holds the current token.
+        let token = self.inner.borrow_mut().txn_vote_tokens.remove(&txn_id);
+        if let Some(token) = token {
+            self.complete_token(
+                token,
+                if ok {
+                    TokenReply::Ack
+                } else {
+                    TokenReply::Failed(FsError::Unavailable)
+                },
+            );
+        }
+    }
+
+    /// Participant side: the coordinator's commit/abort decision arrived.
+    pub(crate) async fn handle_txn_decision(&self, txn_id: u64, commit: bool) {
+        let prepared = self.inner.borrow_mut().prepared_txns.remove(&txn_id);
+        let Some(prepared) = prepared else {
+            return;
+        };
+        if commit {
+            self.apply_txn_ops(&prepared.ops).await;
+        }
+    }
+}

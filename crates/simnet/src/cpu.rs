@@ -1,0 +1,154 @@
+//! A processor model: *N* cores with a FIFO run queue.
+//!
+//! The SwitchFS evaluation varies the number of cores per metadata server
+//! (Fig. 2(d), Fig. 14) to show intra-server parallelism. Every server-side
+//! code path in this repository charges calibrated service times through a
+//! [`CpuPool`]; when all cores are busy the work queues, which is what makes
+//! throughput saturate and latency grow under load exactly as on a real
+//! multi-core server.
+
+use crate::executor::SimHandle;
+use crate::sync::semaphore::Semaphore;
+use crate::time::SimDuration;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// An *N*-core processor with FIFO queueing.
+#[derive(Clone)]
+pub struct CpuPool {
+    handle: SimHandle,
+    cores: Semaphore,
+    num_cores: usize,
+    busy_ns: Rc<Cell<u64>>,
+}
+
+impl CpuPool {
+    /// Creates a pool with `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(handle: SimHandle, num_cores: usize) -> Self {
+        assert!(num_cores > 0, "a CPU pool needs at least one core");
+        CpuPool {
+            handle,
+            cores: Semaphore::new(num_cores),
+            num_cores,
+            busy_ns: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Number of cores in this pool.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Occupies one core for `work` of virtual time (queueing first if all
+    /// cores are busy), then releases it.
+    pub async fn run(&self, work: SimDuration) {
+        if work.is_zero() {
+            return;
+        }
+        let _permit = self.cores.acquire().await;
+        self.busy_ns.set(self.busy_ns.get() + work.as_nanos());
+        self.handle.sleep(work).await;
+    }
+
+    /// Occupies one core while executing `f` "instantaneously" plus `work` of
+    /// modelled service time. This is the common pattern for server handlers:
+    /// the real data-structure manipulation happens in `f`, and `work` is the
+    /// calibrated cost charged to the simulated clock.
+    pub async fn run_with<R>(&self, work: SimDuration, f: impl FnOnce() -> R) -> R {
+        let _permit = self.cores.acquire().await;
+        self.busy_ns.set(self.busy_ns.get() + work.as_nanos());
+        let r = f();
+        if !work.is_zero() {
+            self.handle.sleep(work).await;
+        }
+        r
+    }
+
+    /// Total busy core-time accumulated so far, in nanoseconds. Used to
+    /// report CPU utilization in the evaluation harness.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_ns.get()
+    }
+
+    /// Current number of requests waiting for a core.
+    pub fn queued(&self) -> usize {
+        self.cores.waiters()
+    }
+
+    /// Current number of idle cores.
+    pub fn idle_cores(&self) -> usize {
+        self.cores.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimTime;
+
+    #[test]
+    fn single_core_serializes_work() {
+        let sim = Sim::new(1);
+        let cpu = CpuPool::new(sim.handle(), 1);
+        for _ in 0..4 {
+            let cpu = cpu.clone();
+            sim.spawn(async move {
+                cpu.run(SimDuration::micros(10)).await;
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.end_time, SimTime::from_micros(40));
+        assert_eq!(cpu.busy_nanos(), 40_000);
+    }
+
+    #[test]
+    fn more_cores_increase_parallelism() {
+        let sim = Sim::new(1);
+        let cpu = CpuPool::new(sim.handle(), 4);
+        for _ in 0..4 {
+            let cpu = cpu.clone();
+            sim.spawn(async move {
+                cpu.run(SimDuration::micros(10)).await;
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.end_time, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn run_with_returns_value_and_charges_time() {
+        let sim = Sim::new(1);
+        let cpu = CpuPool::new(sim.handle(), 1);
+        let cpu2 = cpu.clone();
+        sim.spawn(async move {
+            let v = cpu2.run_with(SimDuration::micros(3), || 21 * 2).await;
+            assert_eq!(v, 42);
+        });
+        let stats = sim.run();
+        assert_eq!(stats.end_time, SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let sim = Sim::new(1);
+        let cpu = CpuPool::new(sim.handle(), 1);
+        let cpu2 = cpu.clone();
+        sim.spawn(async move {
+            cpu2.run(SimDuration::ZERO).await;
+        });
+        let stats = sim.run();
+        assert_eq!(stats.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let sim = Sim::new(1);
+        let _ = CpuPool::new(sim.handle(), 0);
+    }
+}

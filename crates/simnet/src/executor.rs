@@ -1,0 +1,568 @@
+//! The virtual-time task executor.
+//!
+//! A [`Sim`] owns a set of cooperative tasks (ordinary `Future`s), a ready
+//! queue, and a timer wheel ordered by virtual time. Tasks run until they
+//! block on a simulation primitive (a timer, a channel, a lock, a CPU core,
+//! a network delivery); when no task is runnable, the clock jumps to the next
+//! timer deadline. The executor is single-threaded and deterministic: task
+//! wake-ups are processed in FIFO order and ties between timers are broken by
+//! registration order.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sync::oneshot;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// The queue of tasks that have been woken and are ready to be polled.
+///
+/// This is the only piece of executor state shared with [`Waker`]s, which
+/// must be `Send + Sync`; everything else lives behind a single-threaded
+/// `RefCell`.
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct TaskWaker {
+    task: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().expect("ready queue poisoned").push_back(self.task);
+    }
+}
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct SimState {
+    now: SimTime,
+    next_task: u64,
+    next_timer_seq: u64,
+    tasks: HashMap<TaskId, LocalFuture>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    rng: StdRng,
+    spawned_total: u64,
+    polls_total: u64,
+}
+
+/// A deterministic virtual-time simulation.
+///
+/// Construct one per experiment or test, spawn the component tasks on it, and
+/// call [`Sim::run`] (or [`Sim::run_until`]) to execute them to completion.
+pub struct Sim {
+    state: Rc<RefCell<SimState>>,
+    ready: ReadyQueue,
+}
+
+/// A cheap, cloneable handle to a [`Sim`].
+///
+/// Handles are what component code holds: they can read the clock, spawn
+/// tasks, sleep, and draw deterministic random numbers.
+#[derive(Clone)]
+pub struct SimHandle {
+    state: Rc<RefCell<SimState>>,
+    ready: ReadyQueue,
+}
+
+/// Statistics describing a completed [`Sim::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Virtual time at which the run stopped.
+    pub end_time: SimTime,
+    /// Total tasks spawned over the simulation's lifetime.
+    pub tasks_spawned: u64,
+    /// Total number of future polls performed.
+    pub polls: u64,
+    /// Tasks still blocked when the run stopped (deadlocked or waiting on a
+    /// timer beyond the deadline).
+    pub tasks_pending: usize,
+}
+
+impl Sim {
+    /// Creates a new simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        let state = Rc::new(RefCell::new(SimState {
+            now: SimTime::ZERO,
+            next_task: 0,
+            next_timer_seq: 0,
+            tasks: HashMap::new(),
+            timers: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            spawned_total: 0,
+            polls_total: 0,
+        }));
+        Sim {
+            state,
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Returns a handle that component code can hold on to.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            state: self.state.clone(),
+            ready: self.ready.clone(),
+        }
+    }
+
+    /// Spawns a task onto the simulation.
+    pub fn spawn<F>(&self, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        self.handle().spawn(fut)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.state.borrow().now
+    }
+
+    /// Runs the simulation until no task is runnable and no timer is pending.
+    pub fn run(&self) -> RunStats {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs the simulation until quiescence or until the clock would pass
+    /// `deadline`, whichever comes first. The clock is left at
+    /// `min(deadline, quiescence time)`.
+    pub fn run_until(&self, deadline: SimTime) -> RunStats {
+        loop {
+            // Drain the ready queue, polling tasks in FIFO wake order.
+            loop {
+                let task_id = {
+                    let mut q = self.ready.lock().expect("ready queue poisoned");
+                    match q.pop_front() {
+                        Some(t) => t,
+                        None => break,
+                    }
+                };
+                self.poll_task(task_id);
+            }
+
+            // No runnable task: advance the clock to the next timer.
+            let next_deadline = {
+                let state = self.state.borrow();
+                state.timers.peek().map(|Reverse(e)| e.deadline)
+            };
+            match next_deadline {
+                Some(t) if t <= deadline => {
+                    self.fire_timers_at(t);
+                }
+                Some(_) | None => {
+                    // Either quiescent or the next event is beyond the
+                    // requested deadline.
+                    let mut state = self.state.borrow_mut();
+                    if deadline != SimTime::MAX && state.now < deadline && next_deadline.is_some()
+                    {
+                        state.now = deadline;
+                    }
+                    return RunStats {
+                        end_time: state.now,
+                        tasks_spawned: state.spawned_total,
+                        polls: state.polls_total,
+                        tasks_pending: state.tasks.len(),
+                    };
+                }
+            }
+        }
+    }
+
+    fn fire_timers_at(&self, t: SimTime) {
+        let mut fired = Vec::new();
+        {
+            let mut state = self.state.borrow_mut();
+            state.now = t;
+            while let Some(Reverse(entry)) = state.timers.peek() {
+                if entry.deadline > t {
+                    break;
+                }
+                let Reverse(entry) = state.timers.pop().expect("peeked");
+                fired.push(entry.waker);
+            }
+        }
+        for w in fired {
+            w.wake();
+        }
+    }
+
+    fn poll_task(&self, task_id: TaskId) {
+        // Remove the task from the table before polling so that code inside
+        // the future can freely spawn new tasks (which mutates the table).
+        let fut = {
+            let mut state = self.state.borrow_mut();
+            state.polls_total += 1;
+            state.tasks.remove(&task_id)
+        };
+        let Some(mut fut) = fut else {
+            // Already completed; a stale wake-up.
+            return;
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            task: task_id,
+            ready: self.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.state.borrow_mut().tasks.insert(task_id, fut);
+            }
+        }
+    }
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.state.borrow().now
+    }
+
+    /// Spawns a task; it becomes runnable immediately.
+    pub fn spawn<F>(&self, fut: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let id = {
+            let mut state = self.state.borrow_mut();
+            let id = TaskId(state.next_task);
+            state.next_task += 1;
+            state.spawned_total += 1;
+            state.tasks.insert(id, Box::pin(fut));
+            id
+        };
+        self.ready.lock().expect("ready queue poisoned").push_back(id);
+        id
+    }
+
+    /// Spawns a task that produces a value and returns a handle to await it.
+    pub fn spawn_with_result<F, T>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let (tx, rx) = oneshot::channel();
+        self.spawn(async move {
+            let value = fut.await;
+            // The receiver may have been dropped; that is not an error.
+            let _ = tx.send(value);
+        });
+        JoinHandle { rx }
+    }
+
+    /// Sleeps until the given instant.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline,
+        }
+    }
+
+    /// Sleeps for the given duration of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        let deadline = self.now() + d;
+        self.sleep_until(deadline)
+    }
+
+    /// Yields once, allowing other ready tasks to run at the same instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Draws a uniformly distributed `u64` from the simulation RNG.
+    pub fn rand_u64(&self) -> u64 {
+        self.state.borrow_mut().rng.gen()
+    }
+
+    /// Draws a uniform float in `[0, 1)` from the simulation RNG.
+    pub fn rand_f64(&self) -> f64 {
+        self.state.borrow_mut().rng.gen::<f64>()
+    }
+
+    /// Draws a uniform integer in `[0, n)` from the simulation RNG.
+    pub fn rand_below(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.state.borrow_mut().rng.gen_range(0..n)
+        }
+    }
+
+    /// Registers a waker to be woken at `deadline`. Used by simulation
+    /// primitives that need timer semantics (e.g. retransmission timeouts).
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let mut state = self.state.borrow_mut();
+        let seq = state.next_timer_seq;
+        state.next_timer_seq += 1;
+        state.timers.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] and friends.
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: SimTime,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            self.handle.register_timer(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Runs `fut` with a virtual-time deadline: returns `Some(output)` if the
+/// future completes before `after` elapses, `None` otherwise.
+///
+/// Used to implement retransmission timeouts (§5.4.1): a sender waits for a
+/// response with `timeout` and resends on `None`.
+pub async fn timeout<F: Future>(handle: &SimHandle, after: SimDuration, fut: F) -> Option<F::Output> {
+    let sleep = handle.sleep(after);
+    let mut fut = Box::pin(fut);
+    let mut sleep = Box::pin(sleep);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Some(v));
+        }
+        if sleep.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Future returned by [`SimHandle::yield_now`]: pending exactly once, which
+/// pushes the task to the back of the ready queue at the current instant.
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Handle to a value produced by a task spawned with
+/// [`SimHandle::spawn_with_result`].
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the task to finish and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task itself panicked or was dropped without completing.
+    pub async fn join(self) -> T {
+        self.rx.recv().await.expect("joined task did not complete")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_with_sleep() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let observed = Rc::new(Cell::new(0u64));
+        let obs = observed.clone();
+        sim.spawn(async move {
+            assert_eq!(h.now(), SimTime::ZERO);
+            h.sleep(SimDuration::micros(10)).await;
+            obs.set(h.now().as_nanos());
+        });
+        let stats = sim.run();
+        assert_eq!(observed.get(), 10_000);
+        assert_eq!(stats.end_time, SimTime::from_micros(10));
+        assert_eq!(stats.tasks_pending, 0);
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [30u64, 10, 20].iter().enumerate() {
+            let h = sim.handle();
+            let order = order.clone();
+            let delay = *delay;
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(delay)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = hit.clone();
+        sim.spawn(async move {
+            let inner = h.clone();
+            h.spawn(async move {
+                inner.sleep(SimDuration::micros(1)).await;
+                hit2.set(true);
+            });
+        });
+        sim.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn spawn_with_result_joins() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let out = Rc::new(Cell::new(0u32));
+        let out2 = out.clone();
+        sim.spawn(async move {
+            let jh = h.spawn_with_result({
+                let h = h.clone();
+                async move {
+                    h.sleep(SimDuration::micros(5)).await;
+                    42u32
+                }
+            });
+            out2.set(jh.join().await);
+        });
+        sim.run();
+        assert_eq!(out.get(), 42);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let done = Rc::new(Cell::new(false));
+        let done2 = done.clone();
+        sim.spawn(async move {
+            h.sleep(SimDuration::millis(10)).await;
+            done2.set(true);
+        });
+        let stats = sim.run_until(SimTime::from_millis(1));
+        assert!(!done.get());
+        assert_eq!(stats.tasks_pending, 1);
+        // Continuing the run completes the task.
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn yield_now_allows_same_time_interleaving() {
+        let sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2 {
+            let h = sim.handle();
+            let order = order.clone();
+            sim.spawn(async move {
+                order.borrow_mut().push((i, 0));
+                h.yield_now().await;
+                order.borrow_mut().push((i, 1));
+            });
+        }
+        sim.run();
+        let o = order.borrow();
+        // Both tasks get their first step before either gets its second.
+        assert_eq!(o[0], (0, 0));
+        assert_eq!(o[1], (1, 0));
+        assert_eq!(o.len(), 4);
+    }
+
+    #[test]
+    fn rng_is_deterministic_across_runs() {
+        let draw = |seed| {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            (0..8).map(|_| h.rand_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
+
+    #[test]
+    fn timeout_returns_none_when_deadline_passes() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let out2 = out.clone();
+        sim.spawn(async move {
+            // A future that completes in time.
+            let fast = timeout(&h, SimDuration::micros(10), h.sleep(SimDuration::micros(2))).await;
+            out2.borrow_mut().push(fast.is_some());
+            // A future that does not.
+            let slow = timeout(&h, SimDuration::micros(10), h.sleep(SimDuration::millis(5))).await;
+            out2.borrow_mut().push(slow.is_some());
+        });
+        sim.run();
+        assert_eq!(*out.borrow(), vec![true, false]);
+    }
+
+    #[test]
+    fn rand_below_zero_is_zero() {
+        let sim = Sim::new(3);
+        assert_eq!(sim.handle().rand_below(0), 0);
+        assert!(sim.handle().rand_below(5) < 5);
+    }
+}

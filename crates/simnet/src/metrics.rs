@@ -1,0 +1,227 @@
+//! Measurement helpers used by the evaluation harness: latency histograms
+//! (mean / median / p25 / p75 / p90 / p99, as reported in Fig. 13 and
+//! Fig. 16) and throughput meters (Kops/s / Mops/s, as reported in Fig. 12,
+//! Fig. 17 and Fig. 19).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A latency recorder with percentile queries.
+///
+/// Samples are stored exactly (nanosecond resolution); experiments record at
+/// most a few hundred thousand samples per data point so memory is not a
+/// concern, and exact percentiles keep the harness output reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest recorded latency.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// The `p`-th percentile (0.0–100.0), using nearest-rank interpolation.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        SimDuration::nanos(self.samples[rank])
+    }
+
+    /// Median latency.
+    pub fn median(&mut self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// A one-line summary used in harness output.
+    pub fn summary(&mut self) -> String {
+        if self.is_empty() {
+            return "no samples".to_string();
+        }
+        format!(
+            "mean={:.1}us p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us n={}",
+            self.mean().as_micros_f64(),
+            self.percentile(50.0).as_micros_f64(),
+            self.percentile(90.0).as_micros_f64(),
+            self.percentile(99.0).as_micros_f64(),
+            self.max().as_micros_f64(),
+            self.count()
+        )
+    }
+}
+
+/// A throughput meter: counts completed operations over a virtual-time span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputMeter {
+    count: u64,
+    start: SimTime,
+    end: SimTime,
+    started: bool,
+}
+
+impl ThroughputMeter {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of the measured interval.
+    pub fn start(&mut self, now: SimTime) {
+        self.start = now;
+        self.end = now;
+        self.count = 0;
+        self.started = true;
+    }
+
+    /// Records one completed operation at time `now`.
+    pub fn record(&mut self, now: SimTime) {
+        if !self.started {
+            self.start(now);
+        }
+        self.count += 1;
+        if now > self.end {
+            self.end = now;
+        }
+    }
+
+    /// Number of operations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total measured virtual time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Throughput in operations per second of virtual time.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / secs
+        }
+    }
+
+    /// Throughput in thousands of operations per second.
+    pub fn kops_per_sec(&self) -> f64 {
+        self.ops_per_sec() / 1e3
+    }
+
+    /// Throughput in millions of operations per second.
+    pub fn mops_per_sec(&self) -> f64 {
+        self.ops_per_sec() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record(SimDuration::micros(i));
+        }
+        assert_eq!(h.count(), 100);
+        // Nearest-rank on an even sample count lands on the upper neighbour.
+        assert_eq!(h.median().as_micros(), 51);
+        assert_eq!(h.percentile(99.0).as_micros(), 99);
+        assert_eq!(h.percentile(0.0).as_micros(), 1);
+        assert_eq!(h.percentile(100.0).as_micros(), 100);
+        assert_eq!(h.min().as_micros(), 1);
+        assert_eq!(h.max().as_micros(), 100);
+        assert_eq!(h.mean().as_nanos(), 50_500);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.summary(), "no samples");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::micros(1));
+        b.record(SimDuration::micros(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().as_micros(), 2);
+    }
+
+    #[test]
+    fn throughput_meter_math() {
+        let mut m = ThroughputMeter::new();
+        m.start(SimTime::ZERO);
+        for i in 1..=1000u64 {
+            m.record(SimTime::from_micros(i));
+        }
+        // 1000 ops over 1 ms = 1 Mops/s.
+        assert_eq!(m.count(), 1000);
+        assert!((m.mops_per_sec() - 1.0).abs() < 1e-9);
+        assert!((m.kops_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_meter_zero_elapsed() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_micros(5));
+        assert_eq!(m.ops_per_sec(), 0.0);
+    }
+}

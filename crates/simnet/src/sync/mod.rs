@@ -1,0 +1,20 @@
+//! Simulation-aware synchronization primitives.
+//!
+//! All primitives are single-threaded (the simulation executor never runs
+//! tasks in parallel) and FIFO-fair: waiters are granted the resource in the
+//! order they started waiting, which keeps simulated queueing behaviour
+//! faithful to the first-come-first-served service disciplines the SwitchFS
+//! paper assumes for locks and CPU run queues.
+
+pub mod mpsc;
+pub mod mutex;
+pub mod notify;
+pub mod oneshot;
+pub mod rwlock;
+pub mod semaphore;
+
+pub use mpsc::{channel, Receiver, Sender};
+pub use mutex::{SimMutex, SimMutexGuard};
+pub use notify::Notify;
+pub use rwlock::{SimRwLock, SimRwLockReadGuard, SimRwLockWriteGuard};
+pub use semaphore::{Semaphore, SemaphorePermit};

@@ -1,0 +1,213 @@
+//! An unbounded multi-producer, single-consumer channel.
+//!
+//! Used as the mailbox of every simulated node: the network delivers packets
+//! by sending into the node's channel and the node task receives them in
+//! arrival order.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half; cloneable.
+pub struct Sender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+/// Creates an unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(Inner {
+        queue: VecDeque::new(),
+        waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut inner = self.inner.borrow_mut();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                inner.waker.take()
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, waking the receiver if it is waiting.
+    pub fn send(&self, value: T) -> Result<(), SendError> {
+        let waker = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.receiver_alive {
+                return Err(SendError);
+            }
+            inner.queue.push_back(value);
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Waits for the next message. Returns `None` when every sender has been
+    /// dropped and the queue is empty.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Returns the next message if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no message is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.receiver.inner.borrow_mut();
+        if let Some(v) = inner.queue.pop_front() {
+            Poll::Ready(Some(v))
+        } else if inner.senders == 0 {
+            Poll::Ready(None)
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let sim = Sim::new(1);
+        let (tx, rx) = channel::<u32>();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let out2 = out.clone();
+        sim.spawn(async move {
+            while let Some(v) = rx.recv().await {
+                out2.borrow_mut().push(v);
+            }
+        });
+        sim.spawn({
+            let h = sim.handle();
+            async move {
+                for i in 0..5 {
+                    h.sleep(SimDuration::micros(1)).await;
+                    tx.send(i).unwrap();
+                }
+            }
+        });
+        sim.run();
+        assert_eq!(*out.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_returns_none_when_all_senders_dropped() {
+        let sim = Sim::new(1);
+        let (tx, rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        let finished = Rc::new(Cell::new(false));
+        let fin = finished.clone();
+        sim.spawn(async move {
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, None);
+            fin.set(true);
+        });
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        sim.run();
+        assert!(finished.get());
+    }
+
+    #[test]
+    fn send_after_receiver_dropped_errors() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError));
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let (tx, rx) = channel::<u32>();
+        assert!(rx.is_empty());
+        tx.send(5).unwrap();
+        tx.send(6).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Some(5));
+        assert_eq!(rx.try_recv(), Some(6));
+        assert_eq!(rx.try_recv(), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! A FIFO-fair asynchronous mutex with owned guards.
+//!
+//! The SwitchFS metadata servers serialize conflicting operations on
+//! per-inode and per-change-log locks (§5.2). FIFO fairness matters for the
+//! evaluation: contention experiments (Fig. 2, Fig. 14) depend on waiters
+//! being served in arrival order, like the first-come-first-served lock
+//! queues of the paper's implementation.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Waiter {
+    granted: Rc<Cell<bool>>,
+    waker: Option<Waker>,
+}
+
+struct Inner<T> {
+    locked: bool,
+    waiters: VecDeque<Waiter>,
+    value: T,
+}
+
+/// An asynchronous, FIFO-fair mutex protecting a value of type `T`.
+pub struct SimMutex<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Clone for SimMutex<T> {
+    fn clone(&self) -> Self {
+        SimMutex {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> SimMutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        SimMutex {
+            inner: Rc::new(RefCell::new(Inner {
+                locked: false,
+                waiters: VecDeque::new(),
+                value,
+            })),
+        }
+    }
+
+    /// Acquires the lock, waiting in FIFO order.
+    pub fn lock(&self) -> Acquire<T> {
+        Acquire {
+            mutex: self.clone(),
+            granted: None,
+        }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    pub fn try_lock(&self) -> Option<SimMutexGuard<T>> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.locked {
+            None
+        } else {
+            inner.locked = true;
+            drop(inner);
+            Some(SimMutexGuard {
+                mutex: self.clone(),
+            })
+        }
+    }
+
+    /// True if the lock is currently held.
+    pub fn is_locked(&self) -> bool {
+        self.inner.borrow().locked
+    }
+
+    /// Number of tasks currently waiting for the lock.
+    pub fn waiters(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    fn unlock(&self) {
+        let waker = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(mut w) = inner.waiters.pop_front() {
+                // Direct handoff: the lock stays held on behalf of the next
+                // waiter, which preserves FIFO order.
+                w.granted.set(true);
+                w.waker.take()
+            } else {
+                inner.locked = false;
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Future returned by [`SimMutex::lock`].
+pub struct Acquire<T> {
+    mutex: SimMutex<T>,
+    granted: Option<Rc<Cell<bool>>>,
+}
+
+impl<T> Future for Acquire<T> {
+    type Output = SimMutexGuard<T>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(granted) = self.granted.clone() {
+            if granted.get() {
+                // Clear the flag so dropping the (now finished) future does
+                // not release the lock a second time.
+                self.granted = None;
+                return Poll::Ready(SimMutexGuard {
+                    mutex: self.mutex.clone(),
+                });
+            }
+            // Refresh the stored waker in case the task was moved.
+            let mut inner = self.mutex.inner.borrow_mut();
+            if let Some(w) = inner
+                .waiters
+                .iter_mut()
+                .find(|w| Rc::ptr_eq(&w.granted, &granted))
+            {
+                w.waker = Some(cx.waker().clone());
+            }
+            return Poll::Pending;
+        }
+        let mut inner = self.mutex.inner.borrow_mut();
+        if !inner.locked {
+            inner.locked = true;
+            drop(inner);
+            return Poll::Ready(SimMutexGuard {
+                mutex: self.mutex.clone(),
+            });
+        }
+        let granted = Rc::new(Cell::new(false));
+        inner.waiters.push_back(Waiter {
+            granted: granted.clone(),
+            waker: Some(cx.waker().clone()),
+        });
+        drop(inner);
+        self.granted = Some(granted);
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Acquire<T> {
+    fn drop(&mut self) {
+        // If the future is dropped after being granted the lock but before
+        // being observed, release the lock so it is not leaked.
+        if let Some(granted) = &self.granted {
+            if granted.get() {
+                self.mutex.unlock();
+            } else {
+                let mut inner = self.mutex.inner.borrow_mut();
+                inner
+                    .waiters
+                    .retain(|w| !Rc::ptr_eq(&w.granted, granted));
+            }
+        }
+    }
+}
+
+/// RAII guard releasing the mutex on drop.
+pub struct SimMutexGuard<T> {
+    mutex: SimMutex<T>,
+}
+
+impl<T> SimMutexGuard<T> {
+    /// Runs a closure with shared access to the protected value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.mutex.inner.borrow().value)
+    }
+
+    /// Runs a closure with exclusive access to the protected value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.mutex.inner.borrow_mut().value)
+    }
+}
+
+impl<T> Drop for SimMutexGuard<T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn mutual_exclusion_and_fifo_order() {
+        let sim = Sim::new(1);
+        let mutex = SimMutex::new(Vec::<u32>::new());
+        for i in 0..4u32 {
+            let h = sim.handle();
+            let mutex = mutex.clone();
+            sim.spawn(async move {
+                // Stagger arrival so the wait order is deterministic.
+                h.sleep(SimDuration::nanos(i as u64 * 10)).await;
+                let guard = mutex.lock().await;
+                h.sleep(SimDuration::micros(5)).await;
+                guard.with_mut(|v| v.push(i));
+            });
+        }
+        sim.run();
+        let guard = mutex.try_lock().unwrap();
+        guard.with(|v| assert_eq!(*v, vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let mutex = SimMutex::new(());
+        let g = mutex.try_lock().unwrap();
+        assert!(mutex.try_lock().is_none());
+        assert!(mutex.is_locked());
+        drop(g);
+        assert!(!mutex.is_locked());
+        assert!(mutex.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_waiters_count() {
+        let sim = Sim::new(1);
+        let mutex = SimMutex::new(());
+        {
+            let mutex = mutex.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                let _g = mutex.lock().await;
+                h.sleep(SimDuration::micros(100)).await;
+            });
+        }
+        for _ in 0..3 {
+            let mutex = mutex.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(1)).await;
+                let _g = mutex.lock().await;
+            });
+        }
+        sim.run_until(crate::time::SimTime::from_micros(50));
+        assert_eq!(mutex.waiters(), 3);
+        sim.run();
+        assert_eq!(mutex.waiters(), 0);
+        assert!(!mutex.is_locked());
+    }
+}

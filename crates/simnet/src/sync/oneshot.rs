@@ -1,0 +1,169 @@
+//! A single-producer, single-consumer, single-value channel.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+}
+
+/// Sending half of a oneshot channel.
+pub struct Sender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Receiving half of a oneshot channel.
+pub struct Receiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Error returned by [`Receiver::recv`] when the sender was dropped without
+/// sending a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates a connected oneshot sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(Inner {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+    }));
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends a value, waking the receiver if it is waiting.
+    ///
+    /// Returns the value back if the receiver has already been dropped.
+    pub fn send(self, value: T) -> Result<(), T> {
+        // Only one receiver exists; if the Rc strong count is 1 the receiver
+        // is gone and nobody will ever observe the value.
+        if Rc::strong_count(&self.inner) == 1 {
+            return Err(value);
+        }
+        let waker = {
+            let mut inner = self.inner.borrow_mut();
+            inner.value = Some(value);
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut inner = self.inner.borrow_mut();
+            inner.sender_dropped = true;
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Waits for the value.
+    pub fn recv(self) -> Recv<T> {
+        Recv { inner: self.inner }
+    }
+
+    /// Returns the value if it has already been sent, without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.borrow_mut().value.take()
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Future for Recv<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(v) = inner.value.take() {
+            Poll::Ready(Ok(v))
+        } else if inner.sender_dropped {
+            Poll::Ready(Err(RecvError))
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn value_is_delivered() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>();
+        let out = Rc::new(Cell::new(0));
+        let out2 = out.clone();
+        sim.spawn(async move {
+            out2.set(rx.recv().await.unwrap());
+        });
+        sim.spawn({
+            let h = h.clone();
+            async move {
+                h.sleep(SimDuration::micros(2)).await;
+                tx.send(7).unwrap();
+            }
+        });
+        sim.run();
+        assert_eq!(out.get(), 7);
+    }
+
+    #[test]
+    fn dropped_sender_yields_error() {
+        let sim = Sim::new(1);
+        let (tx, rx) = channel::<u32>();
+        let got_err = Rc::new(Cell::new(false));
+        let ge = got_err.clone();
+        sim.spawn(async move {
+            ge.set(rx.recv().await.is_err());
+        });
+        drop(tx);
+        sim.run();
+        assert!(got_err.get());
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_value() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn try_recv_before_and_after_send() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(3));
+    }
+}

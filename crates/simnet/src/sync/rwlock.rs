@@ -1,0 +1,390 @@
+//! A FIFO-fair asynchronous reader–writer lock.
+//!
+//! Metadata servers take read locks on directory inodes for `statdir` /
+//! `readdir` and write locks for updates (§5.2). The lock is fair in the
+//! sense that a waiting writer blocks later readers, preventing writer
+//! starvation under the read-heavy aggregation workloads of Fig. 18.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Read,
+    Write,
+}
+
+struct Waiter {
+    mode: Mode,
+    granted: Rc<Cell<bool>>,
+    waker: Option<Waker>,
+}
+
+struct Inner<T> {
+    readers: usize,
+    writer: bool,
+    waiters: VecDeque<Waiter>,
+    value: T,
+}
+
+/// An asynchronous, FIFO-fair reader–writer lock protecting a value of type
+/// `T`.
+pub struct SimRwLock<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Clone for SimRwLock<T> {
+    fn clone(&self) -> Self {
+        SimRwLock {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> SimRwLock<T> {
+    /// Creates a new unlocked lock.
+    pub fn new(value: T) -> Self {
+        SimRwLock {
+            inner: Rc::new(RefCell::new(Inner {
+                readers: 0,
+                writer: false,
+                waiters: VecDeque::new(),
+                value,
+            })),
+        }
+    }
+
+    /// Acquires a shared (read) lock.
+    pub fn read(&self) -> Acquire<T> {
+        Acquire {
+            lock: self.clone(),
+            mode: Mode::Read,
+            granted: None,
+        }
+    }
+
+    /// Acquires an exclusive (write) lock.
+    pub fn write(&self) -> Acquire<T> {
+        Acquire {
+            lock: self.clone(),
+            mode: Mode::Write,
+            granted: None,
+        }
+    }
+
+    /// Number of tasks currently waiting.
+    pub fn waiters(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    /// True if a writer currently holds the lock.
+    pub fn is_write_locked(&self) -> bool {
+        self.inner.borrow().writer
+    }
+
+    /// Number of readers currently holding the lock.
+    pub fn reader_count(&self) -> usize {
+        self.inner.borrow().readers
+    }
+
+    fn can_grant(inner: &Inner<T>, mode: Mode, is_front: bool) -> bool {
+        match mode {
+            Mode::Read => !inner.writer && (is_front || inner.waiters.is_empty()),
+            Mode::Write => !inner.writer && inner.readers == 0,
+        }
+    }
+
+    fn release_read(&self) {
+        let mut wakers = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.readers -= 1;
+            Self::grant_from_queue(&mut inner, &mut wakers);
+        }
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    fn release_write(&self) {
+        let mut wakers = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.writer = false;
+            Self::grant_from_queue(&mut inner, &mut wakers);
+        }
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    fn grant_from_queue(inner: &mut Inner<T>, wakers: &mut Vec<Waker>) {
+        loop {
+            let Some(front) = inner.waiters.front() else {
+                return;
+            };
+            match front.mode {
+                Mode::Write => {
+                    if inner.readers == 0 && !inner.writer {
+                        let mut w = inner.waiters.pop_front().expect("front exists");
+                        inner.writer = true;
+                        w.granted.set(true);
+                        if let Some(wk) = w.waker.take() {
+                            wakers.push(wk);
+                        }
+                    }
+                    return;
+                }
+                Mode::Read => {
+                    if inner.writer {
+                        return;
+                    }
+                    let mut w = inner.waiters.pop_front().expect("front exists");
+                    inner.readers += 1;
+                    w.granted.set(true);
+                    if let Some(wk) = w.waker.take() {
+                        wakers.push(wk);
+                    }
+                    // Keep granting consecutive readers.
+                }
+            }
+        }
+    }
+}
+
+/// Future returned by [`SimRwLock::read`] and [`SimRwLock::write`].
+pub struct Acquire<T> {
+    lock: SimRwLock<T>,
+    mode: Mode,
+    granted: Option<Rc<Cell<bool>>>,
+}
+
+impl<T> Future for Acquire<T> {
+    type Output = Guard<T>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(granted) = self.granted.clone() {
+            if granted.get() {
+                let mode = self.mode;
+                // Clear the flag so dropping the finished future does not
+                // release the lock a second time.
+                self.granted = None;
+                return Poll::Ready(Guard {
+                    lock: self.lock.clone(),
+                    mode,
+                    released: false,
+                });
+            }
+            let mut inner = self.lock.inner.borrow_mut();
+            if let Some(w) = inner
+                .waiters
+                .iter_mut()
+                .find(|w| Rc::ptr_eq(&w.granted, &granted))
+            {
+                w.waker = Some(cx.waker().clone());
+            }
+            return Poll::Pending;
+        }
+        let mut inner = self.lock.inner.borrow_mut();
+        if SimRwLock::can_grant(&inner, self.mode, false) {
+            match self.mode {
+                Mode::Read => inner.readers += 1,
+                Mode::Write => inner.writer = true,
+            }
+            drop(inner);
+            return Poll::Ready(Guard {
+                lock: self.lock.clone(),
+                mode: self.mode,
+                released: false,
+            });
+        }
+        let granted = Rc::new(Cell::new(false));
+        inner.waiters.push_back(Waiter {
+            mode: self.mode,
+            granted: granted.clone(),
+            waker: Some(cx.waker().clone()),
+        });
+        drop(inner);
+        self.granted = Some(granted);
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Acquire<T> {
+    fn drop(&mut self) {
+        if let Some(granted) = &self.granted {
+            if granted.get() {
+                match self.mode {
+                    Mode::Read => self.lock.release_read(),
+                    Mode::Write => self.lock.release_write(),
+                }
+            } else {
+                let mut inner = self.lock.inner.borrow_mut();
+                inner
+                    .waiters
+                    .retain(|w| !Rc::ptr_eq(&w.granted, granted));
+            }
+        }
+    }
+}
+
+/// RAII guard for either lock mode; releases on drop.
+pub struct Guard<T> {
+    lock: SimRwLock<T>,
+    mode: Mode,
+    released: bool,
+}
+
+/// Shared-access guard type alias.
+pub type SimRwLockReadGuard<T> = Guard<T>;
+/// Exclusive-access guard type alias.
+pub type SimRwLockWriteGuard<T> = Guard<T>;
+
+impl<T> Guard<T> {
+    /// Runs a closure with shared access to the protected value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.lock.inner.borrow().value)
+    }
+
+    /// Runs a closure with exclusive access to the protected value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this guard was acquired in read mode.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        assert!(
+            self.mode == Mode::Write,
+            "with_mut requires a write-mode guard"
+        );
+        f(&mut self.lock.inner.borrow_mut().value)
+    }
+}
+
+impl<T> Drop for Guard<T> {
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        match self.mode {
+            Mode::Read => self.lock.release_read(),
+            Mode::Write => self.lock.release_write(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::{SimDuration, SimTime};
+    use std::cell::Cell;
+
+    #[test]
+    fn multiple_readers_share() {
+        let sim = Sim::new(1);
+        let lock = SimRwLock::new(5u32);
+        let active = Rc::new(Cell::new(0usize));
+        let max_active = Rc::new(Cell::new(0usize));
+        for _ in 0..3 {
+            let lock = lock.clone();
+            let h = sim.handle();
+            let active = active.clone();
+            let max_active = max_active.clone();
+            sim.spawn(async move {
+                let g = lock.read().await;
+                active.set(active.get() + 1);
+                max_active.set(max_active.get().max(active.get()));
+                h.sleep(SimDuration::micros(10)).await;
+                g.with(|v| assert_eq!(*v, 5));
+                active.set(active.get() - 1);
+            });
+        }
+        sim.run();
+        assert_eq!(max_active.get(), 3);
+    }
+
+    #[test]
+    fn writer_excludes_readers_and_writers() {
+        let sim = Sim::new(1);
+        let lock = SimRwLock::new(0u32);
+        {
+            let lock = lock.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                let g = lock.write().await;
+                h.sleep(SimDuration::micros(10)).await;
+                g.with_mut(|v| *v += 1);
+            });
+        }
+        {
+            let lock = lock.clone();
+            let h = sim.handle();
+            let done_at = Rc::new(Cell::new(SimTime::ZERO));
+            let d = done_at.clone();
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(1)).await;
+                let g = lock.read().await;
+                g.with(|v| assert_eq!(*v, 1));
+                d.set(h.now());
+            });
+            sim.run();
+            assert!(done_at.get() >= SimTime::from_micros(10));
+        }
+    }
+
+    #[test]
+    fn waiting_writer_blocks_later_readers() {
+        let sim = Sim::new(1);
+        let lock = SimRwLock::new(Vec::<&'static str>::new());
+        // Reader 0 holds the lock for 20us.
+        {
+            let lock = lock.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                let _g = lock.read().await;
+                h.sleep(SimDuration::micros(20)).await;
+            });
+        }
+        // Writer arrives at t=1us.
+        {
+            let lock = lock.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(1)).await;
+                let g = lock.write().await;
+                g.with_mut(|v| v.push("writer"));
+            });
+        }
+        // Reader 2 arrives at t=2us; must wait behind the writer.
+        {
+            let lock = lock.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(2)).await;
+                let g = lock.read().await;
+                g.with(|v| assert_eq!(v.as_slice(), ["writer"]));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn write_guard_with_mut_panics_for_read_guard() {
+        let sim = Sim::new(1);
+        let lock = SimRwLock::new(0u32);
+        let lock2 = lock.clone();
+        sim.spawn(async move {
+            let g = lock2.read().await;
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                g.with_mut(|v| *v += 1);
+            }));
+            assert!(res.is_err());
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-stage register arrays and the three register actions of §6.3.
+//!
+//! A Tofino pipeline stage owns an array of 32-bit registers and can perform
+//! one atomic read-modify-write per packet. SwitchFS defines three register
+//! actions used by the dirty set (Fig. 10):
+//!
+//! * **register query** — compare the register with the tag;
+//! * **conditional insert** — report whether the register equals zero or the
+//!   tag, writing the tag if the register was zero;
+//! * **conditional remove** — clear the register if it equals the tag.
+
+/// One pipeline stage: an array of 32-bit registers indexed by the dirty-set
+/// index field.
+#[derive(Debug, Clone)]
+pub struct RegisterStage {
+    regs: Vec<u32>,
+    occupied: usize,
+}
+
+impl RegisterStage {
+    /// Creates a stage with `size` registers, all empty (zero).
+    pub fn new(size: usize) -> Self {
+        RegisterStage {
+            regs: vec![0; size],
+            occupied: 0,
+        }
+    }
+
+    /// Number of registers in the stage.
+    pub fn size(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Number of non-empty registers.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Raw read of a register (used by tests and the recovery path that
+    /// clears the switch).
+    pub fn read(&self, index: usize) -> u32 {
+        self.regs[index]
+    }
+
+    /// *Register query*: true if the register at `index` holds `tag`.
+    pub fn query(&self, index: usize, tag: u32) -> bool {
+        self.regs[index] == tag
+    }
+
+    /// *Conditional insert*: returns true if the register is empty or
+    /// already holds `tag`; writes `tag` when the register was empty.
+    pub fn conditional_insert(&mut self, index: usize, tag: u32) -> bool {
+        let reg = &mut self.regs[index];
+        if *reg == 0 {
+            *reg = tag;
+            self.occupied += 1;
+            true
+        } else {
+            *reg == tag
+        }
+    }
+
+    /// *Conditional remove*: clears the register if it holds `tag`; returns
+    /// true if a value was cleared.
+    pub fn conditional_remove(&mut self, index: usize, tag: u32) -> bool {
+        let reg = &mut self.regs[index];
+        if *reg == tag && tag != 0 {
+            *reg = 0;
+            self.occupied -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears every register (switch reboot, §5.4.2).
+    pub fn clear(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = 0);
+        self.occupied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_insert_fills_empty_register() {
+        let mut s = RegisterStage::new(8);
+        assert!(s.conditional_insert(3, 0xab));
+        assert_eq!(s.read(3), 0xab);
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn conditional_insert_is_idempotent_for_same_tag() {
+        let mut s = RegisterStage::new(8);
+        assert!(s.conditional_insert(3, 0xab));
+        assert!(s.conditional_insert(3, 0xab));
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn conditional_insert_rejects_occupied_register() {
+        let mut s = RegisterStage::new(8);
+        assert!(s.conditional_insert(3, 0xab));
+        assert!(!s.conditional_insert(3, 0xcd));
+        assert_eq!(s.read(3), 0xab);
+    }
+
+    #[test]
+    fn conditional_remove_only_matching_tag() {
+        let mut s = RegisterStage::new(8);
+        s.conditional_insert(2, 0x11);
+        assert!(!s.conditional_remove(2, 0x22));
+        assert_eq!(s.read(2), 0x11);
+        assert!(s.conditional_remove(2, 0x11));
+        assert_eq!(s.read(2), 0);
+        assert_eq!(s.occupied(), 0);
+        // Removing from an empty register is a no-op.
+        assert!(!s.conditional_remove(2, 0x11));
+    }
+
+    #[test]
+    fn query_matches_exact_tag() {
+        let mut s = RegisterStage::new(4);
+        s.conditional_insert(1, 5);
+        assert!(s.query(1, 5));
+        assert!(!s.query(1, 6));
+        assert!(!s.query(0, 5));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = RegisterStage::new(4);
+        s.conditional_insert(0, 1);
+        s.conditional_insert(1, 2);
+        s.clear();
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.read(0), 0);
+        assert_eq!(s.read(1), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! A software dirty set.
+//!
+//! §7.3.3 of the paper compares the in-network dirty set against two
+//! server-based alternatives: a *dedicated server* that tracks all directory
+//! states, and *owner-server tracking* where each directory's owner tracks
+//! its own dirty state. Both alternatives keep the set in ordinary server
+//! memory; this type is that data structure. Unlike the switch implementation
+//! it has no set-associativity constraints, but every access costs server CPU
+//! and an extra network round trip, which is exactly the overhead Fig. 15 and
+//! Fig. 16 measure.
+
+use std::collections::HashSet;
+
+use switchfs_proto::{DirtyRet, DirtySetOp, DirtyState, Fingerprint};
+
+/// A hash-set based dirty set with an optional capacity bound.
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareDirtySet {
+    set: HashSet<u64>,
+    capacity: Option<usize>,
+    inserts: u64,
+    queries: u64,
+    removes: u64,
+}
+
+impl SoftwareDirtySet {
+    /// Creates an unbounded software dirty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dirty set that rejects inserts beyond `capacity` entries.
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        SoftwareDirtySet {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Inserts a fingerprint; returns `false` if the capacity bound is hit.
+    pub fn insert(&mut self, fp: Fingerprint) -> bool {
+        self.inserts += 1;
+        if let Some(cap) = self.capacity {
+            if !self.set.contains(&fp.raw()) && self.set.len() >= cap {
+                return false;
+            }
+        }
+        self.set.insert(fp.raw());
+        true
+    }
+
+    /// Queries a fingerprint.
+    pub fn query(&mut self, fp: Fingerprint) -> bool {
+        self.queries += 1;
+        self.set.contains(&fp.raw())
+    }
+
+    /// Removes a fingerprint. Idempotent.
+    pub fn remove(&mut self, fp: Fingerprint) {
+        self.removes += 1;
+        self.set.remove(&fp.raw());
+    }
+
+    /// Applies a [`DirtySetOp`] and returns the RPC-style result, mirroring
+    /// the coordinator protocol of §7.3.3.
+    pub fn apply(&mut self, op: DirtySetOp, fp: Fingerprint) -> DirtyRet {
+        match op {
+            DirtySetOp::Insert => {
+                if self.insert(fp) {
+                    DirtyRet::Inserted
+                } else {
+                    DirtyRet::Overflowed
+                }
+            }
+            DirtySetOp::Query => DirtyRet::State(if self.query(fp) {
+                DirtyState::Scattered
+            } else {
+                DirtyState::Normal
+            }),
+            DirtySetOp::Remove => {
+                self.remove(fp);
+                DirtyRet::Removed
+            }
+        }
+    }
+
+    /// Number of fingerprints currently tracked.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if no fingerprint is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Total operations served, used to report coordinator load.
+    pub fn total_ops(&self) -> u64 {
+        self.inserts + self.queries + self.removes
+    }
+
+    /// Clears the set.
+    pub fn clear(&mut self) {
+        self.set.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchfs_proto::{DirId, ServerId};
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint::of_dir(&DirId::generate(ServerId(0), i), "d")
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut s = SoftwareDirtySet::new();
+        assert!(!s.query(fp(1)));
+        assert!(s.insert(fp(1)));
+        assert!(s.query(fp(1)));
+        s.remove(fp(1));
+        assert!(!s.query(fp(1)));
+        assert_eq!(s.total_ops(), 5);
+    }
+
+    #[test]
+    fn capacity_limit_rejects_new_entries_only() {
+        let mut s = SoftwareDirtySet::with_capacity_limit(2);
+        assert!(s.insert(fp(1)));
+        assert!(s.insert(fp(2)));
+        assert!(!s.insert(fp(3)));
+        // Re-inserting an existing entry is always allowed.
+        assert!(s.insert(fp(1)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn apply_matches_individual_operations() {
+        let mut s = SoftwareDirtySet::new();
+        assert_eq!(
+            s.apply(DirtySetOp::Query, fp(9)),
+            DirtyRet::State(DirtyState::Normal)
+        );
+        assert_eq!(s.apply(DirtySetOp::Insert, fp(9)), DirtyRet::Inserted);
+        assert_eq!(
+            s.apply(DirtySetOp::Query, fp(9)),
+            DirtyRet::State(DirtyState::Scattered)
+        );
+        assert_eq!(s.apply(DirtySetOp::Remove, fp(9)), DirtyRet::Removed);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = SoftwareDirtySet::new();
+        for i in 0..10 {
+            s.insert(fp(i));
+        }
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

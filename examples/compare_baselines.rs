@@ -1,0 +1,33 @@
+//! Compare all five systems on a skewed shared-directory workload: the
+//! headline scenario of the paper (create-heavy traffic concentrated in one
+//! directory), printing throughput and mean latency per system.
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+use switchfs::workloads::{NamespaceSpec, OpKind, WorkloadBuilder};
+
+fn main() {
+    println!("file create in one shared directory, 8 servers, 128 in-flight requests");
+    println!(
+        "{:<20} {:>14} {:>16}",
+        "system", "Kops/s", "mean latency (us)"
+    );
+    for system in SystemKind::all() {
+        let mut cfg = ClusterConfig::paper_default(system);
+        cfg.servers = 8;
+        cfg.clients = 4;
+        let mut cluster = Cluster::new(cfg);
+        let ns = NamespaceSpec::single_large_dir(0);
+        cluster.preload_dir(&ns.dir_path(0));
+        let mut builder = WorkloadBuilder::new(ns, 11);
+        let items = builder.uniform(OpKind::Create, 3_000);
+        let report = cluster.run_workload(items, 128, None);
+        println!(
+            "{:<20} {:>14.1} {:>16.1}",
+            system.label(),
+            report.kops,
+            report.mean_latency_us()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Crash recovery walkthrough (§5.4.2, §7.7): create files, crash a metadata
+//! server, recover it from its WAL, then reboot the switch and watch every
+//! directory converge back to normal state.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+
+fn main() {
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 1;
+    let cluster = Cluster::new(cfg);
+
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/wal-demo").await.unwrap();
+        for i in 0..200 {
+            client.create(&format!("/wal-demo/f{i}")).await.unwrap();
+        }
+    });
+    println!(
+        "before crash: {} inodes on server 0, {} pending change-log entries cluster-wide",
+        cluster.servers()[0].inode_count(),
+        cluster
+            .servers()
+            .iter()
+            .map(|s| s.pending_changelog_entries())
+            .sum::<usize>()
+    );
+
+    // Crash and recover metadata server 0.
+    cluster.crash_server(0);
+    println!("server 0 crashed (volatile state lost, WAL retained)");
+    let report = cluster.recover_server(0);
+    println!(
+        "server 0 recovered: {} WAL records replayed, {} inodes rebuilt, {} change-log entries rebuilt, {} directories re-aggregated, {:.2} ms of virtual time",
+        report.wal_records_replayed,
+        report.inodes_recovered,
+        report.changelog_entries_recovered,
+        report.directories_aggregated,
+        report.duration_ns as f64 / 1e6
+    );
+
+    // Reboot the switch: all in-network state is lost; every server
+    // aggregates the directories it owns.
+    let took = cluster.crash_and_recover_switch();
+    println!("switch rebooted and dirty set reconciled in {took}");
+
+    // The namespace is intact.
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        let dir = client.statdir("/wal-demo").await.unwrap();
+        assert_eq!(dir.size, 200);
+        println!("/wal-demo still holds {} entries after both failures", dir.size);
+    });
+}

@@ -1,0 +1,34 @@
+//! A skewed create-burst workload (the scenario of Fig. 17): bursts of file
+//! creations land in one directory at a time, comparing SwitchFS against the
+//! two emulated baselines.
+//!
+//! Run with: `cargo run --release --example skewed_create_burst`
+
+use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+use switchfs::workloads::{NamespaceSpec, WorkloadBuilder};
+
+fn run(system: SystemKind, burst: usize) -> f64 {
+    let mut cfg = ClusterConfig::paper_default(system);
+    cfg.servers = 8;
+    cfg.clients = 4;
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(64, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    let mut builder = WorkloadBuilder::new(ns, 7);
+    let items = builder.create_bursts(burst, 2_000);
+    let report = cluster.run_workload(items, 32, None);
+    report.kops
+}
+
+fn main() {
+    println!("create throughput under operation bursts (32 in-flight requests)");
+    println!("{:>10} {:>18} {:>18} {:>18}", "burst", "SwitchFS", "E-InfiniFS", "E-CFS");
+    for burst in [10usize, 50, 200, 1000] {
+        let s = run(SystemKind::SwitchFs, burst);
+        let i = run(SystemKind::EmulatedInfiniFs, burst);
+        let c = run(SystemKind::EmulatedCfs, burst);
+        println!("{burst:>10} {s:>15.1} Kops {i:>15.1} Kops {c:>15.1} Kops");
+    }
+}

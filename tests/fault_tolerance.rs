@@ -1,0 +1,131 @@
+//! Integration tests for crash recovery and switch failure (§5.4, §A.1).
+
+use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+
+fn cluster() -> Cluster {
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 1;
+    Cluster::new(cfg)
+}
+
+#[test]
+fn server_crash_recovery_restores_inodes_and_changelogs() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/crashdir").await.unwrap();
+        for i in 0..100 {
+            client.create(&format!("/crashdir/f{i}")).await.unwrap();
+        }
+    });
+    let before: usize = cluster.servers().iter().map(|s| s.inode_count()).sum();
+
+    cluster.crash_server(0);
+    assert!(cluster.servers()[0].is_crashed());
+    let report = cluster.recover_server(0);
+    assert!(report.wal_records_replayed > 0);
+    assert!(!cluster.servers()[0].is_crashed());
+
+    let after: usize = cluster.servers().iter().map(|s| s.inode_count()).sum();
+    assert_eq!(before, after, "recovery must rebuild every inode from the WAL");
+
+    // The namespace is still correct and fully visible.
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        let dir = client.statdir("/crashdir").await.unwrap();
+        assert_eq!(dir.size, 100);
+        for i in 0..100 {
+            client.stat(&format!("/crashdir/f{i}")).await.unwrap();
+        }
+    });
+}
+
+#[test]
+fn switch_reboot_reconciles_directory_states() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/d").await.unwrap();
+        for i in 0..50 {
+            client.create(&format!("/d/f{i}")).await.unwrap();
+        }
+    });
+    // The switch loses every fingerprint; servers flush their change-logs.
+    let took = cluster.crash_and_recover_switch();
+    assert!(took.as_nanos() > 0);
+    assert_eq!(
+        cluster.switch_occupancy(),
+        Some(0),
+        "after recovery every directory is back in normal state"
+    );
+    assert_eq!(
+        cluster
+            .servers()
+            .iter()
+            .map(|s| s.pending_changelog_entries())
+            .sum::<usize>(),
+        0,
+        "all change-log entries must have been applied"
+    );
+    // No updates were lost.
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        let dir = client.statdir("/d").await.unwrap();
+        assert_eq!(dir.size, 50);
+    });
+}
+
+#[test]
+fn operations_issued_during_recovery_are_retried_and_succeed() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/busy").await.unwrap();
+        client.create("/busy/before").await.unwrap();
+    });
+    cluster.crash_server(1);
+    cluster.recover_server(1);
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        // New work after recovery lands on a consistent namespace.
+        client.create("/busy/after").await.unwrap();
+        let dir = client.statdir("/busy").await.unwrap();
+        assert_eq!(dir.size, 2);
+    });
+}
+
+#[test]
+fn checkpoint_bounds_wal_replay() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/cp").await.unwrap();
+        for i in 0..40 {
+            client.create(&format!("/cp/f{i}")).await.unwrap();
+        }
+    });
+    // Checkpoint every server, then add a little more work.
+    for s in cluster.servers() {
+        s.checkpoint();
+    }
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        for i in 40..50 {
+            client.create(&format!("/cp/f{i}")).await.unwrap();
+        }
+    });
+    cluster.crash_server(0);
+    let report = cluster.recover_server(0);
+    // Replay is bounded by the post-checkpoint suffix, not the whole history.
+    assert!(
+        report.wal_records_replayed < 30,
+        "checkpoint should bound replay, got {} records",
+        report.wal_records_replayed
+    );
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        let dir = client.statdir("/cp").await.unwrap();
+        assert_eq!(dir.size, 50);
+    });
+}

@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: POSIX semantics of metadata operations on
+//! every evaluated system.
+//!
+//! These tests exercise the full stack — LibFS path resolution and caching,
+//! the simulated network and programmable switch, the metadata servers'
+//! asynchronous-update protocol (or the baselines' synchronous protocol) —
+//! and check the durable-visibility property of §A.2: an operation issued
+//! after another returns must observe its effect.
+
+use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+use switchfs::proto::FsError;
+
+fn small_cluster(system: SystemKind) -> Cluster {
+    let mut cfg = ClusterConfig::paper_default(system);
+    cfg.servers = 4;
+    cfg.clients = 2;
+    Cluster::new(cfg)
+}
+
+fn basic_lifecycle(system: SystemKind) {
+    let cluster = small_cluster(system);
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        // mkdir + create + stat + statdir.
+        client.mkdir("/proj").await.expect("mkdir /proj");
+        client.mkdir("/proj/src").await.expect("mkdir /proj/src");
+        client.create("/proj/src/main.rs").await.expect("create");
+        client.create("/proj/src/lib.rs").await.expect("create");
+        let f = client.stat("/proj/src/main.rs").await.expect("stat");
+        assert!(!f.is_dir());
+        // The directory read sees both asynchronous updates (durable
+        // visibility: the creates returned before the statdir was issued).
+        let d = client.statdir("/proj/src").await.expect("statdir");
+        assert!(d.is_dir());
+        assert_eq!(d.size, 2, "statdir must observe both creates");
+        let (_, entries) = client.readdir("/proj/src").await.expect("readdir");
+        let mut names: Vec<_> = entries.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        assert_eq!(names, vec!["lib.rs", "main.rs"]);
+        // delete + statdir again.
+        client.delete("/proj/src/lib.rs").await.expect("delete");
+        let d = client.statdir("/proj/src").await.expect("statdir");
+        assert_eq!(d.size, 1, "statdir must observe the delete");
+        // Errors.
+        assert_eq!(
+            client.create("/proj/src/main.rs").await.unwrap_err(),
+            FsError::AlreadyExists
+        );
+        assert_eq!(
+            client.stat("/proj/src/nope.rs").await.unwrap_err(),
+            FsError::NotFound
+        );
+        assert_eq!(
+            client.rmdir("/proj/src").await.unwrap_err(),
+            FsError::NotEmpty
+        );
+        client.delete("/proj/src/main.rs").await.expect("delete main.rs");
+        client.rmdir("/proj/src").await.expect("rmdir now-empty dir");
+        assert_eq!(
+            client.statdir("/proj/src").await.unwrap_err(),
+            FsError::NotFound,
+            "a removed directory must not be readable"
+        );
+    });
+}
+
+#[test]
+fn switchfs_basic_lifecycle() {
+    basic_lifecycle(SystemKind::SwitchFs);
+}
+
+#[test]
+fn emulated_cfs_basic_lifecycle() {
+    basic_lifecycle(SystemKind::EmulatedCfs);
+}
+
+#[test]
+fn emulated_infinifs_basic_lifecycle() {
+    basic_lifecycle(SystemKind::EmulatedInfiniFs);
+}
+
+#[test]
+fn cephfs_like_basic_lifecycle() {
+    basic_lifecycle(SystemKind::CephFsLike);
+}
+
+#[test]
+fn indexfs_like_basic_lifecycle() {
+    basic_lifecycle(SystemKind::IndexFsLike);
+}
+
+#[test]
+fn concurrent_creates_are_all_visible_to_a_later_readdir() {
+    let cluster = small_cluster(SystemKind::SwitchFs);
+    let clients: Vec<_> = (0..2).map(|i| cluster.client(i)).collect();
+    let setup = cluster.client(0);
+    cluster.block_on(async move {
+        setup.mkdir("/shared").await.unwrap();
+    });
+    // Two clients create files concurrently in the same directory.
+    let c0 = clients[0].clone();
+    let c1 = clients[1].clone();
+    cluster.block_on(async move {
+        let paths0: Vec<String> = (0..20).map(|i| format!("/shared/a{i}")).collect();
+        let paths1: Vec<String> = (0..20).map(|i| format!("/shared/b{i}")).collect();
+        let mut in_flight = Vec::new();
+        for p in &paths0 {
+            in_flight.push(c0.create(p));
+        }
+        for p in &paths1 {
+            in_flight.push(c1.create(p));
+        }
+        for f in in_flight {
+            f.await.unwrap();
+        }
+    });
+    let reader = cluster.client(1);
+    cluster.block_on(async move {
+        let (attrs, entries) = reader.readdir("/shared").await.unwrap();
+        assert_eq!(entries.len(), 40, "all concurrent creates must be visible");
+        assert_eq!(attrs.size, 40);
+    });
+}
+
+#[test]
+fn rename_moves_a_file_across_directories() {
+    let cluster = small_cluster(SystemKind::SwitchFs);
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/a").await.unwrap();
+        client.mkdir("/b").await.unwrap();
+        client.create("/a/x").await.unwrap();
+        client.rename("/a/x", "/b/y").await.unwrap();
+        assert_eq!(client.stat("/a/x").await.unwrap_err(), FsError::NotFound);
+        client.stat("/b/y").await.expect("renamed file must exist");
+    });
+}
+
+#[test]
+fn stale_client_caches_are_invalidated_lazily_after_rmdir() {
+    let cluster = small_cluster(SystemKind::SwitchFs);
+    let creator = cluster.client(0);
+    let other = cluster.client(1);
+    cluster.block_on(async move {
+        creator.mkdir("/tmpdir").await.unwrap();
+        creator.create("/tmpdir/file").await.unwrap();
+        // The second client resolves the directory (fills its cache).
+        other.stat("/tmpdir/file").await.unwrap();
+        // The first client empties and removes the directory.
+        creator.delete("/tmpdir/file").await.unwrap();
+        creator.rmdir("/tmpdir").await.unwrap();
+        // The second client's cached entry for /tmpdir is now stale; the
+        // invalidation-list check must make the operation fail with ENOENT
+        // after the lazy invalidation retry, not succeed against stale state.
+        let err = other.create("/tmpdir/new").await.unwrap_err();
+        assert_eq!(err, FsError::NotFound);
+    });
+}
+
+#[test]
+fn dirty_set_overflow_falls_back_to_synchronous_updates() {
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 1;
+    cfg.force_dirty_overflow = true;
+    let cluster = Cluster::new(cfg);
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/d").await.unwrap();
+        for i in 0..10 {
+            client.create(&format!("/d/f{i}")).await.unwrap();
+        }
+        let d = client.statdir("/d").await.unwrap();
+        assert_eq!(d.size, 10);
+    });
+    let stats = cluster.total_server_stats();
+    assert!(
+        stats.fallback_syncs > 0,
+        "forced overflow must exercise the synchronous fallback path"
+    );
+}
+
+#[test]
+fn lossy_network_still_completes_operations() {
+    use switchfs::simnet::{NetFaults, SimDuration};
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 1;
+    // 2% loss, 2% duplication, light reordering jitter (§5.4.1).
+    cfg.net_faults = NetFaults::lossy(0.02, 0.02, SimDuration::micros(2));
+    let cluster = Cluster::new(cfg);
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/lossy").await.unwrap();
+        for i in 0..50 {
+            client.create(&format!("/lossy/f{i}")).await.unwrap();
+        }
+        let d = client.statdir("/lossy").await.unwrap();
+        assert_eq!(d.size, 50, "loss/duplication must not lose or double-apply updates");
+    });
+}

@@ -1,0 +1,144 @@
+//! Property-based tests on core data structures and invariants.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+
+use switchfs::kvstore::KvStore;
+use switchfs::proto::changelog::{ChangeLogEntry, ChangeOp, CompactedChanges};
+use switchfs::proto::{ClientId, DirId, FileType, Fingerprint, OpId, ServerId};
+use switchfs::switch::{DirtySet, DirtySetConfig};
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u8, u32),
+    Delete(u8),
+    Get(u8),
+}
+
+fn kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(k, v)| KvOp::Put(k, v)),
+        any::<u8>().prop_map(KvOp::Delete),
+        any::<u8>().prop_map(KvOp::Get),
+    ]
+}
+
+proptest! {
+    /// The ordered KV store behaves exactly like a reference BTreeMap under
+    /// arbitrary sequences of puts, deletes and gets.
+    #[test]
+    fn kvstore_matches_btreemap_model(ops in proptest::collection::vec(kv_op(), 1..200)) {
+        let mut kv = KvStore::new();
+        let mut model = BTreeMap::new();
+        for op in ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    prop_assert_eq!(kv.put(k, v), model.insert(k, v));
+                }
+                KvOp::Delete(k) => {
+                    prop_assert_eq!(kv.delete(&k), model.remove(&k));
+                }
+                KvOp::Get(k) => {
+                    prop_assert_eq!(kv.get(&k), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+    }
+
+    /// The in-network dirty set agrees with a reference HashSet as long as it
+    /// does not overflow: after any interleaving of inserts and removes, the
+    /// same fingerprints are reported present.
+    #[test]
+    fn dirty_set_matches_set_model(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..300)) {
+        let mut ds = DirtySet::new(DirtySetConfig::tiny(10, 6));
+        let mut model: HashSet<u64> = HashSet::new();
+        let fps: Vec<Fingerprint> = (0..64u64)
+            .map(|i| Fingerprint::of_dir(&DirId::generate(ServerId(1), i), "dir"))
+            .collect();
+        for (insert, idx) in ops {
+            let fp = fps[idx as usize];
+            if insert {
+                // With 10-way associativity and 64 keys over 64 sets the set
+                // must not overflow.
+                prop_assert_eq!(ds.insert(fp), switchfs::switch::InsertOutcome::Inserted);
+                model.insert(fp.raw());
+            } else {
+                ds.remove(fp);
+                model.remove(&fp.raw());
+            }
+        }
+        for fp in &fps {
+            prop_assert_eq!(ds.query(*fp), model.contains(&fp.raw()));
+        }
+        prop_assert_eq!(ds.occupancy(), model.len());
+    }
+
+    /// Change-log compaction preserves the aggregate directory state: the
+    /// net size delta, the maximum timestamp, and the final per-name effect
+    /// all match an entry-by-entry replay.
+    #[test]
+    fn compaction_is_equivalent_to_replay(
+        names in proptest::collection::vec(0u8..6, 1..60),
+        inserts in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let n = names.len().min(inserts.len());
+        let entries: Vec<ChangeLogEntry> = (0..n)
+            .map(|i| ChangeLogEntry {
+                entry_id: OpId { client: ClientId(0), seq: i as u64 },
+                dir: DirId::ROOT,
+                name: format!("n{}", names[i]),
+                op: if inserts[i] {
+                    ChangeOp::Insert { file_type: FileType::File, mode: 0o644 }
+                } else {
+                    ChangeOp::Remove
+                },
+                timestamp: (i as u64) * 10,
+                size_delta: if inserts[i] { 1 } else { -1 },
+            })
+            .collect();
+        let compacted = CompactedChanges::from_entries(&entries);
+
+        // Replay model: apply entries one by one.
+        let mut size = 0i64;
+        let mut max_ts = 0u64;
+        let mut present: BTreeMap<String, bool> = BTreeMap::new();
+        for e in &entries {
+            size += e.size_delta;
+            max_ts = max_ts.max(e.timestamp);
+            present.insert(e.name.clone(), matches!(e.op, ChangeOp::Insert { .. }));
+        }
+        prop_assert_eq!(compacted.size_delta, size);
+        prop_assert_eq!(compacted.max_timestamp, max_ts);
+        // Applying the compacted entry ops to an empty listing produces the
+        // same final membership for every name that ends up present.
+        let mut listing: BTreeMap<String, bool> = BTreeMap::new();
+        for (name, op) in &compacted.entry_ops {
+            listing.insert(name.clone(), matches!(op, ChangeOp::Insert { .. }));
+        }
+        for (name, is_present) in present {
+            if is_present {
+                prop_assert_eq!(listing.get(&name), Some(&true), "name {} must survive", name);
+            } else {
+                // Either explicitly removed or cancelled out entirely.
+                prop_assert_ne!(listing.get(&name), Some(&true));
+            }
+        }
+    }
+
+    /// Fingerprints always fit in 49 bits and index/tag decomposition is
+    /// loss-free with respect to placement: equal fingerprints yield equal
+    /// (index, tag) pairs and distinct pairs imply distinct fingerprints.
+    #[test]
+    fn fingerprint_decomposition_is_consistent(a in any::<u64>(), b in any::<u64>()) {
+        let fa = Fingerprint::of_dir(&DirId::generate(ServerId(0), a), "x");
+        let fb = Fingerprint::of_dir(&DirId::generate(ServerId(0), b), "x");
+        prop_assert!(fa.raw() <= Fingerprint::MASK);
+        if fa == fb {
+            prop_assert_eq!((fa.index(), fa.tag()), (fb.index(), fb.tag()));
+        }
+        if (fa.index(), fa.tag()) != (fb.index(), fb.tag()) {
+            prop_assert_ne!(fa, fb);
+        }
+    }
+}
