@@ -84,7 +84,11 @@ impl SystemKind {
     /// `dirty_query_in_packet` only matters for SwitchFS: it is true under
     /// in-network tracking and false when a dedicated coordinator or the
     /// owner server tracks directory state (§7.3.3 variants).
-    pub fn make_router(&self, servers: usize, dirty_query_in_packet: bool) -> Rc<dyn RequestRouter> {
+    pub fn make_router(
+        &self,
+        servers: usize,
+        dirty_query_in_packet: bool,
+    ) -> Rc<dyn RequestRouter> {
         match self {
             SystemKind::SwitchFs => Rc::new(SwitchFsRouter::new(servers, dirty_query_in_packet)),
             SystemKind::EmulatedCfs => Rc::new(SwitchFsRouter::new(servers, false)),
@@ -136,7 +140,10 @@ mod tests {
         let fast = SystemKind::SwitchFs.cost_model().request_overhead();
         assert!(ceph > index);
         assert!(index > fast);
-        assert_eq!(fast, SystemKind::EmulatedCfs.cost_model().request_overhead());
+        assert_eq!(
+            fast,
+            SystemKind::EmulatedCfs.cost_model().request_overhead()
+        );
     }
 
     #[test]

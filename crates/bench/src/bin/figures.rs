@@ -118,8 +118,8 @@ fn run(which: &str, scale: ExperimentScale, json: bool) {
         ),
         "all" => {
             for w in [
-                "tab2", "fig2", "fig12a", "fig12b", "fig13", "fig14", "overflow", "fig15",
-                "fig16", "fig17a", "fig17b", "fig18", "fig19", "recovery",
+                "tab2", "fig2", "fig12a", "fig12b", "fig13", "fig14", "overflow", "fig15", "fig16",
+                "fig17a", "fig17b", "fig18", "fig19", "recovery",
             ] {
                 run(w, scale, json);
             }

@@ -140,8 +140,7 @@ pub fn fig2(scale: ExperimentScale) -> Vec<Row> {
     for servers in [4usize, 8, 12, 16] {
         let mut row = Row::new(format!("{servers} servers"));
         for system in [SystemKind::EmulatedInfiniFs, SystemKind::EmulatedCfs] {
-            let (stat_kops, _) =
-                op_throughput(system, servers, 4, &ns, OpKind::Stat, scale, 256);
+            let (stat_kops, _) = op_throughput(system, servers, 4, &ns, OpKind::Stat, scale, 256);
             let (create_kops, _) =
                 op_throughput(system, servers, 4, &ns, OpKind::Create, scale, 256);
             row = row
@@ -153,8 +152,7 @@ pub fn fig2(scale: ExperimentScale) -> Vec<Row> {
     for cores in [2usize, 4, 6] {
         let mut row = Row::new(format!("{cores} cores/server"));
         for system in [SystemKind::EmulatedInfiniFs, SystemKind::EmulatedCfs] {
-            let (create_kops, _) =
-                op_throughput(system, 8, cores, &ns, OpKind::Create, scale, 256);
+            let (create_kops, _) = op_throughput(system, 8, cores, &ns, OpKind::Create, scale, 256);
             row = row.col(format!("{} create Kops/s", system.label()), create_kops);
         }
         rows.push(row);
@@ -221,8 +219,16 @@ pub fn fig14(scale: ExperimentScale) -> Vec<Row> {
     let ns = NamespaceSpec::single_large_dir(0);
     let variants: [(&str, SystemKind, Option<UpdateMode>); 3] = [
         ("Baseline", SystemKind::EmulatedCfs, None),
-        ("+Async", SystemKind::SwitchFs, Some(UpdateMode::AsyncNoCompaction)),
-        ("+Compaction", SystemKind::SwitchFs, Some(UpdateMode::AsyncCompacted)),
+        (
+            "+Async",
+            SystemKind::SwitchFs,
+            Some(UpdateMode::AsyncNoCompaction),
+        ),
+        (
+            "+Compaction",
+            SystemKind::SwitchFs,
+            Some(UpdateMode::AsyncCompacted),
+        ),
     ];
     let mut rows = Vec::new();
     for cores in [2usize, 4, 6] {
@@ -309,9 +315,7 @@ pub fn fig15(scale: ExperimentScale) -> Vec<Row> {
         let mut builder = WorkloadBuilder::new(ns2, 9);
         let items = builder.uniform(OpKind::Statdir, scale.ops());
         let report = cluster.run_workload(items, 256, None);
-        rows.push(
-            Row::new(format!("{label} statdir throughput")).col("Kops/s", report.kops),
-        );
+        rows.push(Row::new(format!("{label} statdir throughput")).col("Kops/s", report.kops));
     }
     rows
 }
@@ -412,7 +416,11 @@ pub fn fig18(scale: ExperimentScale) -> Vec<Row> {
 pub fn fig19(scale: ExperimentScale) -> Vec<Row> {
     let mut rows = Vec::new();
     let data_latency = Some(SimDuration::micros(30));
-    let workloads: [(&str, bool); 3] = [("synthetic", false), ("cnn-training", true), ("thumbnail", true)];
+    let workloads: [(&str, bool); 3] = [
+        ("synthetic", false),
+        ("cnn-training", true),
+        ("thumbnail", true),
+    ];
     for (wl, with_data) in workloads {
         let mut row = Row::new(wl);
         for system in [

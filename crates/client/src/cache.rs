@@ -67,7 +67,8 @@ impl MetaCache {
             format!("{path}/")
         };
         let before = self.dirs.len();
-        self.dirs.retain(|p, _| p != path && !p.starts_with(&prefix));
+        self.dirs
+            .retain(|p, _| p != path && !p.starts_with(&prefix));
         self.invalidations += (before - self.dirs.len()) as u64;
     }
 
@@ -157,7 +158,10 @@ mod tests {
         assert!(c.get("/a").is_some());
         assert!(c.get("/a/b").is_none());
         assert!(c.get("/a/b/c").is_none());
-        assert!(c.get("/ab").is_some(), "sibling with shared prefix must survive");
+        assert!(
+            c.get("/ab").is_some(),
+            "sibling with shared prefix must survive"
+        );
     }
 
     #[test]

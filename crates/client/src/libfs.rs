@@ -205,7 +205,10 @@ impl LibFs {
 
     /// Lists a directory.
     pub async fn readdir(&self, path: &str) -> FsResult<(InodeAttrs, Vec<DirEntry>)> {
-        match self.run_path_op(path, |key| MetaOp::Readdir { key }).await? {
+        match self
+            .run_path_op(path, |key| MetaOp::Readdir { key })
+            .await?
+        {
             OpResult::Listing { attrs, entries } => Ok((attrs, entries)),
             OpResult::Err(e) => Err(e),
             _ => Err(FsError::NotFound),
@@ -227,23 +230,102 @@ impl LibFs {
 
     /// Changes permission bits.
     pub async fn chmod(&self, path: &str, mode: u16) -> FsResult<()> {
-        self.expect_done(self.run_path_op(path, |key| MetaOp::Chmod { key, mode }).await)
+        self.expect_done(
+            self.run_path_op(path, |key| MetaOp::Chmod { key, mode })
+                .await,
+        )
     }
 
     /// Renames a file (or directory).
     pub async fn rename(&self, src_path: &str, dst_path: &str) -> FsResult<()> {
+        let mut attempt = 0;
+        loop {
+            match self.try_rename(src_path, dst_path).await {
+                // `Unavailable` is the coordinator's abort verdict (nothing
+                // was mutated) and `StaleCache` a failed ancestor check:
+                // both are safe to retry, like `run_path_op` does for every
+                // other operation. A timeout's outcome is ambiguous and is
+                // surfaced to the caller.
+                Err(e @ (FsError::Unavailable | FsError::StaleCache))
+                    if attempt < self.cfg.max_op_retries =>
+                {
+                    attempt += 1;
+                    if e == FsError::StaleCache {
+                        self.stats.borrow_mut().stale_retries += 1;
+                        self.cache.borrow_mut().invalidate_path(src_path);
+                        self.cache.borrow_mut().invalidate_path(dst_path);
+                    } else {
+                        self.handle.sleep(self.cfg.request_timeout).await;
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One rename attempt: probe types, resolve both paths, run the
+    /// transaction.
+    async fn try_rename(&self, src_path: &str, dst_path: &str) -> FsResult<()> {
+        // The router needs the source's type: directory inodes live with
+        // their fingerprint group, file inodes with their per-file hash, so
+        // the transaction coordinator differs. Use cached attributes when
+        // present; otherwise probe as a file first (the common case; under
+        // grouping placement it also answers for directories), then as a
+        // directory.
+        let cached = self
+            .cache
+            .borrow_mut()
+            .get(src_path)
+            .and_then(|c| c.attrs.clone());
+        let src_attrs = match cached {
+            Some(a) => a,
+            None => match self.stat(src_path).await {
+                Ok(a) => a,
+                Err(FsError::NotFound) => self.statdir(src_path).await?,
+                Err(e) => return Err(e),
+            },
+        };
+        // POSIX: renaming an existing path onto itself succeeds as a no-op.
+        if src_path == dst_path {
+            return Ok(());
+        }
+        // The destination may overwrite an existing *file* (POSIX rename
+        // semantics; the parent's entry count is unchanged, handled by the
+        // owner's existence-aware size accounting). Renaming onto an
+        // existing directory, or a directory onto a file, is rejected.
+        // (POSIX would allow replacing an *empty* directory; that needs a
+        // cross-server emptiness probe and is deliberately unsupported.)
+        let dst_existing = match self.stat(dst_path).await {
+            Ok(a) => Some(a),
+            Err(FsError::NotFound) => match self.statdir(dst_path).await {
+                Ok(a) => Some(a),
+                Err(FsError::NotFound) => None,
+                Err(e) => return Err(e),
+            },
+            Err(e) => return Err(e),
+        };
+        if let Some(d) = &dst_existing {
+            if d.is_dir() {
+                return Err(FsError::IsADirectory);
+            }
+            if src_attrs.is_dir() {
+                return Err(FsError::NotADirectory);
+            }
+        }
         let src_res = self.resolve(src_path, false).await?;
         let dst_res = self.resolve(dst_path, false).await?;
         let op = MetaOp::Rename {
             src: src_res.key.clone(),
             dst: dst_res.key.clone(),
+            dst_parent: dst_res.parent.clone(),
         };
         let mut ancestors = src_res.ancestors.clone();
         ancestors.extend(dst_res.ancestors.iter().copied());
         let result = self
-            .issue(op, src_res.parent.clone(), ancestors, None)
+            .issue(op, src_res.parent.clone(), ancestors, Some(src_attrs))
             .await?;
         self.cache.borrow_mut().invalidate_subtree(src_path);
+        self.cache.borrow_mut().invalidate_path(dst_path);
         match result {
             OpResult::Err(e) => Err(e),
             _ => Ok(()),
@@ -387,7 +469,7 @@ impl LibFs {
             };
             // Only the first `comps.len() - 1` components become the parent
             // chain; a resolved target does not change the parent.
-            if current.matches('/').count() <= comps.len() - 1 {
+            if current.matches('/').count() < comps.len() {
                 ancestors.push(dir.id);
                 parent = ParentRef {
                     key: dir.key.clone(),
@@ -399,7 +481,7 @@ impl LibFs {
         }
         // The parent chain added the target's id when resolve_target included
         // the final component; undo that for the ParentRef.
-        if resolve_target && comps.len() >= 1 {
+        if resolve_target && !comps.is_empty() {
             // Recompute the parent as the second-to-last component.
             // (Cheap: everything is cached by now.)
             let mut p = ParentRef {
@@ -426,16 +508,11 @@ impl LibFs {
         }
         let name = comps.last().expect("non-empty").clone();
         let key = MetaKey::new(parent.id, name);
-        let parent_ref = if parent.id == DirId::ROOT && comps.len() == 1 {
-            // Operations directly under the root still carry the root as
-            // parent; only the root itself has no parent.
-            Some(parent.clone())
-        } else {
-            Some(parent.clone())
-        };
+        // Operations directly under the root still carry the root as parent;
+        // only the root itself has no parent, and it is never resolved here.
         Ok(Resolution {
             key,
-            parent: parent_ref,
+            parent: Some(parent.clone()),
             ancestors,
             parent_path,
         })
@@ -482,7 +559,11 @@ impl LibFs {
                 seq: self.next_seq.get() + attempt as u64,
             };
             let msg = if attach_query {
-                NetMsg::with_dirty(pkt_seq, DirtySetHeader::query(fp), Body::Request(request.clone()))
+                NetMsg::with_dirty(
+                    pkt_seq,
+                    DirtySetHeader::query(fp),
+                    Body::Request(request.clone()),
+                )
             } else {
                 NetMsg::plain(pkt_seq, Body::Request(request.clone()))
             };

@@ -61,7 +61,7 @@ impl RequestRouter for SwitchFsRouter {
         &self,
         op: &MetaOp,
         _parent: Option<&ParentRef>,
-        _target: Option<&InodeAttrs>,
+        target: Option<&InodeAttrs>,
     ) -> ServerId {
         let key = op.primary_key();
         match op {
@@ -74,6 +74,14 @@ impl RequestRouter for SwitchFsRouter {
                 let fp = Fingerprint::of_dir(&key.pid, &key.name);
                 self.placement.dir_owner_by_fp(fp)
             }
+            // Rename is coordinated by the source inode's owner: the
+            // fingerprint-group owner when the source is a directory
+            // (directory inodes live with their fingerprint group, like
+            // `mkdir` placed them), the per-file-hash owner otherwise.
+            MetaOp::Rename { src, .. } if target.is_some_and(InodeAttrs::is_dir) => {
+                let fp = Fingerprint::of_dir(&src.pid, &src.name);
+                self.placement.dir_owner_by_fp(fp)
+            }
             // Everything else is addressed by the file's own key.
             _ => self.placement.file_owner(key),
         }
@@ -83,8 +91,8 @@ impl RequestRouter for SwitchFsRouter {
         self.dirty_query_in_packet && op.is_dir_read()
     }
 
-    fn needs_target_resolution(&self, _op: &MetaOp) -> bool {
-        false
+    fn needs_target_resolution(&self, op: &MetaOp) -> bool {
+        matches!(op, MetaOp::Rename { .. })
     }
 
     fn num_servers(&self) -> usize {

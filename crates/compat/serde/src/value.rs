@@ -1,0 +1,349 @@
+//! The JSON-like value tree shared by the `serde` and `serde_json` stand-ins.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key/value map preserving insertion order.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// A JSON number: a non-negative integer, a negative integer, or a finite
+/// float — the same three-way split the real `serde_json` uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integer representable as `u64`.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds a number from a `u64`.
+    pub fn from_u64(v: u64) -> Number {
+        Number::PosInt(v)
+    }
+
+    /// Builds a number from an `i64`, normalizing non-negative values.
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    /// Builds a number from a finite `f64`; `None` for NaN / infinities,
+    /// matching `serde_json::Number::from_f64`.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        if v.is_finite() {
+            Some(Number::Float(v))
+        } else {
+            None
+        }
+    }
+
+    /// The number as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::PosInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::PosInt(v) => i64::try_from(*v).ok(),
+            Number::NegInt(v) => Some(*v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `f64` (lossy for large integers).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::PosInt(v) => *v as f64,
+            Number::NegInt(v) => *v as f64,
+            Number::Float(v) => *v,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map` with
+/// `preserve_order` semantics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Map {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts a key, replacing (in place) any existing entry for it.
+    /// Returns the previous value if the key was present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// Writes `v` as JSON. `indent = None` is compact; `Some(width)` pretty.
+#[doc(hidden)]
+pub fn write_json(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write;
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(v) => {
+            // `{}` on f64 is the shortest representation that round-trips,
+            // but prints integral floats without a fraction ("1"); add ".0"
+            // so the value re-parses as a float, like serde_json does.
+            let mut s = format!("{v}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            out.push_str(&s);
+        }
+    }
+}
+
+/// Writes a JSON string literal with escaping.
+#[doc(hidden)]
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON, matching `serde_json::Value`'s `Display`.
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_json(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        assert_eq!(m.insert("a".into(), Value::Bool(true)), None);
+        assert_eq!(m.insert("b".into(), Value::Null), None);
+        assert_eq!(
+            m.insert("a".into(), Value::Bool(false)),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(m.len(), 2);
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn number_normalization() {
+        assert_eq!(Number::from_i64(5), Number::PosInt(5));
+        assert_eq!(Number::from_i64(-5), Number::NegInt(-5));
+        assert_eq!(Number::from_f64(f64::NAN), None);
+        assert_eq!(Number::from_i64(-5).as_i64(), Some(-5));
+        assert_eq!(Number::from_u64(u64::MAX).as_i64(), None);
+    }
+}

@@ -61,8 +61,7 @@ impl Cluster {
             cfg.system.partition_policy(),
             cfg.servers,
         ));
-        let server_nodes: Rc<Vec<NodeId>> =
-            Rc::new((0..cfg.servers).map(server_node).collect());
+        let server_nodes: Rc<Vec<NodeId>> = Rc::new((0..cfg.servers).map(server_node).collect());
 
         // Programmable switch (only SwitchFS with in-network tracking).
         let mut switch = None;
@@ -225,7 +224,10 @@ impl Cluster {
 
     /// Requests served by the dedicated coordinator, if one is deployed.
     pub fn coordinator_requests(&self) -> u64 {
-        self.coordinator.as_ref().map(|c| c.stats().requests).unwrap_or(0)
+        self.coordinator
+            .as_ref()
+            .map(|c| c.stats().requests)
+            .unwrap_or(0)
     }
 
     /// Forces (or stops forcing) dirty-set insert overflow (§7.3.2).

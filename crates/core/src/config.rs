@@ -85,12 +85,14 @@ impl ClusterConfig {
 
     /// The effective update mode.
     pub fn update_mode(&self) -> UpdateMode {
-        self.update_mode_override.unwrap_or_else(|| self.system.update_mode())
+        self.update_mode_override
+            .unwrap_or_else(|| self.system.update_mode())
     }
 
     /// The effective cost model.
     pub fn cost_model(&self) -> CostModel {
-        self.cost_override.unwrap_or_else(|| self.system.cost_model())
+        self.cost_override
+            .unwrap_or_else(|| self.system.cost_model())
     }
 
     /// The client request timeout: explicit override, or scaled to the

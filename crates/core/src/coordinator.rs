@@ -100,8 +100,12 @@ mod tests {
     #[test]
     fn coordinator_answers_dirty_set_rpcs() {
         let sim = Sim::new(1);
-        let net: Network<NetMsg> =
-            Network::new(sim.handle(), LinkParams::default(), NetFaults::reliable(), 1);
+        let net: Network<NetMsg> = Network::new(
+            sim.handle(),
+            LinkParams::default(),
+            NetFaults::reliable(),
+            1,
+        );
         let coord_ep = net.register(NodeId(900));
         let client_ep = net.register(NodeId(1));
         let coordinator = Rc::new(Coordinator::new(sim.handle(), coord_ep, 12));

@@ -115,9 +115,10 @@ impl Cluster {
                     let lat = t1.duration_since(t0);
                     c.latency.record(lat);
                     c.end = t1;
-                    let entry = c.per_op.entry(name).or_insert_with(|| {
-                        (LatencyHistogram::new(), 0, 0)
-                    });
+                    let entry = c
+                        .per_op
+                        .entry(name)
+                        .or_insert_with(|| (LatencyHistogram::new(), 0, 0));
                     entry.0.record(lat);
                     entry.1 += 1;
                     if !ok {
@@ -205,7 +206,10 @@ async fn run_item(
         OpKind::Close => client.close(&item.path).await.is_ok(),
         OpKind::Chmod => client.chmod(&item.path, 0o700).await.is_ok(),
         OpKind::Rename => {
-            let dst = item.dst.clone().unwrap_or_else(|| format!("{}.renamed", item.path));
+            let dst = item
+                .dst
+                .clone()
+                .unwrap_or_else(|| format!("{}.renamed", item.path));
             client.rename(&item.path, &dst).await.is_ok()
         }
         OpKind::Read | OpKind::Write => {

@@ -97,7 +97,10 @@ impl<K: Ord + Clone, V: Clone> KvStore<K, V> {
     pub fn scan_while(&mut self, start: &K, keep: impl Fn(&K) -> bool) -> Vec<(K, V)> {
         self.stats.scans += 1;
         let mut out = Vec::new();
-        for (k, v) in self.map.range((Bound::Included(start.clone()), Bound::Unbounded)) {
+        for (k, v) in self
+            .map
+            .range((Bound::Included(start.clone()), Bound::Unbounded))
+        {
             if !keep(k) {
                 break;
             }

@@ -241,7 +241,11 @@ mod tests {
         for i in 0..10_000 {
             indexes.insert(Fingerprint::of_dir(&pid, &format!("d{i}")).index());
         }
-        assert!(indexes.len() > 9_000, "got {} distinct indexes", indexes.len());
+        assert!(
+            indexes.len() > 9_000,
+            "got {} distinct indexes",
+            indexes.len()
+        );
     }
 
     #[test]

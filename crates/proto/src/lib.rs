@@ -35,8 +35,8 @@ pub use dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp, DirtyState};
 pub use error::{FsError, FsResult};
 pub use ids::{ClientId, DirId, Fingerprint, OpId, ServerId};
 pub use message::{
-    AggregationPayload, Body, ClientRequest, ClientResponse, MetaOp, NetMsg, OpResult, ParentRef, ServerMsg,
-    UdpPorts,
+    AggregationPayload, Body, ClientRequest, ClientResponse, MetaOp, NetMsg, OpResult, ParentRef,
+    ServerMsg, UdpPorts,
 };
 pub use placement::{HashPlacement, PartitionPolicy, Placement};
 pub use schema::{DirEntry, FileType, InodeAttrs, MetaKey, Permissions, Timestamps};

@@ -106,6 +106,14 @@ pub enum MetaOp {
         src: MetaKey,
         /// Destination `(pid, name)`.
         dst: MetaKey,
+        /// Reference to the destination's parent directory, resolved by the
+        /// client alongside the destination path. The rename transaction
+        /// (§5.2) needs it to route the destination-directory update to the
+        /// server owning that directory's content replica. LibFS always
+        /// fills it in (the root counts as its children's parent); on a
+        /// `None` from another sender the coordinator falls back to treating
+        /// the destination as sitting directly under the root.
+        dst_parent: Option<ParentRef>,
     },
 }
 
@@ -134,7 +142,10 @@ impl MetaOp {
     pub fn is_double_inode(&self) -> bool {
         matches!(
             self,
-            MetaOp::Create { .. } | MetaOp::Delete { .. } | MetaOp::Mkdir { .. } | MetaOp::Rmdir { .. }
+            MetaOp::Create { .. }
+                | MetaOp::Delete { .. }
+                | MetaOp::Mkdir { .. }
+                | MetaOp::Rmdir { .. }
         )
     }
 
@@ -371,6 +382,16 @@ pub enum ServerMsg {
         /// Transaction id.
         txn_id: u64,
     },
+    /// Participant acknowledgment that a commit/abort decision was fully
+    /// applied; the coordinator retransmits the decision until it arrives,
+    /// so a committed rename is visible on every participant before the
+    /// client sees `Done`, and an aborted one never strands prepared state.
+    TxnDecisionAck {
+        /// Transaction id.
+        txn_id: u64,
+        /// Acknowledging server.
+        from: ServerId,
+    },
     /// Abort decision.
     TxnAbort {
         /// Transaction id.
@@ -476,6 +497,26 @@ pub enum TxnOp {
         dir_key: MetaKey,
         /// The update.
         entry: ChangeLogEntry,
+    },
+    /// Install a renamed directory's content at its (possibly new) owner:
+    /// re-point the id → key owner index at the new key and store the
+    /// migrated entry list. `entries` is empty when only the index moves
+    /// (grouping policies place content by the stable directory id).
+    PutDirContent {
+        /// The directory's new `(pid, name)` key.
+        key: MetaKey,
+        /// The directory's stable id.
+        dir: DirId,
+        /// Migrated entry list (empty when the content owner is unchanged).
+        entries: Vec<DirEntry>,
+    },
+    /// Drop a renamed directory's content from its old owner after the new
+    /// owner installed it.
+    DeleteDirContent {
+        /// The directory's stable id.
+        dir: DirId,
+        /// Names of the entries to drop.
+        names: Vec<String>,
     },
 }
 
@@ -584,6 +625,7 @@ mod tests {
         let op = MetaOp::Rename {
             src: key("a"),
             dst: key("b"),
+            dst_parent: None,
         };
         assert_eq!(op.primary_key().name, "a");
     }

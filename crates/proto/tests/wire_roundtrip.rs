@@ -1,0 +1,337 @@
+//! Property-based round-trip coverage for the binary wire layer.
+//!
+//! Generates arbitrary [`DirtySetHeader`]s and [`NetMsg`]s — including every
+//! `Body` variant a datagram can carry — and asserts that
+//! `encode → decode` is the identity over `proto::wire`, and that encoded
+//! sizes match the documented layout (Fig. 9 / §6.1).
+
+use proptest::prelude::*;
+
+use switchfs_proto::changelog::{ChangeLogEntry, ChangeOp};
+use switchfs_proto::ids::{ClientId, DirId, Fingerprint, OpId, ServerId};
+use switchfs_proto::message::{
+    Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, NetMsg, OpResult, PacketSeq, ParentRef,
+    ServerMsg, SyncFallback,
+};
+use switchfs_proto::schema::{DirEntry, FileType, InodeAttrs, MetaKey, Permissions, Timestamps};
+use switchfs_proto::wire::{
+    decode_dirty_header, decode_net_msg, encode_dirty_header, encode_net_msg, DIRTY_HEADER_LEN,
+    NET_MSG_FIXED_LEN,
+};
+use switchfs_proto::{DirtyRet, DirtySetHeader, DirtySetOp, DirtyState, FsError};
+
+fn arb_op() -> impl Strategy<Value = DirtySetOp> {
+    prop_oneof![
+        Just(DirtySetOp::Insert),
+        Just(DirtySetOp::Query),
+        Just(DirtySetOp::Remove),
+    ]
+}
+
+fn arb_ret() -> impl Strategy<Value = DirtyRet> {
+    prop_oneof![
+        Just(DirtyRet::Unset),
+        Just(DirtyRet::State(DirtyState::Normal)),
+        Just(DirtyRet::State(DirtyState::Scattered)),
+        Just(DirtyRet::Inserted),
+        Just(DirtyRet::Overflowed),
+        Just(DirtyRet::Removed),
+    ]
+}
+
+fn arb_fingerprint() -> impl Strategy<Value = Fingerprint> {
+    // `from_raw` masks to the 49 significant bits, so any u64 is legal input
+    // and the boundary values of the mask get exercised.
+    any::<u64>().prop_map(Fingerprint::from_raw)
+}
+
+fn arb_header() -> impl Strategy<Value = DirtySetHeader> {
+    (
+        arb_op(),
+        arb_fingerprint(),
+        any::<u64>(),
+        (
+            arb_ret(),
+            prop_oneof![Just(None), any::<u32>().prop_map(Some)],
+        ),
+    )
+        .prop_map(
+            |(op, fingerprint, remove_seq, (ret, alt_dst))| DirtySetHeader {
+                op,
+                fingerprint,
+                remove_seq,
+                ret,
+                alt_dst,
+            },
+        )
+}
+
+/// Directory-entry names restricted to JSON-transportable strings; the
+/// compat generator already mixes ASCII, accented and astral characters.
+fn arb_name() -> impl Strategy<Value = String> {
+    any::<String>()
+}
+
+fn arb_dir_id() -> impl Strategy<Value = DirId> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(a, b, c, d)| DirId([a, b, c, d]))
+}
+
+fn arb_key() -> impl Strategy<Value = MetaKey> {
+    (arb_dir_id(), arb_name()).prop_map(|(pid, name)| MetaKey::new(pid, name))
+}
+
+fn arb_perm() -> impl Strategy<Value = Permissions> {
+    (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(mode, uid, gid)| Permissions {
+        mode,
+        uid,
+        gid,
+    })
+}
+
+fn arb_op_id() -> impl Strategy<Value = OpId> {
+    (any::<u32>(), any::<u64>()).prop_map(|(c, seq)| OpId {
+        client: ClientId(c),
+        seq,
+    })
+}
+
+fn arb_meta_op() -> impl Strategy<Value = MetaOp> {
+    prop_oneof![
+        arb_key().prop_map(|key| MetaOp::Lookup { key }),
+        (arb_key(), arb_perm()).prop_map(|(key, perm)| MetaOp::Create { key, perm }),
+        arb_key().prop_map(|key| MetaOp::Delete { key }),
+        (arb_key(), arb_perm()).prop_map(|(key, perm)| MetaOp::Mkdir { key, perm }),
+        arb_key().prop_map(|key| MetaOp::Rmdir { key }),
+        arb_key().prop_map(|key| MetaOp::Stat { key }),
+        arb_key().prop_map(|key| MetaOp::Statdir { key }),
+        arb_key().prop_map(|key| MetaOp::Readdir { key }),
+        arb_key().prop_map(|key| MetaOp::Open { key }),
+        (arb_key(), any::<u16>()).prop_map(|(key, mode)| MetaOp::Chmod { key, mode }),
+        (arb_key(), arb_key(), arb_parent_opt()).prop_map(|(src, dst, dst_parent)| {
+            MetaOp::Rename {
+                src,
+                dst,
+                dst_parent,
+            }
+        }),
+    ]
+}
+
+fn arb_parent() -> impl Strategy<Value = ParentRef> {
+    (arb_key(), arb_dir_id(), arb_fingerprint()).prop_map(|(key, id, fp)| ParentRef { key, id, fp })
+}
+
+fn arb_parent_opt() -> impl Strategy<Value = Option<ParentRef>> {
+    prop_oneof![Just(None), arb_parent().prop_map(Some)]
+}
+
+fn arb_request() -> impl Strategy<Value = ClientRequest> {
+    (
+        arb_op_id(),
+        arb_meta_op(),
+        prop::collection::vec(arb_dir_id(), 0..4),
+        arb_parent_opt(),
+    )
+        .prop_map(|(op_id, op, ancestors, parent)| ClientRequest {
+            op_id,
+            op,
+            ancestors,
+            parent,
+        })
+}
+
+fn arb_fs_error() -> impl Strategy<Value = FsError> {
+    prop_oneof![
+        Just(FsError::NotFound),
+        Just(FsError::AlreadyExists),
+        Just(FsError::NotEmpty),
+        Just(FsError::StaleCache),
+        Just(FsError::Unavailable),
+        Just(FsError::PermissionDenied),
+    ]
+}
+
+fn arb_attrs() -> impl Strategy<Value = InodeAttrs> {
+    (
+        arb_dir_id(),
+        (any::<u64>(), any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_perm(),
+    )
+        .prop_map(
+            |(id, (size, nlink), (atime, mtime, ctime), perm)| InodeAttrs {
+                file_type: if size % 2 == 0 {
+                    FileType::File
+                } else {
+                    FileType::Directory
+                },
+                id,
+                size,
+                nlink,
+                times: Timestamps {
+                    atime,
+                    mtime,
+                    ctime,
+                },
+                perm,
+            },
+        )
+}
+
+fn arb_result() -> impl Strategy<Value = OpResult> {
+    prop_oneof![
+        Just(OpResult::Done),
+        arb_attrs().prop_map(OpResult::Attrs),
+        (
+            arb_attrs(),
+            prop::collection::vec(
+                (arb_name(), any::<u16>()).prop_map(|(name, mode)| DirEntry {
+                    name,
+                    file_type: FileType::File,
+                    mode,
+                }),
+                0..4,
+            ),
+        )
+            .prop_map(|(attrs, entries)| OpResult::Listing { attrs, entries }),
+        arb_fs_error().prop_map(OpResult::Err),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = ClientResponse> {
+    (arb_op_id(), arb_result(), any::<u32>()).prop_map(|(op_id, result, server)| ClientResponse {
+        op_id,
+        result,
+        server: ServerId(server),
+    })
+}
+
+fn arb_changelog_entry() -> impl Strategy<Value = ChangeLogEntry> {
+    (
+        arb_op_id(),
+        arb_dir_id(),
+        arb_name(),
+        (any::<bool>(), any::<u16>(), any::<u64>(), any::<i64>()),
+    )
+        .prop_map(
+            |(entry_id, dir, name, (ins, mode, timestamp, size_delta))| ChangeLogEntry {
+                entry_id,
+                dir,
+                name,
+                op: if ins {
+                    ChangeOp::Insert {
+                        file_type: FileType::File,
+                        mode,
+                    }
+                } else {
+                    ChangeOp::Remove
+                },
+                timestamp,
+                size_delta,
+            },
+        )
+}
+
+fn arb_server_msg() -> impl Strategy<Value = ServerMsg> {
+    prop_oneof![
+        (arb_response(), any::<u32>(), any::<u64>(), arb_fallback()).prop_map(
+            |(response, origin, op_token, fallback)| ServerMsg::AsyncCommit {
+                response,
+                origin: ServerId(origin),
+                op_token,
+                fallback,
+            }
+        ),
+        (arb_key(), any::<u64>(), arb_changelog_entry()).prop_map(|(dir_key, req_id, entry)| {
+            ServerMsg::RemoteDirUpdate {
+                req_id,
+                dir_key,
+                entry,
+            }
+        }),
+        (arb_key(), prop::collection::vec(arb_op_id(), 0..3))
+            .prop_map(|(dir_key, applied)| { ServerMsg::ChangeLogPushAck { dir_key, applied } }),
+    ]
+}
+
+fn arb_fallback() -> impl Strategy<Value = SyncFallback> {
+    (arb_key(), arb_changelog_entry(), any::<u32>()).prop_map(|(dir_key, entry, client_node)| {
+        SyncFallback {
+            dir_key,
+            entry,
+            client_node,
+        }
+    })
+}
+
+fn arb_coord_msg() -> impl Strategy<Value = CoordMsg> {
+    prop_oneof![
+        (any::<u64>(), arb_op(), arb_fingerprint(), any::<u64>())
+            .prop_map(|(token, op, fp, seq)| CoordMsg::Request { token, op, fp, seq }),
+        (any::<u64>(), arb_ret()).prop_map(|(token, ret)| CoordMsg::Reply { token, ret }),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = Body> {
+    prop_oneof![
+        Just(Body::Empty),
+        arb_request().prop_map(Body::Request),
+        arb_response().prop_map(Body::Response),
+        arb_server_msg().prop_map(Body::Server),
+        arb_coord_msg().prop_map(Body::Coord),
+    ]
+}
+
+fn arb_net_msg() -> impl Strategy<Value = NetMsg> {
+    (
+        any::<u16>(),
+        (any::<u32>(), any::<u64>()),
+        prop_oneof![Just(None), arb_header().prop_map(Some)],
+        arb_body(),
+    )
+        .prop_map(|(dst_port, (sender, seq), dirty, body)| NetMsg {
+            dst_port,
+            pkt_seq: PacketSeq { sender, seq },
+            dirty,
+            body,
+        })
+}
+
+proptest! {
+    #[test]
+    fn dirty_header_roundtrips(h in arb_header()) {
+        let bytes = encode_dirty_header(&h);
+        prop_assert_eq!(bytes.len(), DIRTY_HEADER_LEN);
+        let back = decode_dirty_header(&bytes).unwrap();
+        prop_assert_eq!(h, back);
+    }
+
+    #[test]
+    fn dirty_header_decode_never_panics_on_arbitrary_bytes(
+        raw in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        // Decoding must be total: any byte soup yields Ok or a WireError.
+        let _ = decode_dirty_header(&raw);
+    }
+
+    #[test]
+    fn net_msg_roundtrips(m in arb_net_msg()) {
+        let bytes = encode_net_msg(&m);
+        prop_assert!(bytes.len() >= NET_MSG_FIXED_LEN);
+        let back = decode_net_msg(&bytes).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn net_msg_encoding_is_deterministic(m in arb_net_msg()) {
+        prop_assert_eq!(encode_net_msg(&m), encode_net_msg(&m));
+    }
+
+    #[test]
+    fn net_msg_truncation_never_panics(m in arb_net_msg(), cut in any::<u64>()) {
+        let bytes = encode_net_msg(&m);
+        let len = (cut as usize) % bytes.len();
+        let _ = decode_net_msg(&bytes[..len]);
+    }
+}

@@ -228,17 +228,28 @@ mod tests {
 
     #[test]
     fn append_tracks_bytes_and_time() {
-        let mut log = ChangeLog::new(MetaKey::new(DirId::ROOT, "d"), Fingerprint::from_raw(1), SimTime::ZERO);
+        let mut log = ChangeLog::new(
+            MetaKey::new(DirId::ROOT, "d"),
+            Fingerprint::from_raw(1),
+            SimTime::ZERO,
+        );
         log.append(entry("a", 1), SimTime::from_micros(5));
         log.append(entry("bb", 2), SimTime::from_micros(9));
         assert_eq!(log.len(), 2);
-        assert_eq!(log.pending_bytes(), entry("a", 1).wire_size() + entry("bb", 2).wire_size());
+        assert_eq!(
+            log.pending_bytes(),
+            entry("a", 1).wire_size() + entry("bb", 2).wire_size()
+        );
         assert_eq!(log.last_append(), SimTime::from_micros(9));
     }
 
     #[test]
     fn discard_applied_removes_only_matching_entries() {
-        let mut log = ChangeLog::new(MetaKey::new(DirId::ROOT, "d"), Fingerprint::from_raw(1), SimTime::ZERO);
+        let mut log = ChangeLog::new(
+            MetaKey::new(DirId::ROOT, "d"),
+            Fingerprint::from_raw(1),
+            SimTime::ZERO,
+        );
         for i in 0..5 {
             log.append(entry(&format!("f{i}"), i), SimTime::ZERO);
         }
@@ -251,8 +262,14 @@ mod tests {
             .collect();
         assert_eq!(log.discard_applied(&applied), 2);
         assert_eq!(log.len(), 3);
-        assert!(log.discard_one(OpId { client: ClientId(1), seq: 0 }));
-        assert!(!log.discard_one(OpId { client: ClientId(1), seq: 0 }));
+        assert!(log.discard_one(OpId {
+            client: ClientId(1),
+            seq: 0
+        }));
+        assert!(!log.discard_one(OpId {
+            client: ClientId(1),
+            seq: 0
+        }));
     }
 
     #[test]
@@ -261,9 +278,27 @@ mod tests {
         let fp_a = Fingerprint::from_raw(10);
         let fp_b = Fingerprint::from_raw(20);
         let (d1, d2, d3) = (dir(1), dir(2), dir(3));
-        store.append(d1, &MetaKey::new(DirId::ROOT, "a"), fp_a, entry("x", 1), SimTime::ZERO);
-        store.append(d2, &MetaKey::new(DirId::ROOT, "b"), fp_a, entry("y", 2), SimTime::ZERO);
-        store.append(d3, &MetaKey::new(DirId::ROOT, "c"), fp_b, entry("z", 3), SimTime::ZERO);
+        store.append(
+            d1,
+            &MetaKey::new(DirId::ROOT, "a"),
+            fp_a,
+            entry("x", 1),
+            SimTime::ZERO,
+        );
+        store.append(
+            d2,
+            &MetaKey::new(DirId::ROOT, "b"),
+            fp_a,
+            entry("y", 2),
+            SimTime::ZERO,
+        );
+        store.append(
+            d3,
+            &MetaKey::new(DirId::ROOT, "c"),
+            fp_b,
+            entry("z", 3),
+            SimTime::ZERO,
+        );
         assert_eq!(store.total_pending(), 3);
         let mut group_a = store.dirs_in_group(fp_a);
         group_a.sort();
@@ -279,8 +314,19 @@ mod tests {
         let mut store = ChangeLogStore::new();
         let fp = Fingerprint::from_raw(10);
         let d1 = dir(1);
-        store.append(d1, &MetaKey::new(DirId::ROOT, "a"), fp, entry("x", 1), SimTime::ZERO);
-        let applied: HashSet<OpId> = [OpId { client: ClientId(1), seq: 1 }].into_iter().collect();
+        store.append(
+            d1,
+            &MetaKey::new(DirId::ROOT, "a"),
+            fp,
+            entry("x", 1),
+            SimTime::ZERO,
+        );
+        let applied: HashSet<OpId> = [OpId {
+            client: ClientId(1),
+            seq: 1,
+        }]
+        .into_iter()
+        .collect();
         assert_eq!(store.discard_applied_in_group(fp, &applied), 1);
         assert!(store.is_empty());
         assert!(store.dirs_in_group(fp).is_empty());
@@ -289,7 +335,13 @@ mod tests {
     #[test]
     fn clear_drops_everything() {
         let mut store = ChangeLogStore::new();
-        store.append(dir(1), &MetaKey::new(DirId::ROOT, "a"), Fingerprint::from_raw(1), entry("x", 1), SimTime::ZERO);
+        store.append(
+            dir(1),
+            &MetaKey::new(DirId::ROOT, "a"),
+            Fingerprint::from_raw(1),
+            entry("x", 1),
+            SimTime::ZERO,
+        );
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.dirty_dirs().len(), 0);

@@ -39,19 +39,25 @@ impl LockManager {
     /// The lock guarding the inode stored under `key`.
     pub fn inode(&self, key: &MetaKey) -> SimRwLock<()> {
         let mut map = self.inodes.borrow_mut();
-        map.entry(key.clone()).or_insert_with(|| SimRwLock::new(())).clone()
+        map.entry(key.clone())
+            .or_insert_with(|| SimRwLock::new(()))
+            .clone()
     }
 
     /// The lock guarding the change-log of directory `dir`.
     pub fn changelog(&self, dir: &DirId) -> SimRwLock<()> {
         let mut map = self.changelogs.borrow_mut();
-        map.entry(*dir).or_insert_with(|| SimRwLock::new(())).clone()
+        map.entry(*dir)
+            .or_insert_with(|| SimRwLock::new(()))
+            .clone()
     }
 
     /// The lock guarding reads and aggregations of a fingerprint group.
     pub fn fp_group(&self, fp: Fingerprint) -> SimRwLock<()> {
         let mut map = self.fp_groups.borrow_mut();
-        map.entry(fp.raw()).or_insert_with(|| SimRwLock::new(())).clone()
+        map.entry(fp.raw())
+            .or_insert_with(|| SimRwLock::new(()))
+            .clone()
     }
 
     /// Number of distinct inode locks created so far (used by tests).

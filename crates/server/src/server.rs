@@ -114,6 +114,11 @@ pub(crate) struct ServerInner {
     pub applied_entry_ids: HashSet<OpId>,
     /// Responses already sent, re-sent verbatim on duplicate requests.
     pub completed_ops: HashMap<OpId, ClientResponse>,
+    /// Requests currently executing; retransmissions of these are dropped
+    /// (the client's timer re-asks until the cached response exists). This
+    /// keeps slow multi-round operations like the rename 2PC from running
+    /// twice concurrently for one op id.
+    pub in_flight_ops: HashSet<OpId>,
     /// Local software dirty set, used in [`TrackingMode::OwnerServer`].
     pub local_dirty: SoftwareDirtySet,
     /// Per-fingerprint time of the last received proactive push, driving
@@ -135,8 +140,22 @@ pub(crate) struct ServerInner {
     pub pending_agg_acks: HashMap<u64, oneshot::Sender<()>>,
     /// Rename transactions prepared on this participant, awaiting a decision.
     pub prepared_txns: HashMap<u64, crate::server::rename::PreparedTxn>,
-    /// Coordinator-side routing of transaction votes to waiting tokens.
-    pub txn_vote_tokens: HashMap<u64, u64>,
+    /// Coordinator-side routing of transaction votes to waiting tokens,
+    /// keyed by `(txn_id, participant)` so a duplicated vote from one
+    /// participant cannot be credited to another (§5.4.1).
+    pub txn_vote_tokens: HashMap<(u64, ServerId), u64>,
+    /// Coordinator-side routing of decision acknowledgments, kept separate
+    /// from the vote table so a duplicated vote cannot masquerade as a
+    /// commit acknowledgment.
+    pub txn_ack_tokens: HashMap<(u64, ServerId), u64>,
+    /// Transactions whose commit this participant fully applied; lets a
+    /// retransmitted `TxnCommit` be acked if and only if the first copy
+    /// finished applying (a copy racing a still-running apply is dropped).
+    /// Bounded FIFO: duplicates only arrive within the coordinator's retry
+    /// window, so old ids are evicted once the set outgrows the cap.
+    pub committed_txns: HashSet<u64>,
+    /// Insertion order of `committed_txns`, driving the FIFO eviction.
+    pub committed_txn_order: std::collections::VecDeque<u64>,
     /// Whether the server is currently crashed (drops all work).
     pub crashed: bool,
     /// Whether the server is recovering or migrating (rejects client work).
@@ -157,6 +176,7 @@ impl ServerInner {
             invalidation: HashMap::new(),
             applied_entry_ids: HashSet::new(),
             completed_ops: HashMap::new(),
+            in_flight_ops: HashSet::new(),
             local_dirty: SoftwareDirtySet::new(),
             push_timers: HashMap::new(),
             dir_counter: 0,
@@ -168,6 +188,9 @@ impl ServerInner {
             pending_agg_acks: HashMap::new(),
             prepared_txns: HashMap::new(),
             txn_vote_tokens: HashMap::new(),
+            txn_ack_tokens: HashMap::new(),
+            committed_txns: HashSet::new(),
+            committed_txn_order: std::collections::VecDeque::new(),
             crashed: false,
             unavailable: false,
             shutdown: false,
@@ -337,11 +360,13 @@ impl Server {
             return;
         }
         if self.inner.borrow().unavailable {
-            self.reply(
-                client_node,
-                req.op_id,
-                OpResult::Err(FsError::Unavailable),
-            );
+            self.reply(client_node, req.op_id, OpResult::Err(FsError::Unavailable));
+            return;
+        }
+        if !self.inner.borrow_mut().in_flight_ops.insert(req.op_id) {
+            // Already executing (a retransmission raced a slow operation,
+            // e.g. the rename 2PC): drop it; the client keeps re-asking and
+            // gets the cached response once the first execution replies.
             return;
         }
         let result = match &req.op {
@@ -355,6 +380,7 @@ impl Server {
             MetaOp::Rename { .. } => Some(self.handle_rename(&req).await),
             _ => Some(self.handle_single_inode(&req).await),
         };
+        self.inner.borrow_mut().in_flight_ops.remove(&req.op_id);
         // `None` means the operation replies through the switch multicast
         // (asynchronous commit); anything else is replied here.
         if let Some(result) = result {
@@ -370,8 +396,10 @@ impl Server {
                 op_token,
                 fallback,
             } => {
-                self.handle_async_commit_packet(src, response, origin, op_token, fallback, dirty_ret)
-                    .await;
+                self.handle_async_commit_packet(
+                    src, response, origin, op_token, fallback, dirty_ret,
+                )
+                .await;
             }
             ServerMsg::AggregationRequest { agg, invalidate } => {
                 self.handle_aggregation_request(agg, invalidate).await;
@@ -398,7 +426,8 @@ impl Server {
                 dir_key,
                 entry,
             } => {
-                self.handle_remote_dir_update(src, req_id, dir_key, entry).await;
+                self.handle_remote_dir_update(src, req_id, dir_key, entry)
+                    .await;
             }
             ServerMsg::RemoteDirUpdateAck { req_id, result } => {
                 let reply = match result {
@@ -439,10 +468,34 @@ impl Server {
                 self.handle_txn_vote(txn_id, from, ok);
             }
             ServerMsg::TxnCommit { txn_id } => {
-                self.handle_txn_decision(txn_id, true).await;
+                // Ack once the commit is fully applied — by this copy or a
+                // previously completed one. A retransmitted copy racing a
+                // still-running apply is dropped; the coordinator's
+                // retransmission timer re-asks until the apply finished.
+                if self.handle_txn_decision(txn_id, true).await {
+                    self.send_plain(
+                        src,
+                        Body::Server(ServerMsg::TxnDecisionAck {
+                            txn_id,
+                            from: self.cfg.id,
+                        }),
+                    );
+                }
+            }
+            ServerMsg::TxnDecisionAck { txn_id, from } => {
+                self.handle_txn_ack(txn_id, from);
             }
             ServerMsg::TxnAbort { txn_id } => {
                 self.handle_txn_decision(txn_id, false).await;
+                // Abort is idempotent (nothing is applied): always ack so
+                // the coordinator stops retransmitting.
+                self.send_plain(
+                    src,
+                    Body::Server(ServerMsg::TxnDecisionAck {
+                        txn_id,
+                        from: self.cfg.id,
+                    }),
+                );
             }
             ServerMsg::RecoveryCloneInvalidation { from } => {
                 let list: Vec<(DirId, MetaKey)> = self
@@ -484,10 +537,7 @@ impl Server {
                     Vec::new(),
                 )
                 .await;
-                self.send_plain(
-                    src,
-                    Body::Server(ServerMsg::InitDirContentAck { req_id }),
-                );
+                self.send_plain(src, Body::Server(ServerMsg::InitDirContentAck { req_id }));
             }
             ServerMsg::InitDirContentAck { req_id } => {
                 self.complete_token(req_id, TokenReply::Ack);
@@ -518,7 +568,10 @@ impl Server {
         }
         let key = req.op.primary_key().clone();
         match &req.op {
-            MetaOp::Stat { .. } | MetaOp::Open { .. } | MetaOp::Lookup { .. } | MetaOp::Close { .. } => {
+            MetaOp::Stat { .. }
+            | MetaOp::Open { .. }
+            | MetaOp::Lookup { .. }
+            | MetaOp::Close { .. } => {
                 let lock = self.locks.inode(&key);
                 let _g = lock.read().await;
                 self.cpu.run(costs.lock_op + costs.kv_get).await;
@@ -540,7 +593,8 @@ impl Server {
                 attrs.perm.mode = *mode;
                 attrs.times.ctime = self.now_ns();
                 let effects = vec![KvEffect::PutInode(key.clone(), attrs.clone())];
-                self.apply_and_log(Some(req.op_id), effects, None, Vec::new()).await;
+                self.apply_and_log(Some(req.op_id), effects, None, Vec::new())
+                    .await;
                 OpResult::Done
             }
             _ => OpResult::Err(FsError::NotFound),
@@ -591,12 +645,7 @@ impl Server {
     }
 
     /// Sends a packet carrying a dirty-set operation header.
-    pub(crate) fn send_dirty(
-        &self,
-        dst: NodeId,
-        hdr: switchfs_proto::DirtySetHeader,
-        body: Body,
-    ) {
+    pub(crate) fn send_dirty(&self, dst: NodeId, hdr: switchfs_proto::DirtySetHeader, body: Body) {
         let msg = NetMsg::with_dirty(self.next_pkt_seq(), hdr, body);
         self.endpoint.send(dst, msg);
     }
@@ -651,7 +700,12 @@ impl Server {
     /// Sends `body` to `dst` and waits for a token-matched acknowledgment,
     /// retransmitting on timeout (§5.4.1). Returns `None` after exhausting
     /// the retry budget.
-    pub(crate) async fn send_with_ack(&self, dst: NodeId, token: u64, body: Body) -> Option<TokenReply> {
+    pub(crate) async fn send_with_ack(
+        &self,
+        dst: NodeId,
+        token: u64,
+        body: Body,
+    ) -> Option<TokenReply> {
         for attempt in 0..=self.cfg.costs.max_retries {
             if attempt > 0 {
                 self.inner.borrow_mut().stats.retransmissions += 1;
@@ -687,7 +741,11 @@ impl Server {
             applied_entry_ids: applied_entry_ids.clone(),
         };
         let size = record.wire_size();
-        let lsn = self.durable.borrow_mut().wal.append_sized(record.clone(), size);
+        let lsn = self
+            .durable
+            .borrow_mut()
+            .wal
+            .append_sized(record.clone(), size);
         {
             let mut inner = self.inner.borrow_mut();
             for e in &record.effects {
@@ -783,7 +841,10 @@ impl Server {
 
     /// Directly installs a directory entry on the owner of the directory.
     pub fn preload_entry(&self, dir: DirId, entry: DirEntry) {
-        self.inner.borrow_mut().entries.put((dir, entry.name.clone()), entry);
+        self.inner
+            .borrow_mut()
+            .entries
+            .put((dir, entry.name.clone()), entry);
     }
 
     /// Directly bumps a preloaded directory's entry count so `statdir`
@@ -833,7 +894,20 @@ impl Server {
             return effects;
         };
         let mut attrs = attrs.clone();
-        attrs.size = (attrs.size as i64 + entry.size_delta).max(0) as u64;
+        // The size delta only applies when the entry's presence actually
+        // changes: a rename overwriting an existing name re-puts the entry
+        // (no growth), and a remove of an already-absent name must not
+        // shrink the directory below its entry count.
+        let target_exists = inner
+            .entries
+            .peek(&(entry.dir, entry.name.clone()))
+            .is_some();
+        let effective_delta = match entry.op {
+            switchfs_proto::ChangeOp::Insert { .. } if target_exists => 0,
+            switchfs_proto::ChangeOp::Remove if !target_exists => 0,
+            _ => entry.size_delta,
+        };
+        attrs.size = (attrs.size as i64 + effective_delta).max(0) as u64;
         let mut times = Timestamps::at(entry.timestamp);
         times.atime = attrs.times.atime;
         attrs.times.merge_max(&times);

@@ -4,12 +4,12 @@
 use std::collections::HashSet;
 
 use switchfs_proto::message::{AggregationPayload, Body, ClientRequest, ServerMsg};
+use switchfs_proto::message::{CoordMsg, MetaOp};
 use switchfs_proto::{
     changelog::CompactedChanges, ChangeLogEntry, ChangeOp, DirEntry, DirId, DirtyRet,
     DirtySetHeader, DirtySetOp, DirtyState, Fingerprint, FsError, MetaKey, OpId, OpResult,
     Placement, ServerId, Timestamps,
 };
-use switchfs_proto::message::{CoordMsg, MetaOp};
 use switchfs_simnet::timeout;
 
 use crate::config::{TrackingMode, UpdateMode};
@@ -143,12 +143,8 @@ impl Server {
                         // retry with a fresh multicast.
                         let collector = self.inner.borrow_mut().pending_aggs.remove(&agg_id);
                         if let Some(c) = collector {
-                            responders.extend(
-                                others
-                                    .iter()
-                                    .copied()
-                                    .filter(|s| !c.expected.contains(s)),
-                            );
+                            responders
+                                .extend(others.iter().copied().filter(|s| !c.expected.contains(s)));
                             remote_entries = c.entries;
                         }
                         attempt += 1;
@@ -166,7 +162,7 @@ impl Server {
         let mut entries: Vec<ChangeLogEntry> = Vec::new();
         {
             let inner = self.inner.borrow();
-            for e in local_entries.into_iter().chain(remote_entries.into_iter()) {
+            for e in local_entries.into_iter().chain(remote_entries) {
                 if !inner.applied_entry_ids.contains(&e.entry_id) {
                     entries.push(e);
                 }
@@ -179,7 +175,9 @@ impl Server {
         for s in &responders {
             self.send_plain(
                 self.cfg.node_of(*s),
-                Body::Server(ServerMsg::AggregationAck { agg: payload.clone() }),
+                Body::Server(ServerMsg::AggregationAck {
+                    agg: payload.clone(),
+                }),
             );
         }
         // The owner's own deferred entries for this group are now applied.
@@ -286,8 +284,7 @@ impl Server {
                     let attr_effect = {
                         let inner = self.inner.borrow();
                         inner.inodes.peek(&dir_key).cloned().map(|mut attrs| {
-                            attrs.size =
-                                (attrs.size as i64 + compacted.size_delta).max(0) as u64;
+                            attrs.size = (attrs.size as i64 + compacted.size_delta).max(0) as u64;
                             let mut t = Timestamps::at(compacted.max_timestamp);
                             t.atime = attrs.times.atime;
                             attrs.times.merge_max(&t);
@@ -341,7 +338,8 @@ impl Server {
                     for e in &dir_entries {
                         self.cpu.run(costs.entry_apply + costs.kv_get).await;
                         let effects = self.entry_effects(&dir_key, e);
-                        self.apply_and_log(None, effects, None, vec![e.entry_id]).await;
+                        self.apply_and_log(None, effects, None, vec![e.entry_id])
+                            .await;
                     }
                 }
             }
@@ -408,7 +406,10 @@ impl Server {
         );
         // Wait for the owner's ack (bounded), then mark the entries applied.
         let (tx, rx) = switchfs_simnet::sync::oneshot::channel();
-        self.inner.borrow_mut().pending_agg_acks.insert(agg.agg_id, tx);
+        self.inner
+            .borrow_mut()
+            .pending_agg_acks
+            .insert(agg.agg_id, tx);
         let acked = timeout(
             &self.handle,
             costs.request_timeout * (costs.max_retries as u64 + 2),

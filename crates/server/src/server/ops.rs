@@ -9,7 +9,9 @@
 //! the client and mirrors it back so this server can release its locks), an
 //! RPC to a dedicated coordinator, or an RPC to the directory's owner server.
 
-use switchfs_proto::message::{Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, ParentRef, ServerMsg, SyncFallback};
+use switchfs_proto::message::{
+    Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, ParentRef, ServerMsg, SyncFallback,
+};
 use switchfs_proto::{
     ChangeLogEntry, ChangeOp, DirtyRet, DirtySetHeader, DirtySetOp, FileType, Fingerprint, FsError,
     InodeAttrs, OpId, OpResult, Placement,
@@ -90,8 +92,7 @@ impl Server {
                 if attrs.is_dir() {
                     return Some(OpResult::Err(FsError::IsADirectory));
                 }
-                let entry =
-                    self.make_entry(req.op_id, parent.id, &key.name, ChangeOp::Remove, -1);
+                let entry = self.make_entry(req.op_id, parent.id, &key.name, ChangeOp::Remove, -1);
                 (
                     vec![KvEffect::DeleteInode(key.clone())],
                     entry,
@@ -129,7 +130,8 @@ impl Server {
         if self.cfg.update_mode == crate::config::UpdateMode::Synchronous {
             // Baseline path: commit the local half, then update the parent
             // directory in place (possibly across servers) before replying.
-            self.apply_and_log(Some(req.op_id), effects, None, Vec::new()).await;
+            self.apply_and_log(Some(req.op_id), effects, None, Vec::new())
+                .await;
             if let MetaOp::Mkdir { .. } = &req.op {
                 if let OpResult::Attrs(attrs) = &result {
                     self.sync_init_dir_content(&key, attrs.clone()).await;
@@ -160,7 +162,10 @@ impl Server {
 
         // Dirty-set update, reply and unlocking (§5.2.1 step 6–7).
         let response = self.make_response(req.op_id, result);
-        match self.async_commit(client_node, response.clone(), &parent, &entry).await {
+        match self
+            .async_commit(client_node, response.clone(), &parent, &entry)
+            .await
+        {
             CommitOutcome::DeliveredBySwitch | CommitOutcome::FallbackHandled => None,
             CommitOutcome::NeedDirectReply => {
                 self.send_plain(client_node, Body::Response(response));
@@ -186,7 +191,8 @@ impl Server {
                 .run(costs.lock_op + costs.kv_get + costs.kv_put + costs.wal_append)
                 .await;
             let effects = self.entry_effects(&parent.key, entry);
-            self.apply_and_log(None, effects, None, vec![entry.entry_id]).await;
+            self.apply_and_log(None, effects, None, vec![entry.entry_id])
+                .await;
             Ok(())
         } else {
             let token = self.next_token();
@@ -195,7 +201,10 @@ impl Server {
                 dir_key: parent.key.clone(),
                 entry: entry.clone(),
             });
-            match self.send_with_ack(self.cfg.node_of(owner), token, body).await {
+            match self
+                .send_with_ack(self.cfg.node_of(owner), token, body)
+                .await
+            {
                 Some(crate::server::TokenReply::Ack) => Ok(()),
                 Some(crate::server::TokenReply::Failed(e)) => Err(e),
                 _ => Err(FsError::TimedOut),
@@ -222,7 +231,8 @@ impl Server {
     async fn sync_init_dir_content(&self, key: &switchfs_proto::MetaKey, attrs: InodeAttrs) {
         if !matches!(
             self.cfg.placement.policy(),
-            switchfs_proto::PartitionPolicy::PerDirectoryHash | switchfs_proto::PartitionPolicy::Subtree
+            switchfs_proto::PartitionPolicy::PerDirectoryHash
+                | switchfs_proto::PartitionPolicy::Subtree
         ) {
             return;
         }
@@ -247,7 +257,9 @@ impl Server {
             key: key.clone(),
             attrs,
         });
-        let _ = self.send_with_ack(self.cfg.node_of(content_owner), token, body).await;
+        let _ = self
+            .send_with_ack(self.cfg.node_of(content_owner), token, body)
+            .await;
     }
 
     /// Handles `rmdir` (§5.2.3): aggregate the target directory, check
@@ -291,7 +303,8 @@ impl Server {
 
         // Collect the latest updates to the directory and have every other
         // server append it to its invalidation list (§5.2.3 steps 4–7).
-        self.aggregate_group(target_fp, Some((dir_id, key.clone()))).await;
+        self.aggregate_group(target_fp, Some((dir_id, key.clone())))
+            .await;
 
         // Emptiness check on the aggregated state.
         let entry_count = {
@@ -338,7 +351,10 @@ impl Server {
                 .append(parent.id, &parent.key, parent.fp, entry.clone(), now_t);
         }
         let response = self.make_response(req.op_id, OpResult::Done);
-        match self.async_commit(client_node, response.clone(), &parent, &entry).await {
+        match self
+            .async_commit(client_node, response.clone(), &parent, &entry)
+            .await
+        {
             CommitOutcome::DeliveredBySwitch | CommitOutcome::FallbackHandled => None,
             CommitOutcome::NeedDirectReply => {
                 self.send_plain(client_node, Body::Response(response));
@@ -383,7 +399,8 @@ impl Server {
         // different server than its parent's (P/C grouping).
         if matches!(
             self.cfg.placement.policy(),
-            switchfs_proto::PartitionPolicy::PerDirectoryHash | switchfs_proto::PartitionPolicy::Subtree
+            switchfs_proto::PartitionPolicy::PerDirectoryHash
+                | switchfs_proto::PartitionPolicy::Subtree
         ) {
             let access_owner = self.cfg.placement.file_owner(key);
             if access_owner != self.cfg.id {
@@ -392,7 +409,9 @@ impl Server {
                     req_id: token,
                     op: switchfs_proto::message::TxnOp::DeleteInode { key: key.clone() },
                 });
-                let _ = self.send_with_ack(self.cfg.node_of(access_owner), token, body).await;
+                let _ = self
+                    .send_with_ack(self.cfg.node_of(access_owner), token, body)
+                    .await;
             }
         }
         let entry = self.make_entry(req.op_id, parent.id, &key.name, ChangeOp::Remove, -1);
@@ -513,7 +532,9 @@ impl Server {
             req_id: token,
             fp: parent.fp,
         });
-        let _ = self.send_with_ack(self.cfg.node_of(owner), token, body).await;
+        let _ = self
+            .send_with_ack(self.cfg.node_of(owner), token, body)
+            .await;
         CommitOutcome::NeedDirectReply
     }
 
@@ -527,7 +548,9 @@ impl Server {
             dir_key: parent.key.clone(),
             entry: entry.clone(),
         });
-        let _ = self.send_with_ack(self.cfg.node_of(owner), token, body).await;
+        let _ = self
+            .send_with_ack(self.cfg.node_of(owner), token, body)
+            .await;
         self.discard_local_entry(parent, entry.entry_id);
         self.inner.borrow_mut().stats.fallback_syncs += 1;
     }
@@ -585,7 +608,8 @@ impl Server {
                     .run(costs.lock_op + costs.kv_get + costs.kv_put + costs.wal_append)
                     .await;
                 let effects = self.entry_effects(&fallback.dir_key, &fallback.entry);
-                self.apply_and_log(None, effects, None, vec![fallback.entry.entry_id]).await;
+                self.apply_and_log(None, effects, None, vec![fallback.entry.entry_id])
+                    .await;
                 self.inner.borrow_mut().stats.remote_updates += 1;
             }
             self.send_plain(NodeId(fallback.client_node), Body::Response(response));
@@ -628,7 +652,11 @@ impl Server {
     ) {
         let costs = self.cfg.costs;
         self.cpu.run(costs.software_path).await;
-        let already = self.inner.borrow().applied_entry_ids.contains(&entry.entry_id);
+        let already = self
+            .inner
+            .borrow()
+            .applied_entry_ids
+            .contains(&entry.entry_id);
         let result = if already {
             Ok(())
         } else {
@@ -641,7 +669,8 @@ impl Server {
                 Err(FsError::NotFound)
             } else {
                 let effects = self.entry_effects(&dir_key, &entry);
-                self.apply_and_log(None, effects, None, vec![entry.entry_id]).await;
+                self.apply_and_log(None, effects, None, vec![entry.entry_id])
+                    .await;
                 self.inner.borrow_mut().stats.remote_updates += 1;
                 Ok(())
             }

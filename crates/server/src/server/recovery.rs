@@ -67,6 +67,10 @@ impl Server {
             inner.pending_agg_acks.clear();
             inner.prepared_txns.clear();
             inner.txn_vote_tokens.clear();
+            inner.txn_ack_tokens.clear();
+            inner.committed_txns.clear();
+            inner.committed_txn_order.clear();
+            inner.in_flight_ops.clear();
         }
         // Drop packets addressed to the previous incarnation.
         self.endpoint.drain();
@@ -110,10 +114,13 @@ impl Server {
                     // rebuild it into the change-log.
                     let fp = Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
                     let now = self.handle.now();
-                    self.inner
-                        .borrow_mut()
-                        .changelogs
-                        .append(*dir_id, dir_key, fp, entry.clone(), now);
+                    self.inner.borrow_mut().changelogs.append(
+                        *dir_id,
+                        dir_key,
+                        fp,
+                        entry.clone(),
+                        now,
+                    );
                     report.changelog_entries_recovered += 1;
                 }
             }

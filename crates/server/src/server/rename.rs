@@ -8,11 +8,11 @@
 //! two-phase commit whose participants are the destination inode's owner and
 //! both parent directories' owners.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use switchfs_proto::message::{Body, ClientRequest, MetaOp, ServerMsg, TxnOp};
 use switchfs_proto::{
-    ChangeLogEntry, ChangeOp, FsError, Fingerprint, OpResult, Placement, ServerId,
+    ChangeLogEntry, ChangeOp, Fingerprint, FsError, OpResult, Placement, ServerId,
 };
 
 use crate::server::{Server, TokenReply};
@@ -35,16 +35,27 @@ impl Server {
         if self.is_stale(&req.ancestors) {
             return OpResult::Err(FsError::StaleCache);
         }
-        let MetaOp::Rename { src, dst } = &req.op else {
+        let MetaOp::Rename {
+            src,
+            dst,
+            dst_parent,
+        } = &req.op
+        else {
             return OpResult::Err(FsError::NotFound);
         };
         // Lock the source inode for the duration of the transaction.
         let src_lock = self.locks.inode(src);
         let _src_guard = src_lock.write().await;
         self.cpu.run(costs.lock_op + costs.kv_get).await;
-        let Some(src_attrs) = self.inner.borrow_mut().inodes.get(src) else {
+        let Some(mut src_attrs) = self.inner.borrow_mut().inodes.get(src) else {
             return OpResult::Err(FsError::NotFound);
         };
+        // POSIX: renaming a path onto itself is a successful no-op. Guarded
+        // here too (not only in LibFs) because running the transaction with
+        // src == dst would self-deadlock on the held source inode lock.
+        if src == dst {
+            return OpResult::Done;
+        }
 
         if src_attrs.is_dir() {
             // Orphaned-loop prevention: the destination path must not pass
@@ -53,11 +64,20 @@ impl Server {
                 return OpResult::Err(FsError::WouldOrphan);
             }
             // Apply every delayed update to the source directory before the
-            // transaction observes it.
-            let fp = Fingerprint::of_dir(&src.pid, &src.name);
-            let fpg = self.locks.fp_group(fp);
-            let _w = fpg.write().await;
-            self.aggregate_group(fp, None).await;
+            // transaction observes (and migrates) its content. Synchronous
+            // systems have nothing deferred and no aggregation machinery.
+            if self.cfg.update_mode.is_async() {
+                let fp = Fingerprint::of_dir(&src.pid, &src.name);
+                let fpg = self.locks.fp_group(fp);
+                let _w = fpg.write().await;
+                self.aggregate_group(fp, None).await;
+                // The aggregation just mutated the source inode (entry-count
+                // and timestamps); re-read it so the migrated attributes are
+                // current.
+                if let Some(fresh) = self.inner.borrow_mut().inodes.get(src) {
+                    src_attrs = fresh;
+                }
+            }
         }
 
         // Build the per-participant mutations.
@@ -89,46 +109,146 @@ impl Server {
             size_delta: 1,
         };
 
-        // Participant mutation lists, grouped by owning server.
+        // Participant mutation lists, grouped by owning server. Ordered so
+        // prepare/decision packets go out in the same order every run — the
+        // fault RNG draws per packet, so iteration order is part of the
+        // deterministic schedule.
         let placement = &self.cfg.placement;
-        let mut per_server: HashMap<ServerId, Vec<TxnOp>> = HashMap::new();
+        let mut per_server: BTreeMap<ServerId, Vec<TxnOp>> = BTreeMap::new();
+        // The destination inode goes where a fresh create/mkdir of `dst`
+        // would have placed it: for directories under per-file hashing that
+        // is the fingerprint-group owner, not the per-file-hash owner.
+        let dst_inode_owner = if src_attrs.is_dir()
+            && matches!(
+                placement.policy(),
+                switchfs_proto::PartitionPolicy::PerFileHash
+            ) {
+            placement.dir_owner_by_fp(Fingerprint::of_dir(&dst.pid, &dst.name))
+        } else {
+            placement.file_owner(dst)
+        };
         per_server
-            .entry(placement.file_owner(dst))
+            .entry(dst_inode_owner)
             .or_default()
             .push(TxnOp::PutInode {
                 key: dst.clone(),
                 attrs: dst_attrs.clone(),
             });
+        if src_attrs.is_dir() {
+            // The directory's content (owner-index registration and, under
+            // per-file hashing, the entry list keyed by its stable id)
+            // follows the inode. The coordinator owns the source content
+            // replica, so it can read the entries locally; under grouping
+            // policies content is placed by the unchanged directory id and
+            // only the id → key index needs re-pointing.
+            let dir_id = src_attrs.id;
+            let (content_owner, entries) = match placement.policy() {
+                switchfs_proto::PartitionPolicy::PerFileHash => {
+                    let inner = self.inner.borrow();
+                    let entries: Vec<switchfs_proto::DirEntry> = inner
+                        .entries
+                        .iter()
+                        .filter(|((d, _), _)| *d == dir_id)
+                        .map(|(_, e)| e.clone())
+                        .collect();
+                    (dst_inode_owner, entries)
+                }
+                _ => (placement.dir_owner_by_id(&dir_id), Vec::new()),
+            };
+            let migrating = content_owner != self.cfg.id
+                && matches!(
+                    placement.policy(),
+                    switchfs_proto::PartitionPolicy::PerFileHash
+                );
+            per_server
+                .entry(content_owner)
+                .or_default()
+                .push(TxnOp::PutDirContent {
+                    key: dst.clone(),
+                    dir: dir_id,
+                    entries: entries.clone(),
+                });
+            if migrating {
+                per_server
+                    .entry(self.cfg.id)
+                    .or_default()
+                    .push(TxnOp::DeleteDirContent {
+                        dir: dir_id,
+                        names: entries.iter().map(|e| e.name.clone()).collect(),
+                    });
+            }
+        }
         per_server
             .entry(self.cfg.id)
             .or_default()
             .push(TxnOp::DeleteInode { key: src.clone() });
-        // Parent directory updates are applied synchronously at their owners.
+        // Parent directory updates are applied synchronously at the servers
+        // owning the parents' *content* replicas: the fingerprint owner
+        // under per-file hashing, the directory-id owner under the grouping
+        // policies (the same placement preloading and `mkdir` use).
         let src_parent_key = req
             .parent
             .as_ref()
             .map(|p| p.key.clone())
             .unwrap_or_else(|| switchfs_proto::MetaKey::new(switchfs_proto::DirId::ROOT, ""));
         let src_parent_fp = Fingerprint::of_dir(&src_parent_key.pid, &src_parent_key.name);
+        let src_parent_owner = match placement.policy() {
+            switchfs_proto::PartitionPolicy::PerFileHash => {
+                placement.dir_owner_by_fp(src_parent_fp)
+            }
+            _ => placement.dir_owner_by_id(&src.pid),
+        };
         per_server
-            .entry(placement.dir_owner_by_fp(src_parent_fp))
+            .entry(src_parent_owner)
             .or_default()
             .push(TxnOp::DirUpdate {
                 dir_key: src_parent_key,
                 entry: src_parent_entry,
             });
-        let dst_parent_key = switchfs_proto::MetaKey::new(dst.pid, String::new());
-        // The destination parent's key is not directly known from the request
-        // (only its id); the directory-update participant resolves the inode
-        // by scanning its owner index, so an id-keyed placeholder suffices.
-        let dst_parent_fp = Fingerprint::of_dir(&dst_parent_key.pid, &dst_parent_key.name);
+        let (dst_parent_key, dst_parent_owner) = match dst_parent {
+            Some(p) => {
+                let owner = match placement.policy() {
+                    switchfs_proto::PartitionPolicy::PerFileHash => placement.dir_owner_by_fp(p.fp),
+                    _ => placement.dir_owner_by_id(&p.id),
+                };
+                (p.key.clone(), owner)
+            }
+            None => {
+                // Destination directly under the root: its parent is the
+                // root directory, whose content replica every placement
+                // keeps at the root-id owner (and at the root-fp owner
+                // under per-file hashing; both are preloaded).
+                let key = switchfs_proto::MetaKey::new(switchfs_proto::DirId::ROOT, "");
+                let owner = match placement.policy() {
+                    switchfs_proto::PartitionPolicy::PerFileHash => {
+                        placement.dir_owner_by_fp(Fingerprint::of_dir(&key.pid, &key.name))
+                    }
+                    _ => placement.dir_owner_by_id(&switchfs_proto::DirId::ROOT),
+                };
+                (key, owner)
+            }
+        };
         per_server
-            .entry(placement.dir_owner_by_fp(dst_parent_fp))
+            .entry(dst_parent_owner)
             .or_default()
             .push(TxnOp::DirUpdate {
                 dir_key: dst_parent_key,
                 entry: dst_parent_entry,
             });
+
+        // Coordinator-local destination check (mirroring the participant's
+        // prepare-time validation): an inode overwrite is only legal for
+        // file-over-file.
+        if dst_inode_owner == self.cfg.id {
+            if let Some(existing) = self.inner.borrow().inodes.peek(dst) {
+                if existing.is_dir() {
+                    return OpResult::Err(FsError::IsADirectory);
+                }
+                if dst_attrs.is_dir() {
+                    return OpResult::Err(FsError::NotADirectory);
+                }
+            }
+        }
 
         // Two-phase commit.
         let txn_id = self.next_token();
@@ -137,11 +257,21 @@ impl Server {
             if *server == self.cfg.id {
                 continue;
             }
+            if !vote_ok {
+                // A vote already failed; skip the remaining prepares (the
+                // abort below covers every participant, prepared or not).
+                break;
+            }
             let token = self.next_token();
             let rx = self.register_token(token);
             // The participant replies with a TxnVote; handle_txn_vote routes
-            // it back to this token through the per-transaction vote table.
-            self.inner.borrow_mut().txn_vote_tokens.insert(txn_id, token);
+            // it back to this token. Keyed by (txn_id, participant) so a
+            // network-duplicated vote from an earlier participant is not
+            // credited to the one currently being awaited.
+            self.inner
+                .borrow_mut()
+                .txn_vote_tokens
+                .insert((txn_id, *server), token);
             self.send_plain(
                 self.cfg.node_of(*server),
                 Body::Server(ServerMsg::TxnPrepare {
@@ -159,36 +289,33 @@ impl Server {
             match vote {
                 Some(Ok(TokenReply::Ack)) => {}
                 _ => {
-                    // Either an explicit negative vote or a timeout.
+                    // Either an explicit negative vote or a timeout; drop
+                    // the stale routing entry (so a late vote is ignored)
+                    // and the orphaned oneshot sender.
+                    let mut inner = self.inner.borrow_mut();
+                    inner.txn_vote_tokens.remove(&(txn_id, *server));
+                    inner.pending_tokens.remove(&token);
                     vote_ok = false;
                 }
             }
         }
 
         if !vote_ok {
-            for server in per_server.keys() {
-                if *server != self.cfg.id {
-                    self.send_plain(
-                        self.cfg.node_of(*server),
-                        Body::Server(ServerMsg::TxnAbort { txn_id }),
-                    );
-                }
-            }
+            // Abort with acknowledgment so no participant is left holding a
+            // prepared transaction after a lost abort packet.
+            self.broadcast_decision(txn_id, &per_server, false).await;
             return OpResult::Err(FsError::Unavailable);
         }
 
-        // Commit: apply the local mutations, then tell every participant.
+        // Commit: apply the local mutations, then tell every participant and
+        // wait for its acknowledgment (retransmitting the decision over the
+        // unreliable fabric), so the rename is visible everywhere — a
+        // following `statdir` must observe it — before the client sees
+        // `Done` (§5.2: rename is fully synchronous).
         if let Some(local_ops) = per_server.get(&self.cfg.id) {
             self.apply_txn_ops(local_ops).await;
         }
-        for server in per_server.keys() {
-            if *server != self.cfg.id {
-                self.send_plain(
-                    self.cfg.node_of(*server),
-                    Body::Server(ServerMsg::TxnCommit { txn_id }),
-                );
-            }
-        }
+        self.broadcast_decision(txn_id, &per_server, true).await;
         OpResult::Done
     }
 
@@ -200,7 +327,9 @@ impl Server {
                 TxnOp::PutInode { key, attrs } => {
                     let lock = self.locks.inode(key);
                     let _g = lock.write().await;
-                    self.cpu.run(costs.lock_op + costs.kv_put + costs.wal_append).await;
+                    self.cpu
+                        .run(costs.lock_op + costs.kv_put + costs.wal_append)
+                        .await;
                     self.apply_and_log(
                         None,
                         vec![KvEffect::PutInode(key.clone(), attrs.clone())],
@@ -211,8 +340,55 @@ impl Server {
                 }
                 TxnOp::DeleteInode { key } => {
                     self.cpu.run(costs.kv_put + costs.wal_append).await;
-                    self.apply_and_log(None, vec![KvEffect::DeleteInode(key.clone())], None, Vec::new())
+                    self.apply_and_log(
+                        None,
+                        vec![KvEffect::DeleteInode(key.clone())],
+                        None,
+                        Vec::new(),
+                    )
+                    .await;
+                }
+                TxnOp::PutDirContent { key, dir, entries } => {
+                    let lock = self.locks.inode(key);
+                    let _g = lock.write().await;
+                    self.cpu
+                        .run(
+                            costs.lock_op
+                                + costs.kv_put * (1 + entries.len() as u64)
+                                + costs.wal_append,
+                        )
                         .await;
+                    // Under grouping placement this server holds the
+                    // directory's *content* inode replica (the one whose
+                    // size tracks the entry list) under the old key; re-key
+                    // it so id-routed reads keep observing the live attrs.
+                    let moved = {
+                        let inner = self.inner.borrow();
+                        match inner.dir_index.get(dir) {
+                            Some(old_key) if old_key != key => inner
+                                .inodes
+                                .peek(old_key)
+                                .cloned()
+                                .map(|attrs| (old_key.clone(), attrs)),
+                            _ => None,
+                        }
+                    };
+                    let mut effects = Vec::new();
+                    if let Some((old_key, attrs)) = moved {
+                        effects.push(KvEffect::DeleteInode(old_key));
+                        effects.push(KvEffect::PutInode(key.clone(), attrs));
+                    }
+                    effects.push(KvEffect::IndexDir(*dir, key.clone()));
+                    effects.extend(entries.iter().map(|e| KvEffect::PutEntry(*dir, e.clone())));
+                    self.apply_and_log(None, effects, None, Vec::new()).await;
+                }
+                TxnOp::DeleteDirContent { dir, names } => {
+                    self.cpu
+                        .run(costs.kv_put * (1 + names.len() as u64) + costs.wal_append)
+                        .await;
+                    let mut effects = vec![KvEffect::UnindexDir(*dir)];
+                    effects.extend(names.iter().map(|n| KvEffect::DeleteEntry(*dir, n.clone())));
+                    self.apply_and_log(None, effects, None, Vec::new()).await;
                 }
                 TxnOp::DirUpdate { dir_key, entry } => {
                     // Resolve the directory key: prefer the provided key, but
@@ -226,52 +402,85 @@ impl Server {
                         }
                     };
                     if let Some(key) = resolved {
+                        let fp = Fingerprint::of_dir(&key.pid, &key.name);
+                        let fpg = self.locks.fp_group(fp);
+                        let _w = fpg.write().await;
+                        // Under asynchronous updates the directory may hold
+                        // deferred change-log entries that logically precede
+                        // this synchronous update (e.g. the create of the
+                        // entry being renamed away). Apply them first, or a
+                        // later aggregation would replay them over the
+                        // rename's effect (§5.2: rename is fully
+                        // synchronous, so it must observe the aggregated
+                        // directory).
+                        if self.cfg.update_mode.is_async() {
+                            self.aggregate_group(fp, None).await;
+                        }
                         let lock = self.locks.inode(&key);
                         let _g = lock.write().await;
                         self.cpu
                             .run(costs.lock_op + costs.kv_get + costs.kv_put + costs.wal_append)
                             .await;
                         let effects = self.entry_effects(&key, entry);
-                        self.apply_and_log(None, effects, None, vec![entry.entry_id]).await;
+                        self.apply_and_log(None, effects, None, vec![entry.entry_id])
+                            .await;
                     }
                 }
             }
         }
     }
 
-    /// Participant side of the two-phase commit: stage the mutations and
-    /// vote.
+    /// Participant side of the two-phase commit: validate and stage the
+    /// mutations, then vote.
     pub(crate) async fn handle_txn_prepare(
         &self,
         txn_id: u64,
         coordinator: ServerId,
         ops: Vec<TxnOp>,
     ) {
-        self.cpu.run(self.cfg.costs.software_path + self.cfg.costs.wal_append).await;
-        // Log the prepared transaction so a crash before the decision can be
-        // resolved by re-asking the coordinator (simplified presumed-abort).
-        self.inner.borrow_mut().prepared_txns.insert(
-            txn_id,
-            PreparedTxn {
-                ops,
-                coordinator,
+        self.cpu
+            .run(self.cfg.costs.software_path + self.cfg.costs.wal_append)
+            .await;
+        // Authoritative destination check, closing the race left open by
+        // the client's advisory probe: an inode overwrite is only legal for
+        // file-over-file (POSIX rename). Overwriting a directory, or
+        // landing a directory on an existing inode, votes the transaction
+        // down; the coordinator aborts and the client re-probes.
+        let ok = ops.iter().all(|op| match op {
+            TxnOp::PutInode { key, attrs } => match self.inner.borrow().inodes.peek(key) {
+                Some(existing) => !existing.is_dir() && !attrs.is_dir(),
+                None => true,
             },
-        );
+            _ => true,
+        });
+        if ok {
+            // Log the prepared transaction so a crash before the decision
+            // can be resolved by re-asking the coordinator (simplified
+            // presumed-abort).
+            self.inner
+                .borrow_mut()
+                .prepared_txns
+                .insert(txn_id, PreparedTxn { ops, coordinator });
+        }
         self.send_plain(
             self.cfg.node_of(coordinator),
             Body::Server(ServerMsg::TxnVote {
                 txn_id,
                 from: self.cfg.id,
-                ok: true,
+                ok,
             }),
         );
     }
 
     /// Coordinator side: a participant's vote arrived.
-    pub(crate) fn handle_txn_vote(&self, txn_id: u64, _from: ServerId, ok: bool) {
-        // Complete the waiting prepare; the coordinator waits for the
-        // participants one at a time, so the table holds the current token.
-        let token = self.inner.borrow_mut().txn_vote_tokens.remove(&txn_id);
+    pub(crate) fn handle_txn_vote(&self, txn_id: u64, from: ServerId, ok: bool) {
+        // Complete the waiting prepare. Duplicates and votes for timed-out
+        // prepares find no entry and are dropped.
+        let token = self
+            .inner
+            .borrow_mut()
+            .txn_vote_tokens
+            .remove(&(txn_id, from));
         if let Some(token) = token {
             self.complete_token(
                 token,
@@ -284,14 +493,87 @@ impl Server {
         }
     }
 
+    /// Coordinator side: a participant acknowledged a commit/abort decision.
+    pub(crate) fn handle_txn_ack(&self, txn_id: u64, from: ServerId) {
+        let token = self
+            .inner
+            .borrow_mut()
+            .txn_ack_tokens
+            .remove(&(txn_id, from));
+        if let Some(token) = token {
+            self.complete_token(token, TokenReply::Ack);
+        }
+    }
+
     /// Participant side: the coordinator's commit/abort decision arrived.
-    pub(crate) async fn handle_txn_decision(&self, txn_id: u64, commit: bool) {
+    /// Returns whether the decision is fully applied (and therefore safe to
+    /// acknowledge): true when this call applied it, when a commit was
+    /// already applied by an earlier copy, or for any abort (idempotent).
+    pub(crate) async fn handle_txn_decision(&self, txn_id: u64, commit: bool) -> bool {
         let prepared = self.inner.borrow_mut().prepared_txns.remove(&txn_id);
-        let Some(prepared) = prepared else {
-            return;
+        if !commit {
+            return true;
+        }
+        match prepared {
+            Some(prepared) => {
+                self.apply_txn_ops(&prepared.ops).await;
+                let mut inner = self.inner.borrow_mut();
+                if inner.committed_txns.insert(txn_id) {
+                    inner.committed_txn_order.push_back(txn_id);
+                    // Duplicates only arrive within the coordinator's
+                    // bounded retry window; cap the memory.
+                    while inner.committed_txn_order.len() > 4096 {
+                        if let Some(old) = inner.committed_txn_order.pop_front() {
+                            inner.committed_txns.remove(&old);
+                        }
+                    }
+                }
+                true
+            }
+            // A duplicate: acknowledgeable only once the first copy's apply
+            // has finished.
+            None => self.inner.borrow().committed_txns.contains(&txn_id),
+        }
+    }
+
+    /// Sends a commit/abort decision to every remote participant and waits
+    /// for each acknowledgment, retransmitting over the unreliable fabric.
+    async fn broadcast_decision(
+        &self,
+        txn_id: u64,
+        per_server: &BTreeMap<ServerId, Vec<TxnOp>>,
+        commit: bool,
+    ) {
+        let msg = if commit {
+            ServerMsg::TxnCommit { txn_id }
+        } else {
+            ServerMsg::TxnAbort { txn_id }
         };
-        if commit {
-            self.apply_txn_ops(&prepared.ops).await;
+        for server in per_server.keys() {
+            if *server == self.cfg.id {
+                continue;
+            }
+            for _attempt in 0..=self.cfg.costs.max_retries {
+                let token = self.next_token();
+                let rx = self.register_token(token);
+                self.inner
+                    .borrow_mut()
+                    .txn_ack_tokens
+                    .insert((txn_id, *server), token);
+                self.send_plain(self.cfg.node_of(*server), Body::Server(msg.clone()));
+                let ack = switchfs_simnet::timeout(
+                    &self.handle,
+                    self.cfg.costs.request_timeout * 4,
+                    rx.recv(),
+                )
+                .await;
+                if matches!(ack, Some(Ok(TokenReply::Ack))) {
+                    break;
+                }
+                let mut inner = self.inner.borrow_mut();
+                inner.txn_ack_tokens.remove(&(txn_id, *server));
+                inner.pending_tokens.remove(&token);
+            }
         }
     }
 }

@@ -64,7 +64,11 @@ impl WalOp {
     /// Estimated persistent size, used for WAL byte accounting.
     pub fn wire_size(&self) -> u64 {
         64 + self.effects.len() as u64 * 96
-            + self.pending_entry.as_ref().map(|(_, _, e)| e.wire_size() as u64).unwrap_or(0)
+            + self
+                .pending_entry
+                .as_ref()
+                .map(|(_, _, e)| e.wire_size() as u64)
+                .unwrap_or(0)
             + self.applied_entry_ids.len() as u64 * 12
     }
 }

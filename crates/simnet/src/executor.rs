@@ -43,7 +43,10 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.lock().expect("ready queue poisoned").push_back(self.task);
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.task);
     }
 }
 
@@ -189,8 +192,7 @@ impl Sim {
                     // Either quiescent or the next event is beyond the
                     // requested deadline.
                     let mut state = self.state.borrow_mut();
-                    if deadline != SimTime::MAX && state.now < deadline && next_deadline.is_some()
-                    {
+                    if deadline != SimTime::MAX && state.now < deadline && next_deadline.is_some() {
                         state.now = deadline;
                     }
                     return RunStats {
@@ -267,7 +269,10 @@ impl SimHandle {
             state.tasks.insert(id, Box::pin(fut));
             id
         };
-        self.ready.lock().expect("ready queue poisoned").push_back(id);
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
         id
     }
 
@@ -351,7 +356,8 @@ impl Future for Sleep {
         if self.handle.now() >= self.deadline {
             Poll::Ready(())
         } else {
-            self.handle.register_timer(self.deadline, cx.waker().clone());
+            self.handle
+                .register_timer(self.deadline, cx.waker().clone());
             Poll::Pending
         }
     }
@@ -362,7 +368,11 @@ impl Future for Sleep {
 ///
 /// Used to implement retransmission timeouts (§5.4.1): a sender waits for a
 /// response with `timeout` and resends on `None`.
-pub async fn timeout<F: Future>(handle: &SimHandle, after: SimDuration, fut: F) -> Option<F::Output> {
+pub async fn timeout<F: Future>(
+    handle: &SimHandle,
+    after: SimDuration,
+    fut: F,
+) -> Option<F::Output> {
     let sleep = handle.sleep(after);
     let mut fut = Box::pin(fut);
     let mut sleep = Box::pin(sleep);

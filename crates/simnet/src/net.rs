@@ -196,6 +196,10 @@ pub struct NetStats {
     pub dropped_by_switch: u64,
 }
 
+/// Picks which spine switch a packet traverses in a leaf–spine topology,
+/// given the payload and the number of spines.
+pub type SpineSelector<M> = Rc<dyn Fn(&M, u32) -> u32>;
+
 struct NetworkInner<M> {
     handle: SimHandle,
     mailboxes: HashMap<NodeId, mpsc::Sender<Packet<M>>>,
@@ -206,7 +210,7 @@ struct NetworkInner<M> {
     faults: NetFaults,
     rng: StdRng,
     stats: NetStats,
-    spine_selector: Option<Rc<dyn Fn(&M, u32) -> u32>>,
+    spine_selector: Option<SpineSelector<M>>,
 }
 
 /// The simulated network fabric.
@@ -278,7 +282,7 @@ impl<M: Clone + 'static> Network<M> {
 
     /// Sets the function that selects which spine switch a packet uses in a
     /// leaf–spine topology; it receives the payload and the spine count.
-    pub fn set_spine_selector(&self, f: Rc<dyn Fn(&M, u32) -> u32>) {
+    pub fn set_spine_selector(&self, f: SpineSelector<M>) {
         self.inner.borrow_mut().spine_selector = Some(f);
     }
 
@@ -424,17 +428,14 @@ impl<M: Clone + 'static> Network<M> {
                 inner.stats.dropped_node_down += 1;
                 continue;
             }
-            match inner.mailboxes.get(&p.dst) {
-                Some(tx) => {
-                    if tx.send(p).is_ok() {
-                        inner.stats.delivered += 1;
-                    } else {
-                        inner.stats.dropped_node_down += 1;
-                    }
-                }
-                None => {
-                    inner.stats.dropped_node_down += 1;
-                }
+            let delivered = inner
+                .mailboxes
+                .get(&p.dst)
+                .is_some_and(|tx| tx.send(p).is_ok());
+            if delivered {
+                inner.stats.delivered += 1;
+            } else {
+                inner.stats.dropped_node_down += 1;
             }
         }
     }
@@ -568,7 +569,8 @@ mod tests {
         });
         sim.spawn(async move {
             for _ in 0..10 {
-                got2.borrow_mut().push(b.recv().await.unwrap().payload);
+                let p = b.recv().await.unwrap().payload;
+                got2.borrow_mut().push(p);
             }
         });
         sim.run();
@@ -644,10 +646,7 @@ mod tests {
     fn custom_switch_logic_rewrites_and_drops() {
         let (sim, net) = mk(1, NetFaults::reliable());
         let seen = Rc::new(Cell::new(0));
-        net.install_switch(
-            SwitchId(0),
-            Box::new(CountingSwitch { seen: seen.clone() }),
-        );
+        net.install_switch(SwitchId(0), Box::new(CountingSwitch { seen: seen.clone() }));
         let a = net.register(NodeId(1));
         let b = net.register(NodeId(2));
         let got = Rc::new(RefCell::new(Vec::new()));
@@ -657,7 +656,8 @@ mod tests {
             a.send(NodeId(2), 3);
         });
         sim.spawn(async move {
-            got2.borrow_mut().push(b.recv().await.unwrap().payload);
+            let p = b.recv().await.unwrap().payload;
+            got2.borrow_mut().push(p);
         });
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(seen.get(), 2);

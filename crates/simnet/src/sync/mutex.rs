@@ -158,9 +158,7 @@ impl<T> Drop for Acquire<T> {
                 self.mutex.unlock();
             } else {
                 let mut inner = self.mutex.inner.borrow_mut();
-                inner
-                    .waiters
-                    .retain(|w| !Rc::ptr_eq(&w.granted, granted));
+                inner.waiters.retain(|w| !Rc::ptr_eq(&w.granted, granted));
             }
         }
     }

@@ -224,9 +224,7 @@ impl<T> Drop for Acquire<T> {
                 }
             } else {
                 let mut inner = self.lock.inner.borrow_mut();
-                inner
-                    .waiters
-                    .retain(|w| !Rc::ptr_eq(&w.granted, granted));
+                inner.waiters.retain(|w| !Rc::ptr_eq(&w.granted, granted));
             }
         }
     }

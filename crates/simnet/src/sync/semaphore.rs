@@ -160,9 +160,7 @@ impl Drop for Acquire {
                 self.semaphore.release(self.need);
             } else {
                 let mut inner = self.semaphore.inner.borrow_mut();
-                inner
-                    .waiters
-                    .retain(|w| !Rc::ptr_eq(&w.granted, granted));
+                inner.waiters.retain(|w| !Rc::ptr_eq(&w.granted, granted));
             }
         }
     }

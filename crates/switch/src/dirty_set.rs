@@ -78,11 +78,16 @@ impl DirtySet {
     /// Panics if the configuration has zero stages or zero index bits.
     pub fn new(config: DirtySetConfig) -> Self {
         assert!(config.stages > 0, "dirty set needs at least one stage");
-        assert!(config.index_bits > 0, "dirty set needs at least one index bit");
+        assert!(
+            config.index_bits > 0,
+            "dirty set needs at least one index bit"
+        );
         let per_stage = 1usize << config.index_bits;
         DirtySet {
             config,
-            stages: (0..config.stages).map(|_| RegisterStage::new(per_stage)).collect(),
+            stages: (0..config.stages)
+                .map(|_| RegisterStage::new(per_stage))
+                .collect(),
             index_mask: (per_stage - 1) as u32,
         }
     }
@@ -183,7 +188,11 @@ mod tests {
         let f = fp(2);
         assert_eq!(ds.insert(f), InsertOutcome::Inserted);
         assert_eq!(ds.insert(f), InsertOutcome::Inserted);
-        assert_eq!(ds.occupancy(), 1, "duplicate insert must not create a second copy");
+        assert_eq!(
+            ds.occupancy(),
+            1,
+            "duplicate insert must not create a second copy"
+        );
     }
 
     #[test]
@@ -207,10 +216,8 @@ mod tests {
         while same_set.len() < 4 {
             let f = fp(i);
             i += 1;
-            if f.index() & 1 == 0 {
-                if same_set.iter().all(|g: &Fingerprint| g.tag() != f.tag()) {
-                    same_set.push(f);
-                }
+            if f.index() & 1 == 0 && same_set.iter().all(|g: &Fingerprint| g.tag() != f.tag()) {
+                same_set.push(f);
             }
         }
         assert_eq!(ds.insert(same_set[0]), InsertOutcome::Inserted);

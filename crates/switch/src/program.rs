@@ -328,7 +328,10 @@ mod tests {
         let ins = NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(fp(3), 42), Body::Empty);
         let out = p.process(10, 1, &ins);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].0, 42, "address rewriter must use the alternative destination");
+        assert_eq!(
+            out[0].0, 42,
+            "address rewriter must use the alternative destination"
+        );
         assert_eq!(out[0].1.dirty.unwrap().ret, DirtyRet::Overflowed);
         assert!(!p.contains(fp(3)));
         assert_eq!(p.stats().insert_overflows, 1);
@@ -357,7 +360,11 @@ mod tests {
         let out = p.process(11, 11, &rm);
         let mut dests: Vec<u32> = out.iter().map(|(d, _)| *d).collect();
         dests.sort_unstable();
-        assert_eq!(dests, vec![10, 12, 13], "multicast must reach every other server");
+        assert_eq!(
+            dests,
+            vec![10, 12, 13],
+            "multicast must reach every other server"
+        );
         assert!(!p.contains(f));
     }
 
@@ -387,7 +394,11 @@ mod tests {
         let mut p = program(vec![10, 11]);
         let f = fp(6);
         // Sender 11 uses seq 5; sender 12's seq 1 must still be accepted.
-        p.process(11, 10, &NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(f, 5), Body::Empty));
+        p.process(
+            11,
+            10,
+            &NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(f, 5), Body::Empty),
+        );
         p.process(
             10,
             1,
@@ -411,7 +422,11 @@ mod tests {
             1,
             &NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
         );
-        p.process(11, 10, &NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(fp(8), 9), Body::Empty));
+        p.process(
+            11,
+            10,
+            &NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(fp(8), 9), Body::Empty),
+        );
         assert!(p.contains(f));
         p.reboot();
         assert!(!p.contains(f));
@@ -434,7 +449,10 @@ mod tests {
         }
         let s = p.stats();
         assert_eq!(s.queries, 50);
-        assert!(s.mirrored > 0, "some fingerprints should hash to the non-natural pipe");
+        assert!(
+            s.mirrored > 0,
+            "some fingerprints should hash to the non-natural pipe"
+        );
         assert!(s.mirrored < 50);
     }
 }

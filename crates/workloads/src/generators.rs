@@ -157,7 +157,8 @@ impl WorkloadBuilder {
         for i in 0..creates {
             out.push(WorkItem::new(
                 OpKind::Create,
-                self.namespace.file_path(0, self.namespace.files_per_dir + i),
+                self.namespace
+                    .file_path(0, self.namespace.files_per_dir + i),
             ));
         }
         out.push(WorkItem::new(OpKind::Statdir, self.namespace.dir_path(0)));
@@ -174,14 +175,17 @@ impl WorkloadBuilder {
             for f in 0..per_dir {
                 out.push(WorkItem::new(
                     OpKind::Create,
-                    self.namespace.file_path(d, self.namespace.files_per_dir + f),
+                    self.namespace
+                        .file_path(d, self.namespace.files_per_dir + f),
                 ));
             }
         }
         for _ in 0..read_passes {
             for d in 0..self.namespace.dirs {
                 for f in 0..per_dir {
-                    let path = self.namespace.file_path(d, self.namespace.files_per_dir + f);
+                    let path = self
+                        .namespace
+                        .file_path(d, self.namespace.files_per_dir + f);
                     out.push(WorkItem::new(OpKind::Open, path.clone()));
                     out.push(WorkItem::new(OpKind::Read, path.clone()));
                     out.push(WorkItem::new(OpKind::Close, path));
@@ -192,7 +196,8 @@ impl WorkloadBuilder {
             for f in 0..per_dir {
                 out.push(WorkItem::new(
                     OpKind::Delete,
-                    self.namespace.file_path(d, self.namespace.files_per_dir + f),
+                    self.namespace
+                        .file_path(d, self.namespace.files_per_dir + f),
                 ));
             }
         }
@@ -205,7 +210,9 @@ impl WorkloadBuilder {
         let mut out = Vec::new();
         for i in 0..images {
             let d = i % self.namespace.dirs.max(1);
-            let src = self.namespace.file_path(d, i % self.namespace.files_per_dir.max(1));
+            let src = self
+                .namespace
+                .file_path(d, i % self.namespace.files_per_dir.max(1));
             let thumb = self
                 .namespace
                 .file_path(d, self.namespace.files_per_dir + images + i);

@@ -161,7 +161,9 @@ mod tests {
         let mix = OpMix::new(vec![(OpKind::Stat, 9.0), (OpKind::Create, 1.0)]);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 10_000;
-        let stats = (0..n).filter(|_| mix.sample(&mut rng) == OpKind::Stat).count();
+        let stats = (0..n)
+            .filter(|_| mix.sample(&mut rng) == OpKind::Stat)
+            .count();
         let frac = stats as f64 / n as f64;
         assert!((frac - 0.9).abs() < 0.03, "stat fraction {frac}");
     }

@@ -52,6 +52,9 @@ fn main() {
     cluster.block_on(async move {
         let dir = client.statdir("/wal-demo").await.unwrap();
         assert_eq!(dir.size, 200);
-        println!("/wal-demo still holds {} entries after both failures", dir.size);
+        println!(
+            "/wal-demo still holds {} entries after both failures",
+            dir.size
+        );
     });
 }

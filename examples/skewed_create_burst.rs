@@ -24,7 +24,10 @@ fn run(system: SystemKind, burst: usize) -> f64 {
 
 fn main() {
     println!("create throughput under operation bursts (32 in-flight requests)");
-    println!("{:>10} {:>18} {:>18} {:>18}", "burst", "SwitchFS", "E-InfiniFS", "E-CFS");
+    println!(
+        "{:>10} {:>18} {:>18} {:>18}",
+        "burst", "SwitchFS", "E-InfiniFS", "E-CFS"
+    );
     for burst in [10usize, 50, 200, 1000] {
         let s = run(SystemKind::SwitchFs, burst);
         let i = run(SystemKind::EmulatedInfiniFs, burst);

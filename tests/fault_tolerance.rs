@@ -28,7 +28,10 @@ fn server_crash_recovery_restores_inodes_and_changelogs() {
     assert!(!cluster.servers()[0].is_crashed());
 
     let after: usize = cluster.servers().iter().map(|s| s.inode_count()).sum();
-    assert_eq!(before, after, "recovery must rebuild every inode from the WAL");
+    assert_eq!(
+        before, after,
+        "recovery must rebuild every inode from the WAL"
+    );
 
     // The namespace is still correct and fully visible.
     let client = cluster.client(0);

@@ -54,8 +54,14 @@ fn basic_lifecycle(system: SystemKind) {
             client.rmdir("/proj/src").await.unwrap_err(),
             FsError::NotEmpty
         );
-        client.delete("/proj/src/main.rs").await.expect("delete main.rs");
-        client.rmdir("/proj/src").await.expect("rmdir now-empty dir");
+        client
+            .delete("/proj/src/main.rs")
+            .await
+            .expect("delete main.rs");
+        client
+            .rmdir("/proj/src")
+            .await
+            .expect("rmdir now-empty dir");
         assert_eq!(
             client.statdir("/proj/src").await.unwrap_err(),
             FsError::NotFound,
@@ -137,6 +143,44 @@ fn rename_moves_a_file_across_directories() {
 }
 
 #[test]
+fn rename_moves_a_directory_with_its_children() {
+    // Directory inodes live with their fingerprint group, not their per-file
+    // hash, so directory rename exercises coordinator routing and content
+    // migration (§5.2: rename is fully synchronous and covers up to four
+    // inodes).
+    for system in [
+        SystemKind::SwitchFs,
+        SystemKind::EmulatedCfs,
+        SystemKind::EmulatedInfiniFs,
+    ] {
+        let cluster = small_cluster(system);
+        let client = cluster.client(0);
+        cluster.block_on(async move {
+            client.mkdir("/a").await.unwrap();
+            client.mkdir("/b").await.unwrap();
+            client.mkdir("/a/sub").await.unwrap();
+            client.create("/a/sub/x").await.unwrap();
+            client.create("/a/sub/y").await.unwrap();
+            client.rename("/a/sub", "/b/moved").await.unwrap();
+            // Immediately visible on every replica: old path gone, new path
+            // lists both children, parents' sizes updated.
+            assert_eq!(
+                client.statdir("/a/sub").await.unwrap_err(),
+                FsError::NotFound,
+                "{system}: old directory path must be gone"
+            );
+            let moved = client.statdir("/b/moved").await.unwrap();
+            assert_eq!(moved.size, 2, "{system}: children must move along");
+            let (_, entries) = client.readdir("/b/moved").await.unwrap();
+            assert_eq!(entries.len(), 2, "{system}: entry list must migrate");
+            client.stat("/b/moved/x").await.unwrap();
+            assert_eq!(client.statdir("/a").await.unwrap().size, 0);
+            assert_eq!(client.statdir("/b").await.unwrap().size, 1);
+        });
+    }
+}
+
+#[test]
 fn stale_client_caches_are_invalidated_lazily_after_rmdir() {
     let cluster = small_cluster(SystemKind::SwitchFs);
     let creator = cluster.client(0);
@@ -196,6 +240,9 @@ fn lossy_network_still_completes_operations() {
             client.create(&format!("/lossy/f{i}")).await.unwrap();
         }
         let d = client.statdir("/lossy").await.unwrap();
-        assert_eq!(d.size, 50, "loss/duplication must not lose or double-apply updates");
+        assert_eq!(
+            d.size, 50,
+            "loss/duplication must not lose or double-apply updates"
+        );
     });
 }
