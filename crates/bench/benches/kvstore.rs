@@ -1,7 +1,37 @@
-//! Microbenchmark: the metadata key-value store and WAL substrate.
+//! Microbenchmark: the metadata key-value store and WAL substrate, plus the
+//! zero-clone readdir path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use switchfs_kvstore::{KvStore, Wal};
+
+thread_local! {
+    /// Number of times a [`CountedEntry`] was cloned.
+    static ENTRY_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A stand-in directory entry that counts its clones, so the readdir bench
+/// can assert how many deep copies each strategy performs.
+#[derive(Debug)]
+struct CountedEntry {
+    #[allow(dead_code)]
+    name: String,
+}
+
+impl Clone for CountedEntry {
+    fn clone(&self) -> Self {
+        ENTRY_CLONES.with(|c| c.set(c.get() + 1));
+        CountedEntry {
+            name: self.name.clone(),
+        }
+    }
+}
+
+fn entry_clones() -> u64 {
+    ENTRY_CLONES.with(|c| c.get())
+}
 
 fn bench_kvstore(c: &mut Criterion) {
     c.bench_function("kvstore_put_get_10k", |b| {
@@ -29,5 +59,67 @@ fn bench_kvstore(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kvstore);
+/// The readdir hot path, before and after the zero-clone overhaul:
+///
+/// * `readdir_cloning_scan` models the pre-PR layout — one `(dir, name)` key
+///   per entry, each readdir deep-copies every entry out of the store —
+///   and asserts the per-readdir clone count is O(n).
+/// * `readdir_shared_rc` models the current layout — the entry list behind
+///   an `Rc`, readdir hands out a reference-counted pointer — and asserts
+///   the per-readdir entry-clone count is exactly zero (O(1) total work).
+fn bench_readdir_clones(c: &mut Criterion) {
+    const ENTRIES: usize = 1_000;
+
+    // Pre-PR layout: per-entry keys, cloned out on every scan.
+    let mut per_entry: KvStore<(u32, String), CountedEntry> = KvStore::new();
+    for i in 0..ENTRIES {
+        let name = format!("f{i:04}");
+        per_entry.put((7, name.clone()), CountedEntry { name });
+    }
+    let before = entry_clones();
+    let listing = per_entry.scan_while(&(7, String::new()), |(d, _)| *d == 7);
+    let per_readdir = entry_clones() - before;
+    assert_eq!(
+        per_readdir, ENTRIES as u64,
+        "the cloning scan deep-copies every entry per readdir (O(n))"
+    );
+    drop(listing);
+    c.bench_function("readdir_cloning_scan_1k", |b| {
+        b.iter(|| {
+            per_entry
+                .scan_while(&(7, String::new()), |(d, _)| *d == 7)
+                .len()
+        })
+    });
+
+    // Current layout: one Rc-shared list per directory.
+    let mut shared: KvStore<u32, Rc<Vec<CountedEntry>>> = KvStore::new();
+    shared.put(
+        7,
+        Rc::new(
+            (0..ENTRIES)
+                .map(|i| CountedEntry {
+                    name: format!("f{i:04}"),
+                })
+                .collect(),
+        ),
+    );
+    let before = entry_clones();
+    let listing: Rc<Vec<CountedEntry>> = Rc::clone(shared.get_ref(&7).expect("present"));
+    assert_eq!(listing.len(), ENTRIES);
+    assert_eq!(
+        entry_clones() - before,
+        0,
+        "the shared listing must not clone a single entry per readdir (O(1))"
+    );
+    drop(listing);
+    c.bench_function("readdir_shared_rc_1k", |b| {
+        b.iter(|| {
+            let l: Rc<Vec<CountedEntry>> = Rc::clone(shared.get_ref(&7).expect("present"));
+            black_box(l.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_kvstore, bench_readdir_clones);
 criterion_main!(benches);

@@ -3,38 +3,45 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p switchfs-bench --bin figures -- <experiment> [--full] [--json]
+//! cargo run --release -p switchfs-bench --bin figures -- <experiment> [--full] [--json [PATH]]
 //! ```
 //!
 //! where `<experiment>` is one of `tab2`, `fig2`, `fig12a`, `fig12b`,
 //! `fig13`, `fig14`, `overflow`, `fig15`, `fig16`, `fig17a`, `fig17b`,
 //! `fig18`, `fig19`, `recovery`, or `all`. `--full` uses the larger
-//! experiment scale; `--json` emits machine-readable output.
+//! experiment scale; `--json` emits machine-readable output — one JSON
+//! document per experiment to stdout, or, when a `PATH` follows, a single
+//! document collecting every experiment plus per-experiment and total wall
+//! clock, which is the format recorded in the checked-in `BENCH_*.json`
+//! perf baselines and uploaded by the CI perf-smoke job.
+
+use std::time::Instant;
 
 use switchfs_bench::{experiments, ExperimentScale, Row};
 
+fn rows_to_json(title: &str, rows: &[Row]) -> serde_json::Value {
+    let obj: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            let mut m = serde_json::Map::new();
+            m.insert("label".into(), serde_json::Value::String(r.label.clone()));
+            for (k, v) in &r.values {
+                m.insert(
+                    k.clone(),
+                    serde_json::Number::from_f64(*v)
+                        .map(serde_json::Value::Number)
+                        .unwrap_or(serde_json::Value::Null),
+                );
+            }
+            serde_json::Value::Object(m)
+        })
+        .collect();
+    serde_json::json!({ "experiment": title, "rows": obj })
+}
+
 fn print_rows(title: &str, rows: &[Row], json: bool) {
     if json {
-        let obj: Vec<serde_json::Value> = rows
-            .iter()
-            .map(|r| {
-                let mut m = serde_json::Map::new();
-                m.insert("label".into(), serde_json::Value::String(r.label.clone()));
-                for (k, v) in &r.values {
-                    m.insert(
-                        k.clone(),
-                        serde_json::Number::from_f64(*v)
-                            .map(serde_json::Value::Number)
-                            .unwrap_or(serde_json::Value::Null),
-                    );
-                }
-                serde_json::Value::Object(m)
-            })
-            .collect();
-        println!(
-            "{}",
-            serde_json::json!({ "experiment": title, "rows": obj })
-        );
+        println!("{}", rows_to_json(title, rows));
         return;
     }
     println!("\n== {title} ==");
@@ -48,101 +55,151 @@ fn print_rows(title: &str, rows: &[Row], json: bool) {
     }
 }
 
-fn run(which: &str, scale: ExperimentScale, json: bool) {
+const EXPERIMENTS: [&str; 14] = [
+    "tab2", "fig2", "fig12a", "fig12b", "fig13", "fig14", "overflow", "fig15", "fig16", "fig17a",
+    "fig17b", "fig18", "fig19", "recovery",
+];
+
+fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row>)> {
     match which {
-        "tab2" => print_rows("Tab. 2: PanguFS operation mix", &experiments::tab2(), json),
-        "fig2" => print_rows(
+        "tab2" => Some(("Tab. 2: PanguFS operation mix", experiments::tab2())),
+        "fig2" => Some((
             "Fig. 2: motivation — baseline scalability and contention",
-            &experiments::fig2(scale),
-            json,
-        ),
-        "fig12a" => print_rows(
+            experiments::fig2(scale),
+        )),
+        "fig12a" => Some((
             "Fig. 12(a): throughput, single large directory (8 servers)",
-            &experiments::fig12(scale, true, 8),
-            json,
-        ),
-        "fig12b" => print_rows(
+            experiments::fig12(scale, true, 8),
+        )),
+        "fig12b" => Some((
             "Fig. 12(b): throughput, multiple directories (8 servers)",
-            &experiments::fig12(scale, false, 8),
-            json,
-        ),
-        "fig13" => print_rows(
+            experiments::fig12(scale, false, 8),
+        )),
+        "fig13" => Some((
             "Fig. 13: operation latency (single client, 8 servers)",
-            &experiments::fig13(scale),
-            json,
-        ),
-        "fig14" => print_rows(
+            experiments::fig13(scale),
+        )),
+        "fig14" => Some((
             "Fig. 14: contribution breakdown (Baseline / +Async / +Compaction)",
-            &experiments::fig14(scale),
-            json,
-        ),
-        "overflow" => print_rows(
+            experiments::fig14(scale),
+        )),
+        "overflow" => Some((
             "§7.3.2: impact of dirty-set overflow",
-            &experiments::overflow(scale),
-            json,
-        ),
-        "fig15" => print_rows(
+            experiments::overflow(scale),
+        )),
+        "fig15" => Some((
             "Fig. 15: dedicated server vs programmable switch",
-            &experiments::fig15(scale),
-            json,
-        ),
-        "fig16" => print_rows(
+            experiments::fig15(scale),
+        )),
+        "fig16" => Some((
             "Fig. 16: owner-server tracking vs in-network tracking",
-            &experiments::fig16(scale),
-            json,
-        ),
-        "fig17a" => print_rows(
+            experiments::fig16(scale),
+        )),
+        "fig17a" => Some((
             "Fig. 17(a): create bursts, 32 in-flight requests",
-            &experiments::fig17(scale, 32),
-            json,
-        ),
-        "fig17b" => print_rows(
+            experiments::fig17(scale, 32),
+        )),
+        "fig17b" => Some((
             "Fig. 17(b): create bursts, 256 in-flight requests",
-            &experiments::fig17(scale, 256),
-            json,
-        ),
-        "fig18" => print_rows(
+            experiments::fig17(scale, 256),
+        )),
+        "fig18" => Some((
             "Fig. 18: statdir latency after preceding creates (aggregation overhead)",
-            &experiments::fig18(scale),
-            json,
-        ),
-        "fig19" => print_rows(
-            "Fig. 19: end-to-end workloads",
-            &experiments::fig19(scale),
-            json,
-        ),
-        "recovery" => print_rows(
-            "§7.7: crash recovery time",
-            &experiments::recovery(scale),
-            json,
-        ),
-        "all" => {
-            for w in [
-                "tab2", "fig2", "fig12a", "fig12b", "fig13", "fig14", "overflow", "fig15", "fig16",
-                "fig17a", "fig17b", "fig18", "fig19", "recovery",
-            ] {
-                run(w, scale, json);
-            }
+            experiments::fig18(scale),
+        )),
+        "fig19" => Some(("Fig. 19: end-to-end workloads", experiments::fig19(scale))),
+        "recovery" => Some(("§7.7: crash recovery time", experiments::recovery(scale))),
+        _ => None,
+    }
+}
+
+fn run(which: &str, scale: ExperimentScale, json: bool) {
+    if which == "all" {
+        for w in EXPERIMENTS {
+            run(w, scale, json);
         }
-        other => {
-            eprintln!("unknown experiment: {other}");
+        return;
+    }
+    match compute(which, scale) {
+        Some((title, rows)) => print_rows(title, &rows, json),
+        None => {
+            eprintln!("unknown experiment: {which}");
             std::process::exit(2);
         }
     }
 }
 
+/// Runs the selection and writes one collected JSON document (rows +
+/// per-experiment and total wall clock) to `path`.
+fn run_to_file(which: &str, scale: ExperimentScale, path: &str) {
+    let selection: Vec<&str> = if which == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![which]
+    };
+    let total_start = Instant::now();
+    let mut docs = Vec::new();
+    for w in selection {
+        let start = Instant::now();
+        let Some((title, rows)) = compute(w, scale) else {
+            eprintln!("unknown experiment: {w}");
+            std::process::exit(2);
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let mut doc = rows_to_json(title, &rows);
+        if let serde_json::Value::Object(m) = &mut doc {
+            m.insert("name".into(), serde_json::Value::String(w.to_string()));
+            m.insert(
+                "wall_clock_secs".into(),
+                serde_json::Number::from_f64(wall)
+                    .map(serde_json::Value::Number)
+                    .unwrap_or(serde_json::Value::Null),
+            );
+        }
+        docs.push(doc);
+    }
+    let out = serde_json::json!({
+        "scale": if scale == ExperimentScale::Full { "full" } else { "quick" },
+        "total_wall_clock_secs": serde_json::Number::from_f64(total_start.elapsed().as_secs_f64())
+            .map(serde_json::Value::Number)
+            .unwrap_or(serde_json::Value::Null),
+        "experiments": docs,
+    });
+    std::fs::write(path, format!("{out}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
     let scale = if args.iter().any(|a| a == "--full") {
         ExperimentScale::Full
     } else {
         ExperimentScale::Quick
     };
+    // `--json` alone streams one JSON document per experiment to stdout;
+    // `--json PATH` collects everything (plus wall clocks) into PATH.
+    let json_pos = args.iter().position(|a| a == "--json");
+    let json_path = json_pos.and_then(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--") && !EXPERIMENTS.contains(&a.as_str()) && *a != "all")
+            .cloned()
+    });
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && json_path
+                    .as_ref()
+                    .is_none_or(|_| Some(*i) != json_pos.map(|p| p + 1))
+        })
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
-    run(&which, scale, json);
+    match json_path {
+        Some(path) => run_to_file(&which, scale, &path),
+        None => run(&which, scale, json_pos.is_some()),
+    }
 }

@@ -7,9 +7,10 @@
 //! its invalidation list), the client drops every cached entry along that
 //! path and retries the operation from scratch (§5.2.1, §5.2.3).
 
-use std::collections::HashMap;
+use std::rc::Rc;
 
 use switchfs_proto::{DirId, Fingerprint, InodeAttrs, MetaKey};
+use switchfs_simnet::FxHashMap;
 
 /// One cached directory.
 #[derive(Debug, Clone)]
@@ -24,10 +25,12 @@ pub struct CachedDir {
     pub attrs: Option<InodeAttrs>,
 }
 
-/// Path-indexed cache of directory metadata.
+/// Path-indexed cache of directory metadata. Entries are shared (`Rc`):
+/// a hit hands out a reference-counted pointer instead of deep-copying the
+/// cached key and attributes.
 #[derive(Debug, Default)]
 pub struct MetaCache {
-    dirs: HashMap<String, CachedDir>,
+    dirs: FxHashMap<String, Rc<CachedDir>>,
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -39,12 +42,13 @@ impl MetaCache {
         Self::default()
     }
 
-    /// Looks up a directory by absolute path.
-    pub fn get(&mut self, path: &str) -> Option<CachedDir> {
+    /// Looks up a directory by absolute path. The returned entry is shared,
+    /// not copied.
+    pub fn get(&mut self, path: &str) -> Option<Rc<CachedDir>> {
         match self.dirs.get(path) {
             Some(d) => {
                 self.hits += 1;
-                Some(d.clone())
+                Some(Rc::clone(d))
             }
             None => {
                 self.misses += 1;
@@ -54,21 +58,26 @@ impl MetaCache {
     }
 
     /// Inserts or refreshes a directory entry.
-    pub fn insert(&mut self, path: &str, dir: CachedDir) {
+    pub fn insert(&mut self, path: &str, dir: Rc<CachedDir>) {
         self.dirs.insert(path.to_string(), dir);
     }
 
     /// Drops the entry for `path` and for every path beneath it (a removed
-    /// or renamed directory invalidates its whole subtree).
+    /// or renamed directory invalidates its whole subtree). Alloc-free: the
+    /// descendant test slices `path` instead of building a prefix string.
     pub fn invalidate_subtree(&mut self, path: &str) {
-        let prefix = if path.ends_with('/') {
-            path.to_string()
-        } else {
-            format!("{path}/")
-        };
         let before = self.dirs.len();
-        self.dirs
-            .retain(|p, _| p != path && !p.starts_with(&prefix));
+        self.dirs.retain(|p, _| {
+            if p == path {
+                return false;
+            }
+            // A strict descendant is `path` followed by a '/' separator
+            // (or anything below a path that already ends in '/').
+            match p.strip_prefix(path) {
+                Some(rest) => !(path.ends_with('/') || rest.starts_with('/')),
+                None => true,
+            }
+        });
         self.invalidations += (before - self.dirs.len()) as u64;
     }
 
@@ -77,7 +86,7 @@ impl MetaCache {
     /// stale).
     pub fn invalidate_path(&mut self, path: &str) {
         for prefix in path_prefixes(path) {
-            if self.dirs.remove(&prefix).is_some() {
+            if self.dirs.remove(prefix).is_some() {
                 self.invalidations += 1;
             }
         }
@@ -104,25 +113,27 @@ impl MetaCache {
     }
 }
 
-/// Returns every directory prefix of an absolute path, excluding the root:
-/// `"/a/b/c"` → `["/a", "/a/b", "/a/b/c"]`.
-pub fn path_prefixes(path: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut current = String::new();
-    for comp in path.split('/').filter(|c| !c.is_empty()) {
-        current.push('/');
-        current.push_str(comp);
-        out.push(current.clone());
-    }
-    out
+/// Iterates every directory prefix of an absolute path, excluding the root:
+/// `"/a/b/c"` → `"/a"`, `"/a/b"`, `"/a/b/c"`. Alloc-free — each prefix is a
+/// slice of the input ending at a component boundary, so the input must be
+/// canonical (no repeated separators): `"/a//b"` yields `"/a//b"`, not
+/// `"/a/b"`, and would miss the canonical cache key. Every path the client
+/// caches under is canonical (resolution builds them component by
+/// component), so callers passing resolved paths are always safe.
+pub fn path_prefixes(path: &str) -> impl Iterator<Item = &str> {
+    path.char_indices()
+        .filter_map(move |(i, c)| {
+            // A component ends right before a separator or at end-of-string.
+            let boundary =
+                c != '/' && matches!(path.as_bytes().get(i + c.len_utf8()), None | Some(b'/'));
+            boundary.then(|| &path[..i + c.len_utf8()])
+        })
+        .filter(|p| !p.is_empty())
 }
 
-/// Splits an absolute path into its components.
-pub fn path_components(path: &str) -> Vec<String> {
-    path.split('/')
-        .filter(|c| !c.is_empty())
-        .map(|c| c.to_string())
-        .collect()
+/// Iterates the components of an absolute path without allocating.
+pub fn path_components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
 }
 
 #[cfg(test)]
@@ -142,7 +153,7 @@ mod tests {
     fn hit_and_miss_counters() {
         let mut c = MetaCache::new();
         assert!(c.get("/a").is_none());
-        c.insert("/a", dir("a"));
+        c.insert("/a", Rc::new(dir("a")));
         assert!(c.get("/a").is_some());
         assert_eq!(c.counters(), (1, 1, 0));
     }
@@ -150,10 +161,10 @@ mod tests {
     #[test]
     fn invalidate_subtree_drops_descendants() {
         let mut c = MetaCache::new();
-        c.insert("/a", dir("a"));
-        c.insert("/a/b", dir("b"));
-        c.insert("/a/b/c", dir("c"));
-        c.insert("/ab", dir("ab"));
+        c.insert("/a", Rc::new(dir("a")));
+        c.insert("/a/b", Rc::new(dir("b")));
+        c.insert("/a/b/c", Rc::new(dir("c")));
+        c.insert("/ab", Rc::new(dir("ab")));
         c.invalidate_subtree("/a/b");
         assert!(c.get("/a").is_some());
         assert!(c.get("/a/b").is_none());
@@ -167,9 +178,9 @@ mod tests {
     #[test]
     fn invalidate_path_drops_all_prefixes() {
         let mut c = MetaCache::new();
-        c.insert("/a", dir("a"));
-        c.insert("/a/b", dir("b"));
-        c.insert("/x", dir("x"));
+        c.insert("/a", Rc::new(dir("a")));
+        c.insert("/a/b", Rc::new(dir("b")));
+        c.insert("/x", Rc::new(dir("x")));
         c.invalidate_path("/a/b/file.txt");
         assert!(c.is_empty() || c.get("/x").is_some());
         assert!(c.get("/a").is_none());
@@ -178,9 +189,20 @@ mod tests {
 
     #[test]
     fn prefix_and_component_helpers() {
-        assert_eq!(path_prefixes("/a/b/c"), vec!["/a", "/a/b", "/a/b/c"]);
-        assert_eq!(path_components("/a/b/c"), vec!["a", "b", "c"]);
-        assert!(path_prefixes("/").is_empty());
-        assert!(path_components("/").is_empty());
+        assert_eq!(
+            path_prefixes("/a/b/c").collect::<Vec<_>>(),
+            vec!["/a", "/a/b", "/a/b/c"]
+        );
+        assert_eq!(
+            path_components("/a/b/c").collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(path_prefixes("/").count(), 0);
+        assert_eq!(path_components("/").count(), 0);
+        // Trailing separators do not produce empty prefixes.
+        assert_eq!(
+            path_prefixes("/a/b/").collect::<Vec<_>>(),
+            vec!["/a", "/a/b"]
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! The LibFS client: path resolution, request execution, retries.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use switchfs_proto::message::{
@@ -12,7 +11,7 @@ use switchfs_proto::{
     OpId, OpResult, Permissions, ServerId,
 };
 use switchfs_simnet::sync::oneshot;
-use switchfs_simnet::{timeout, Endpoint, NodeId, SimDuration, SimHandle};
+use switchfs_simnet::{timeout, Endpoint, FxHashMap, NodeId, SimDuration, SimHandle};
 
 use crate::cache::{path_components, CachedDir, MetaCache};
 use crate::router::RequestRouter;
@@ -77,7 +76,7 @@ pub struct LibFs {
     server_nodes: Rc<Vec<NodeId>>,
     cfg: LibFsConfig,
     cache: RefCell<MetaCache>,
-    pending: Rc<RefCell<HashMap<u64, oneshot::Sender<ClientResponse>>>>,
+    pending: Rc<RefCell<FxHashMap<u64, oneshot::Sender<ClientResponse>>>>,
     next_seq: Cell<u64>,
     stats: RefCell<ClientStats>,
 }
@@ -99,7 +98,7 @@ impl LibFs {
             server_nodes,
             cfg,
             cache: RefCell::new(MetaCache::new()),
-            pending: Rc::new(RefCell::new(HashMap::new())),
+            pending: Rc::new(RefCell::new(FxHashMap::default())),
             next_seq: Cell::new(1),
             stats: RefCell::new(ClientStats::default()),
         })
@@ -159,9 +158,8 @@ impl LibFs {
             .await?
         {
             OpResult::Attrs(a) => Ok(a),
-            OpResult::Done => Err(FsError::NotFound),
-            OpResult::Err(e) => Err(e),
             OpResult::Listing { attrs, .. } => Ok(attrs),
+            other => Err(other.err().unwrap_or(FsError::NotFound)),
         }
     }
 
@@ -203,8 +201,9 @@ impl LibFs {
         self.expect_attrs(self.run_path_op(path, |key| MetaOp::Statdir { key }).await)
     }
 
-    /// Lists a directory.
-    pub async fn readdir(&self, path: &str) -> FsResult<(InodeAttrs, Vec<DirEntry>)> {
+    /// Lists a directory. The entry list is the same `Rc` allocation the
+    /// server produced — no copy is made on the way to the caller.
+    pub async fn readdir(&self, path: &str) -> FsResult<(InodeAttrs, Rc<Vec<DirEntry>>)> {
         match self
             .run_path_op(path, |key| MetaOp::Readdir { key })
             .await?
@@ -263,8 +262,11 @@ impl LibFs {
         }
     }
 
-    /// One rename attempt: probe types, resolve both paths, run the
-    /// transaction.
+    /// One rename attempt: probe the source's type (routing needs it),
+    /// resolve both paths, run the transaction. The destination is NOT
+    /// probed: its owner re-checks authoritatively at prepare time and a
+    /// conflict comes back as a typed `RenameDstExists` reject, saving up to
+    /// two round-trips per rename.
     async fn try_rename(&self, src_path: &str, dst_path: &str) -> FsResult<()> {
         // The router needs the source's type: directory inodes live with
         // their fingerprint group, file inodes with their per-file hash, so
@@ -289,53 +291,34 @@ impl LibFs {
         if src_path == dst_path {
             return Ok(());
         }
-        // The destination may overwrite an existing *file* (POSIX rename
-        // semantics; the parent's entry count is unchanged, handled by the
-        // owner's existence-aware size accounting). Renaming onto an
-        // existing directory, or a directory onto a file, is rejected.
-        // (POSIX would allow replacing an *empty* directory; that needs a
-        // cross-server emptiness probe and is deliberately unsupported.)
-        let dst_existing = match self.stat(dst_path).await {
-            Ok(a) => Some(a),
-            Err(FsError::NotFound) => match self.statdir(dst_path).await {
-                Ok(a) => Some(a),
-                Err(FsError::NotFound) => None,
-                Err(e) => return Err(e),
-            },
-            Err(e) => return Err(e),
-        };
-        if let Some(d) = &dst_existing {
-            if d.is_dir() {
-                return Err(FsError::IsADirectory);
-            }
-            if src_attrs.is_dir() {
-                return Err(FsError::NotADirectory);
-            }
-        }
         let src_res = self.resolve(src_path, false).await?;
         let dst_res = self.resolve(dst_path, false).await?;
         let op = MetaOp::Rename {
-            src: src_res.key.clone(),
-            dst: dst_res.key.clone(),
-            dst_parent: dst_res.parent.clone(),
+            src: src_res.key,
+            dst: dst_res.key,
+            dst_parent: dst_res.parent,
         };
-        let mut ancestors = src_res.ancestors.clone();
+        let mut ancestors = src_res.ancestors;
         ancestors.extend(dst_res.ancestors.iter().copied());
         let result = self
-            .issue(op, src_res.parent.clone(), ancestors, Some(src_attrs))
+            .issue(op, src_res.parent, ancestors, Some(src_attrs))
             .await?;
         self.cache.borrow_mut().invalidate_subtree(src_path);
         self.cache.borrow_mut().invalidate_path(dst_path);
-        match result {
-            OpResult::Err(e) => Err(e),
-            _ => Ok(()),
+        // The destination may overwrite an existing *file* (POSIX rename
+        // semantics). Renaming onto an existing directory, or a directory
+        // onto a file, is rejected by the owner at prepare time; the typed
+        // reject maps to the POSIX error a local probe would have produced.
+        match result.err() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
     fn expect_done(&self, r: FsResult<OpResult>) -> FsResult<()> {
-        match r? {
-            OpResult::Err(e) => Err(e),
-            _ => Ok(()),
+        match r?.err() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -343,8 +326,7 @@ impl LibFs {
         match r? {
             OpResult::Attrs(a) => Ok(a),
             OpResult::Listing { attrs, .. } => Ok(attrs),
-            OpResult::Err(e) => Err(e),
-            OpResult::Done => Err(FsError::NotFound),
+            other => Err(other.err().unwrap_or(FsError::NotFound)),
         }
     }
 
@@ -376,7 +358,15 @@ impl LibFs {
                     return Err(e);
                 }
             };
-            let op = build(res.key.clone());
+            // The resolution is rebuilt on every retry, so its fields move
+            // straight into the request — no per-attempt clones.
+            let Resolution {
+                key,
+                parent,
+                ancestors,
+                parent_path,
+            } = res;
+            let op = build(key);
             let target_attrs = if need_target {
                 self.cache
                     .borrow_mut()
@@ -385,9 +375,7 @@ impl LibFs {
             } else {
                 None
             };
-            let out = self
-                .issue(op, res.parent.clone(), res.ancestors.clone(), target_attrs)
-                .await;
+            let out = self.issue(op, parent, ancestors, target_attrs).await;
             match out {
                 Ok(OpResult::Err(e)) if e.is_retryable() && attempt < self.cfg.max_op_retries => {
                     attempt += 1;
@@ -396,7 +384,7 @@ impl LibFs {
                         self.cache.borrow_mut().invalidate_path(path);
                         // Also drop the parent entry itself; the retry
                         // re-resolves from the root.
-                        self.cache.borrow_mut().invalidate_path(&res.parent_path);
+                        self.cache.borrow_mut().invalidate_path(&parent_path);
                     } else {
                         self.handle.sleep(self.cfg.request_timeout).await;
                     }
@@ -420,9 +408,11 @@ impl LibFs {
     }
 
     /// Resolves the parent chain of `path` (and optionally the final
-    /// component), filling the metadata cache.
+    /// component), filling the metadata cache. Components are borrowed
+    /// slices of `path` and the growing prefix lives in one reused buffer —
+    /// no per-component `String` is allocated.
     async fn resolve(&self, path: &str, resolve_target: bool) -> FsResult<Resolution> {
-        let comps = path_components(path);
+        let comps: Vec<&str> = path_components(path).collect();
         if comps.is_empty() {
             return Err(FsError::NotFound);
         }
@@ -439,7 +429,7 @@ impl LibFs {
         } else {
             comps.len() - 1
         };
-        for comp in &comps[..upto] {
+        for (i, comp) in comps[..upto].iter().enumerate() {
             current.push('/');
             current.push_str(comp);
             let cached = self.cache.borrow_mut().get(&current);
@@ -447,72 +437,48 @@ impl LibFs {
                 Some(d) => d,
                 None => {
                     self.stats.borrow_mut().lookups += 1;
-                    let key = MetaKey::new(parent.id, comp.clone());
+                    let key = MetaKey::new(parent.id, *comp);
                     let op = MetaOp::Lookup { key: key.clone() };
-                    let result = self
-                        .issue(op, Some(parent.clone()), ancestors.clone(), None)
-                        .await?;
+                    // Boxed: the lookup RPC runs only on a cache miss, but
+                    // its inline state machine would otherwise dominate the
+                    // size of every resolution future above it.
+                    let result =
+                        Box::pin(self.issue(op, Some(parent.clone()), ancestors.clone(), None))
+                            .await?;
                     let attrs = match result {
                         OpResult::Attrs(a) => a,
                         OpResult::Err(e) => return Err(e),
                         _ => return Err(FsError::NotFound),
                     };
-                    let dir = CachedDir {
+                    let dir = Rc::new(CachedDir {
                         fp: Fingerprint::of_dir(&key.pid, &key.name),
                         id: attrs.id,
                         key,
                         attrs: Some(attrs),
-                    };
-                    self.cache.borrow_mut().insert(&current, dir.clone());
+                    });
+                    self.cache.borrow_mut().insert(&current, Rc::clone(&dir));
                     dir
                 }
             };
             // Only the first `comps.len() - 1` components become the parent
             // chain; a resolved target does not change the parent.
-            if current.matches('/').count() < comps.len() {
+            if i + 1 < comps.len() {
                 ancestors.push(dir.id);
                 parent = ParentRef {
                     key: dir.key.clone(),
                     id: dir.id,
                     fp: dir.fp,
                 };
-                parent_path = current.clone();
+                parent_path.clone_from(&current);
             }
         }
-        // The parent chain added the target's id when resolve_target included
-        // the final component; undo that for the ParentRef.
-        if resolve_target && !comps.is_empty() {
-            // Recompute the parent as the second-to-last component.
-            // (Cheap: everything is cached by now.)
-            let mut p = ParentRef {
-                key: MetaKey::new(DirId::ROOT, String::new()),
-                id: DirId::ROOT,
-                fp: Fingerprint::of_dir(&DirId::ROOT, ""),
-            };
-            let mut ppath = String::from("/");
-            let mut cur = String::new();
-            for comp in &comps[..comps.len() - 1] {
-                cur.push('/');
-                cur.push_str(comp);
-                if let Some(d) = self.cache.borrow_mut().get(&cur) {
-                    p = ParentRef {
-                        key: d.key.clone(),
-                        id: d.id,
-                        fp: d.fp,
-                    };
-                    ppath = cur.clone();
-                }
-            }
-            parent = p;
-            parent_path = ppath;
-        }
-        let name = comps.last().expect("non-empty").clone();
+        let name = *comps.last().expect("non-empty");
         let key = MetaKey::new(parent.id, name);
         // Operations directly under the root still carry the root as parent;
         // only the root itself has no parent, and it is never resolved here.
         Ok(Resolution {
             key,
-            parent: Some(parent.clone()),
+            parent: Some(parent),
             ancestors,
             parent_path,
         })
@@ -538,16 +504,27 @@ impl LibFs {
             .destination(&op, parent.as_ref(), target_attrs.as_ref());
         let dst_node = self.node_of(dst_server);
         let attach_query = self.router.attach_dirty_query(&op);
-        let request = ClientRequest {
-            op_id,
-            op: op.clone(),
-            ancestors,
-            parent,
-        };
-        let fp = {
+        // Only directory reads carry a dirty-set query header; compute the
+        // fingerprint lazily so every other operation skips the hash.
+        let fp = attach_query.then(|| {
             let key = op.primary_key();
             Fingerprint::of_dir(&key.pid, &key.name)
-        };
+        });
+        // Built once, shared (`Rc`) across retransmission attempts and with
+        // every in-flight packet copy.
+        let request = Rc::new(ClientRequest {
+            op_id,
+            op,
+            ancestors,
+            parent,
+        });
+        // Exponential backoff between retransmissions: a queued-but-alive
+        // server answers when it answers regardless of duplicates (they are
+        // suppressed), so pacing the retries only sheds useless packets —
+        // heavyweight baselines otherwise exhaust the whole retry budget on
+        // every operation the moment their queues exceed one timeout.
+        let mut wait = self.cfg.request_timeout;
+        let max_wait = self.cfg.request_timeout * 16;
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
                 self.stats.borrow_mut().retransmissions += 1;
@@ -558,20 +535,20 @@ impl LibFs {
                 sender: self.endpoint.node().0,
                 seq: self.next_seq.get() + attempt as u64,
             };
-            let msg = if attach_query {
-                NetMsg::with_dirty(
+            let msg = match fp {
+                Some(fp) => NetMsg::with_dirty(
                     pkt_seq,
                     DirtySetHeader::query(fp),
                     Body::Request(request.clone()),
-                )
-            } else {
-                NetMsg::plain(pkt_seq, Body::Request(request.clone()))
+                ),
+                None => NetMsg::plain(pkt_seq, Body::Request(request.clone())),
             };
             self.endpoint.send(dst_node, msg);
-            match timeout(&self.handle, self.cfg.request_timeout, rx.recv()).await {
+            match timeout(&self.handle, wait, rx.recv()).await {
                 Some(Ok(resp)) => return Ok(resp.result),
                 _ => {
                     self.pending.borrow_mut().remove(&seq);
+                    wait = (wait * 2).min(max_wait);
                 }
             }
         }

@@ -25,10 +25,10 @@ impl SwitchAdapter {
 }
 
 impl SwitchLogic<NetMsg> for SwitchAdapter {
-    fn process(&mut self, _now: SimTime, pkt: &Packet<NetMsg>) -> Vec<SwitchAction<NetMsg>> {
+    fn process(&mut self, _now: SimTime, pkt: Packet<NetMsg>) -> Vec<SwitchAction<NetMsg>> {
         self.program
             .borrow_mut()
-            .process(pkt.src.0, pkt.dst.0, &pkt.payload)
+            .process(pkt.src.0, pkt.dst.0, pkt.payload)
             .into_iter()
             .map(|(dst, payload)| SwitchAction::Forward {
                 dst: NodeId(dst),
@@ -68,7 +68,7 @@ mod tests {
                 Body::Empty,
             ),
         };
-        let actions = adapter.process(SimTime::ZERO, &pkt);
+        let actions = adapter.process(SimTime::ZERO, pkt);
         // Successful insert multicasts to the client (original dst) and back
         // to the origin server.
         assert_eq!(actions.len(), 2);

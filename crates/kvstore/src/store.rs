@@ -50,6 +50,31 @@ impl<K: Ord + Clone, V: Clone> KvStore<K, V> {
         self.map.get(key).cloned()
     }
 
+    /// Looks up a key, returning a borrowed value. Records the same read as
+    /// [`KvStore::get`] but never clones — the zero-copy variant for callers
+    /// that only inspect the value (or clone a cheap `Rc` out of it).
+    pub fn get_ref(&mut self, key: &K) -> Option<&V> {
+        self.stats.gets += 1;
+        self.map.get(key)
+    }
+
+    /// Mutable access to a value, counted as one read-modify-write (a get
+    /// plus a put, like the load/store pair it replaces). Used for in-place
+    /// copy-on-write updates of `Rc`-shared values.
+    pub fn get_mut_counted(&mut self, key: &K) -> Option<&mut V> {
+        self.stats.gets += 1;
+        self.stats.puts += 1;
+        self.map.get_mut(key)
+    }
+
+    /// Mutable access counted as a single read. For logically read-only
+    /// accesses that memoize inside the value (e.g. materializing a shared
+    /// directory listing): the storage cost is one get, not a write.
+    pub fn get_mut_read(&mut self, key: &K) -> Option<&mut V> {
+        self.stats.gets += 1;
+        self.map.get_mut(key)
+    }
+
     /// Looks up a key without recording a read (used by internal bookkeeping
     /// that would not hit storage in a real server).
     pub fn peek(&self, key: &K) -> Option<&V> {
@@ -107,6 +132,29 @@ impl<K: Ord + Clone, V: Clone> KvStore<K, V> {
             out.push((k.clone(), v.clone()));
         }
         out
+    }
+
+    /// Borrowing variant of [`KvStore::range`]: iterates the half-open key
+    /// range `[start, end)` in key order without cloning keys or values.
+    /// Records the same single scan.
+    pub fn range_iter(&mut self, start: &K, end: &K) -> impl Iterator<Item = (&K, &V)> {
+        self.stats.scans += 1;
+        self.map
+            .range((Bound::Included(start.clone()), Bound::Excluded(end.clone())))
+    }
+
+    /// Borrowing variant of [`KvStore::scan_while`]: iterates from `start`
+    /// (inclusive) while `keep` holds, without cloning. Records the same
+    /// single scan.
+    pub fn scan_while_ref(
+        &mut self,
+        start: &K,
+        keep: impl Fn(&K) -> bool,
+    ) -> impl Iterator<Item = (&K, &V)> {
+        self.stats.scans += 1;
+        self.map
+            .range((Bound::Included(start.clone()), Bound::Unbounded))
+            .take_while(move |(k, _)| keep(k))
     }
 
     /// Number of stored entries.
@@ -234,6 +282,73 @@ mod tests {
         kv.put(1u32, "x");
         assert_eq!(kv.peek(&1), Some(&"x"));
         assert_eq!(kv.stats().gets, 0);
+    }
+
+    #[test]
+    fn borrowed_reads_record_the_same_stats_as_cloning_reads() {
+        // Two identical stores; one is read through the cloning APIs, the
+        // other through the borrowed/iterator APIs. Cost attribution must
+        // not shift: the counters have to match operation for operation.
+        let mut cloning = KvStore::new();
+        let mut borrowed = KvStore::new();
+        for i in 0..10u32 {
+            cloning.put(format!("dir/{i:02}"), i);
+            borrowed.put(format!("dir/{i:02}"), i);
+        }
+
+        let got = cloning.get(&"dir/03".to_string());
+        let got_ref = borrowed.get_ref(&"dir/03".to_string()).copied();
+        assert_eq!(got, got_ref);
+
+        let r = cloning.range(&"dir/02".to_string(), &"dir/05".to_string());
+        let r_iter: Vec<u32> = borrowed
+            .range_iter(&"dir/02".to_string(), &"dir/05".to_string())
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(r.iter().map(|(_, v)| *v).collect::<Vec<_>>(), r_iter);
+
+        let s = cloning.scan_while(&"dir/".to_string(), |k| k.starts_with("dir/"));
+        let s_ref: Vec<u32> = borrowed
+            .scan_while_ref(&"dir/".to_string(), |k| k.starts_with("dir/"))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(s.iter().map(|(_, v)| *v).collect::<Vec<_>>(), s_ref);
+
+        assert_eq!(
+            cloning.stats(),
+            borrowed.stats(),
+            "borrowed reads must count exactly like their cloning predecessors"
+        );
+        assert_eq!(borrowed.stats().gets, 1);
+        assert_eq!(borrowed.stats().scans, 2);
+    }
+
+    #[test]
+    fn get_mut_counted_counts_a_read_modify_write() {
+        let mut kv = KvStore::new();
+        kv.put(1u32, 10u32);
+        if let Some(v) = kv.get_mut_counted(&1) {
+            *v += 1;
+        }
+        assert_eq!(kv.peek(&1), Some(&11));
+        let s = kv.stats();
+        assert_eq!((s.gets, s.puts), (1, 2), "one get plus one put per RMW");
+    }
+
+    #[test]
+    fn rc_values_share_without_deep_copies() {
+        use std::rc::Rc;
+        let mut kv: KvStore<u32, Rc<Vec<u32>>> = KvStore::new();
+        kv.put(1, Rc::new(vec![1, 2, 3]));
+        let a = Rc::clone(kv.get_ref(&1).unwrap());
+        let b = Rc::clone(kv.get_ref(&1).unwrap());
+        assert!(Rc::ptr_eq(&a, &b), "readers share one allocation");
+        // Copy-on-write: mutating through make_mut leaves readers intact.
+        if let Some(v) = kv.get_mut_counted(&1) {
+            Rc::make_mut(v).push(4);
+        }
+        assert_eq!(*a, vec![1, 2, 3], "existing readers see the old list");
+        assert_eq!(**kv.peek(&1).unwrap(), vec![1, 2, 3, 4]);
     }
 
     #[test]

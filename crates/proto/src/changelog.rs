@@ -84,6 +84,15 @@ impl CompactedChanges {
     /// insert/remove of the *same* name is reduced to its net effect while
     /// preserving the relative order of surviving operations.
     pub fn from_entries(entries: &[ChangeLogEntry]) -> CompactedChanges {
+        Self::from_entry_refs(entries.iter())
+    }
+
+    /// Like [`CompactedChanges::from_entries`], but over borrowed entries —
+    /// the aggregation path groups entries per directory by reference, so no
+    /// entry is cloned just to be compacted.
+    pub fn from_entry_refs<'a>(
+        entries: impl IntoIterator<Item = &'a ChangeLogEntry>,
+    ) -> CompactedChanges {
         let mut out = CompactedChanges::default();
         // Net effect per name: we walk the FIFO and fold insert/remove pairs.
         // `entry_ops` keeps the last surviving op per name in FIFO position.

@@ -7,11 +7,13 @@
 //! The switch never looks at [`Body`], mirroring the real data plane, which
 //! parses only the fixed-format header.
 
+use std::rc::Rc;
+
 use crate::changelog::ChangeLogEntry;
 use crate::dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp};
 use crate::error::FsError;
 use crate::ids::{DirId, Fingerprint, OpId, ServerId};
-use crate::schema::{DirEntry, InodeAttrs, MetaKey, Permissions};
+use crate::schema::{DirEntry, FileType, InodeAttrs, MetaKey, Permissions};
 use serde::{Deserialize, Serialize};
 
 /// Reserved UDP ports (§6.1): one for packets carrying a dirty-set operation
@@ -211,12 +213,24 @@ pub enum OpResult {
     /// The operation succeeded and returns inode attributes.
     Attrs(InodeAttrs),
     /// The operation succeeded and returns a directory listing together with
-    /// the directory's attributes.
+    /// the directory's attributes. The entry list is behind an `Rc` so the
+    /// server's response cache, the in-flight packet copies and the client
+    /// all share one allocation instead of deep-copying the listing.
     Listing {
         /// Directory attributes after applying any pending updates.
         attrs: InodeAttrs,
-        /// Directory entries.
-        entries: Vec<DirEntry>,
+        /// Directory entries (shared, not cloned, across response copies).
+        entries: Rc<Vec<DirEntry>>,
+    },
+    /// `rename` was rejected at prepare time because the destination key is
+    /// already occupied by an inode the rename may not overwrite. Carries
+    /// that inode's type so the client can derive the POSIX error
+    /// (`EISDIR` / `ENOTDIR`) without probing the destination first — the
+    /// coordinator re-checks authoritatively anyway, so the client's
+    /// advisory `stat`/`statdir` round-trips are pure overhead.
+    RenameDstExists {
+        /// Type of the inode occupying the destination key.
+        dst_type: FileType,
     },
     /// The operation failed.
     Err(FsError),
@@ -225,13 +239,18 @@ pub enum OpResult {
 impl OpResult {
     /// True unless the result is an error.
     pub fn is_ok(&self) -> bool {
-        !matches!(self, OpResult::Err(_))
+        !matches!(self, OpResult::Err(_) | OpResult::RenameDstExists { .. })
     }
 
-    /// The error, if any.
+    /// The error, if any. A typed rename reject maps to the POSIX error a
+    /// destination probe would have produced.
     pub fn err(&self) -> Option<FsError> {
         match self {
             OpResult::Err(e) => Some(*e),
+            OpResult::RenameDstExists { dst_type } => Some(match dst_type {
+                FileType::Directory => FsError::IsADirectory,
+                FileType::File => FsError::NotADirectory,
+            }),
             _ => None,
         }
     }
@@ -263,7 +282,7 @@ pub struct SyncFallback {
 }
 
 /// Data carried by an aggregation-related message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AggregationPayload {
     /// Fingerprint group being aggregated.
     pub fp: Fingerprint,
@@ -376,6 +395,11 @@ pub enum ServerMsg {
         from: ServerId,
         /// Whether the participant can commit.
         ok: bool,
+        /// On a negative vote caused by an illegal inode overwrite: the type
+        /// of the inode occupying the destination key, forwarded to the
+        /// client as [`OpResult::RenameDstExists`] so it never has to probe
+        /// the destination itself.
+        dst_type: Option<FileType>,
     },
     /// Commit decision.
     TxnCommit {
@@ -474,6 +498,24 @@ pub enum ServerMsg {
         /// The mutation to apply.
         op: TxnOp,
     },
+    /// Asks the receiver whether it stores an inode under `key` and of what
+    /// type. Used by the `delete` path under per-file-hash placement: the
+    /// file owner does not store directory inodes, so an unlink of a
+    /// directory must probe the fingerprint-group owner to distinguish
+    /// `IsADirectory` from `NotFound` (POSIX `EISDIR` vs `ENOENT`).
+    TypeProbe {
+        /// Request token.
+        req_id: u64,
+        /// Key to probe.
+        key: MetaKey,
+    },
+    /// Reply to a [`ServerMsg::TypeProbe`].
+    TypeProbeAck {
+        /// Token copied from the request.
+        req_id: u64,
+        /// Type of the inode stored under the probed key, if any.
+        file_type: Option<FileType>,
+    },
 }
 
 /// A single mutation inside a two-phase-commit transaction.
@@ -548,8 +590,9 @@ pub enum CoordMsg {
 /// The body of a SwitchFS packet. Only end hosts interpret it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Body {
-    /// A client request.
-    Request(ClientRequest),
+    /// A client request. Shared (`Rc`) because the sender keeps a copy for
+    /// retransmission: cloning the packet must not deep-copy the request.
+    Request(Rc<ClientRequest>),
     /// A response to a client.
     Response(ClientResponse),
     /// A server-to-server protocol message.

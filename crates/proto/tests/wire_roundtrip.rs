@@ -194,7 +194,17 @@ fn arb_result() -> impl Strategy<Value = OpResult> {
                 0..4,
             ),
         )
-            .prop_map(|(attrs, entries)| OpResult::Listing { attrs, entries }),
+            .prop_map(|(attrs, entries)| OpResult::Listing {
+                attrs,
+                entries: std::rc::Rc::new(entries),
+            }),
+        any::<bool>().prop_map(|dir| OpResult::RenameDstExists {
+            dst_type: if dir {
+                FileType::Directory
+            } else {
+                FileType::File
+            },
+        }),
         arb_fs_error().prop_map(OpResult::Err),
     ]
 }
@@ -276,7 +286,7 @@ fn arb_coord_msg() -> impl Strategy<Value = CoordMsg> {
 fn arb_body() -> impl Strategy<Value = Body> {
     prop_oneof![
         Just(Body::Empty),
-        arb_request().prop_map(Body::Request),
+        arb_request().prop_map(|r| Body::Request(std::rc::Rc::new(r))),
         arb_response().prop_map(Body::Response),
         arb_server_msg().prop_map(Body::Server),
         arb_coord_msg().prop_map(Body::Coord),

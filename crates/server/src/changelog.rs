@@ -6,10 +6,10 @@
 //! MTU-based proactive push) and the time of the last append (for the
 //! idle-push timer).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use switchfs_proto::{ChangeLogEntry, DirId, Fingerprint, MetaKey, OpId};
-use switchfs_simnet::SimTime;
+use switchfs_simnet::{FxHashMap, SimTime};
 
 /// The change-log of one directory on one server.
 #[derive(Debug, Clone)]
@@ -97,8 +97,11 @@ impl ChangeLog {
 /// index by fingerprint (aggregations address a whole fingerprint group).
 #[derive(Debug, Clone, Default)]
 pub struct ChangeLogStore {
-    logs: HashMap<DirId, ChangeLog>,
-    by_fp: HashMap<u64, HashSet<DirId>>,
+    logs: FxHashMap<DirId, ChangeLog>,
+    // The per-group sets are iterated (snapshots, aggregation fan-out), so
+    // they use the deterministic hasher: iteration order must not vary
+    // across processes, or same-seed runs stop being reproducible.
+    by_fp: FxHashMap<u64, switchfs_simnet::FxHashSet<DirId>>,
 }
 
 impl ChangeLogStore {

@@ -33,5 +33,5 @@ pub use changelog::{ChangeLog, ChangeLogStore};
 pub use config::{ProactiveConfig, ServerConfig, TrackingMode, UpdateMode};
 pub use costs::CostModel;
 pub use locks::LockManager;
-pub use server::{Server, ServerStats};
+pub use server::{DirContent, Server, ServerStats};
 pub use wal::{DurableState, KvEffect, WalOp};

@@ -16,18 +16,18 @@
 //! single simulated server touches is bounded by the experiment size.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use switchfs_proto::{DirId, Fingerprint, MetaKey};
 use switchfs_simnet::sync::SimRwLock;
+use switchfs_simnet::FxHashMap;
 
 /// Lazily-created named reader–writer locks.
 #[derive(Clone, Default)]
 pub struct LockManager {
-    inodes: Rc<RefCell<HashMap<MetaKey, SimRwLock<()>>>>,
-    changelogs: Rc<RefCell<HashMap<DirId, SimRwLock<()>>>>,
-    fp_groups: Rc<RefCell<HashMap<u64, SimRwLock<()>>>>,
+    inodes: Rc<RefCell<FxHashMap<MetaKey, SimRwLock<()>>>>,
+    changelogs: Rc<RefCell<FxHashMap<DirId, SimRwLock<()>>>>,
+    fp_groups: Rc<RefCell<FxHashMap<u64, SimRwLock<()>>>>,
 }
 
 impl LockManager {
@@ -39,9 +39,14 @@ impl LockManager {
     /// The lock guarding the inode stored under `key`.
     pub fn inode(&self, key: &MetaKey) -> SimRwLock<()> {
         let mut map = self.inodes.borrow_mut();
-        map.entry(key.clone())
-            .or_insert_with(|| SimRwLock::new(()))
-            .clone()
+        // Look up by reference first: the common hit path must not clone
+        // the key just to satisfy the entry API.
+        if let Some(l) = map.get(key) {
+            return l.clone();
+        }
+        let lock = SimRwLock::new(());
+        map.insert(key.clone(), lock.clone());
+        lock
     }
 
     /// The lock guarding the change-log of directory `dir`.

@@ -17,8 +17,10 @@ pub mod recovery;
 pub mod rename;
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
 use std::rc::Rc;
+use switchfs_simnet::{FxHashMap, FxHashSet};
 
 use switchfs_kvstore::KvStore;
 use switchfs_proto::message::{
@@ -87,6 +89,72 @@ pub(crate) enum TokenReply {
     Ack,
     /// A remote update failed.
     Failed(FsError),
+    /// A transaction participant voted no because an inode of this type
+    /// occupies the destination key (typed rename reject).
+    VoteRejected(Option<FileType>),
+    /// A type probe's answer: the type of the inode under the probed key.
+    Type(Option<FileType>),
+}
+
+/// One directory's entry list: a name-ordered map for O(log n) mutation
+/// plus a lazily materialized, `Rc`-shared listing for O(1) reads.
+///
+/// `readdir`/`statdir`, the duplicate-suppression response cache and every
+/// in-flight packet copy all share the one materialized allocation; a
+/// mutation drops the memo (copy-on-write at the granularity of the whole
+/// listing) and the next reader rebuilds it once. This keeps hot mutate
+/// paths free of per-entry memmoves and hot read paths free of deep copies.
+#[derive(Debug, Clone, Default)]
+pub struct DirContent {
+    map: std::collections::BTreeMap<String, DirEntry>,
+    listing: Option<Rc<Vec<DirEntry>>>,
+}
+
+impl DirContent {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the directory lists nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True when an entry called `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Iterates the entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &DirEntry> {
+        self.map.values()
+    }
+
+    /// The shared, name-sorted listing; materialized on first use after a
+    /// mutation and shared (`Rc`) by every subsequent reader.
+    pub fn listing(&mut self) -> Rc<Vec<DirEntry>> {
+        match &self.listing {
+            Some(l) => Rc::clone(l),
+            None => {
+                let l = Rc::new(self.map.values().cloned().collect::<Vec<_>>());
+                self.listing = Some(Rc::clone(&l));
+                l
+            }
+        }
+    }
+
+    /// Inserts or replaces an entry, invalidating the shared listing memo.
+    pub fn insert(&mut self, entry: DirEntry) {
+        self.listing = None;
+        self.map.insert(entry.name.clone(), entry);
+    }
+
+    /// Removes an entry by name, invalidating the shared listing memo.
+    pub fn remove(&mut self, name: &str) {
+        self.listing = None;
+        self.map.remove(name);
+    }
 }
 
 /// Collector for an aggregation this server owns.
@@ -101,29 +169,31 @@ pub(crate) struct AggCollector {
 pub(crate) struct ServerInner {
     /// Inode store: `(pid, name)` → attributes.
     pub inodes: KvStore<MetaKey, InodeAttrs>,
-    /// Entry-list store: `(directory id, entry name)` → entry.
-    pub entries: KvStore<(DirId, String), DirEntry>,
+    /// Entry-list store: directory id → entry list with a shareable
+    /// materialized listing (see [`DirContent`]). Mutations go through
+    /// [`ServerInner::put_entry`] / [`ServerInner::remove_entry`].
+    pub entries: KvStore<DirId, DirContent>,
     /// Index of directories this server owns: id → key.
-    pub dir_index: HashMap<DirId, MetaKey>,
+    pub dir_index: FxHashMap<DirId, MetaKey>,
     /// Per-directory change-logs of deferred updates to remote parents.
     pub changelogs: ChangeLogStore,
     /// Invalidation list (§5.2): directories removed/renamed elsewhere whose
     /// client cache entries must be invalidated lazily.
-    pub invalidation: HashMap<DirId, MetaKey>,
+    pub invalidation: FxHashMap<DirId, MetaKey>,
     /// Remote change-log entries already applied (duplicate suppression).
-    pub applied_entry_ids: HashSet<OpId>,
+    pub applied_entry_ids: FxHashSet<OpId>,
     /// Responses already sent, re-sent verbatim on duplicate requests.
-    pub completed_ops: HashMap<OpId, ClientResponse>,
+    pub completed_ops: FxHashMap<OpId, ClientResponse>,
     /// Requests currently executing; retransmissions of these are dropped
     /// (the client's timer re-asks until the cached response exists). This
     /// keeps slow multi-round operations like the rename 2PC from running
     /// twice concurrently for one op id.
-    pub in_flight_ops: HashSet<OpId>,
+    pub in_flight_ops: FxHashSet<OpId>,
     /// Local software dirty set, used in [`TrackingMode::OwnerServer`].
     pub local_dirty: SoftwareDirtySet,
     /// Per-fingerprint time of the last received proactive push, driving
     /// owner-side proactive aggregation.
-    pub push_timers: HashMap<u64, SimTime>,
+    pub push_timers: FxHashMap<u64, SimTime>,
     /// Counter used to build fresh directory ids.
     pub dir_counter: u64,
     /// Counter for request tokens, aggregation ids and packet sequences.
@@ -131,29 +201,29 @@ pub(crate) struct ServerInner {
     /// Monotonic remove-sequence number for dirty-set removes (§5.4.1).
     pub remove_seq: u64,
     /// Pending asynchronous commits: token → waker.
-    pub pending_commits: HashMap<u64, oneshot::Sender<CommitSignal>>,
+    pub pending_commits: FxHashMap<u64, oneshot::Sender<CommitSignal>>,
     /// Pending token-matched acknowledgments.
-    pub pending_tokens: HashMap<u64, oneshot::Sender<TokenReply>>,
+    pub pending_tokens: FxHashMap<u64, oneshot::Sender<TokenReply>>,
     /// Aggregations in flight, keyed by aggregation id.
-    pub pending_aggs: HashMap<u64, AggCollector>,
+    pub pending_aggs: FxHashMap<u64, AggCollector>,
     /// Remote-side aggregation lock holders waiting for the owner's ack.
-    pub pending_agg_acks: HashMap<u64, oneshot::Sender<()>>,
+    pub pending_agg_acks: FxHashMap<u64, oneshot::Sender<()>>,
     /// Rename transactions prepared on this participant, awaiting a decision.
-    pub prepared_txns: HashMap<u64, crate::server::rename::PreparedTxn>,
+    pub prepared_txns: FxHashMap<u64, crate::server::rename::PreparedTxn>,
     /// Coordinator-side routing of transaction votes to waiting tokens,
     /// keyed by `(txn_id, participant)` so a duplicated vote from one
     /// participant cannot be credited to another (§5.4.1).
-    pub txn_vote_tokens: HashMap<(u64, ServerId), u64>,
+    pub txn_vote_tokens: FxHashMap<(u64, ServerId), u64>,
     /// Coordinator-side routing of decision acknowledgments, kept separate
     /// from the vote table so a duplicated vote cannot masquerade as a
     /// commit acknowledgment.
-    pub txn_ack_tokens: HashMap<(u64, ServerId), u64>,
+    pub txn_ack_tokens: FxHashMap<(u64, ServerId), u64>,
     /// Transactions whose commit this participant fully applied; lets a
     /// retransmitted `TxnCommit` be acked if and only if the first copy
     /// finished applying (a copy racing a still-running apply is dropped).
     /// Bounded FIFO: duplicates only arrive within the coordinator's retry
     /// window, so old ids are evicted once the set outgrows the cap.
-    pub committed_txns: HashSet<u64>,
+    pub committed_txns: FxHashSet<u64>,
     /// Insertion order of `committed_txns`, driving the FIFO eviction.
     pub committed_txn_order: std::collections::VecDeque<u64>,
     /// Whether the server is currently crashed (drops all work).
@@ -171,25 +241,25 @@ impl ServerInner {
         ServerInner {
             inodes: KvStore::new(),
             entries: KvStore::new(),
-            dir_index: HashMap::new(),
+            dir_index: FxHashMap::default(),
             changelogs: ChangeLogStore::new(),
-            invalidation: HashMap::new(),
-            applied_entry_ids: HashSet::new(),
-            completed_ops: HashMap::new(),
-            in_flight_ops: HashSet::new(),
+            invalidation: FxHashMap::default(),
+            applied_entry_ids: FxHashSet::default(),
+            completed_ops: FxHashMap::default(),
+            in_flight_ops: FxHashSet::default(),
             local_dirty: SoftwareDirtySet::new(),
-            push_timers: HashMap::new(),
+            push_timers: FxHashMap::default(),
             dir_counter: 0,
             next_token: 1,
             remove_seq: 0,
-            pending_commits: HashMap::new(),
-            pending_tokens: HashMap::new(),
-            pending_aggs: HashMap::new(),
-            pending_agg_acks: HashMap::new(),
-            prepared_txns: HashMap::new(),
-            txn_vote_tokens: HashMap::new(),
-            txn_ack_tokens: HashMap::new(),
-            committed_txns: HashSet::new(),
+            pending_commits: FxHashMap::default(),
+            pending_tokens: FxHashMap::default(),
+            pending_aggs: FxHashMap::default(),
+            pending_agg_acks: FxHashMap::default(),
+            prepared_txns: FxHashMap::default(),
+            txn_vote_tokens: FxHashMap::default(),
+            txn_ack_tokens: FxHashMap::default(),
+            committed_txns: FxHashSet::default(),
             committed_txn_order: std::collections::VecDeque::new(),
             crashed: false,
             unavailable: false,
@@ -208,10 +278,10 @@ impl ServerInner {
                 self.inodes.delete(k);
             }
             KvEffect::PutEntry(dir, e) => {
-                self.entries.put((*dir, e.name.clone()), e.clone());
+                self.put_entry(*dir, e.clone());
             }
             KvEffect::DeleteEntry(dir, name) => {
-                self.entries.delete(&(*dir, name.clone()));
+                self.remove_entry(*dir, name);
             }
             KvEffect::IndexDir(id, key) => {
                 self.dir_index.insert(*id, key.clone());
@@ -223,6 +293,38 @@ impl ServerInner {
                 self.invalidation.insert(*id, key.clone());
             }
         }
+    }
+
+    /// Inserts or replaces an entry in a directory's list, invalidating the
+    /// directory's shared listing memo.
+    pub fn put_entry(&mut self, dir: DirId, entry: DirEntry) {
+        if let Some(content) = self.entries.get_mut_counted(&dir) {
+            content.insert(entry);
+        } else {
+            let mut content = DirContent::default();
+            content.insert(entry);
+            self.entries.put(dir, content);
+        }
+    }
+
+    /// Removes an entry from a directory's list, dropping the list once it
+    /// becomes empty.
+    pub fn remove_entry(&mut self, dir: DirId, name: &str) {
+        let emptied = match self.entries.get_mut_counted(&dir) {
+            Some(content) => {
+                content.remove(name);
+                content.is_empty()
+            }
+            None => false,
+        };
+        if emptied {
+            self.entries.delete(&dir);
+        }
+    }
+
+    /// True if `dir` currently lists an entry called `name`.
+    pub fn entry_exists(&self, dir: &DirId, name: &str) -> bool {
+        self.entries.peek(dir).is_some_and(|c| c.contains(name))
     }
 }
 
@@ -295,10 +397,9 @@ impl Server {
         let inner = self.inner.borrow();
         inner
             .entries
-            .iter()
-            .filter(|((d, _), _)| d == dir)
-            .map(|((_, name), _)| name.clone())
-            .collect()
+            .peek(dir)
+            .map(|c| c.iter().map(|e| e.name.clone()).collect())
+            .unwrap_or_default()
     }
 
     /// Starts the server: spawns the packet loop and, if enabled, the
@@ -333,8 +434,11 @@ impl Server {
         }
         let dirty_ret = msg.dirty.map(|h| h.ret);
         match msg.body {
-            Body::Request(req) => self.handle_client_request(src, req, dirty_ret).await,
-            Body::Server(smsg) => self.handle_server_msg(src, smsg, dirty_ret).await,
+            // Boxed: the packet-loop spawns one dispatch future per packet;
+            // keeping it at pointer size makes that copy cheap and pays for
+            // the handler box only when a request/server message arrives.
+            Body::Request(req) => Box::pin(self.handle_client_request(src, req, dirty_ret)).await,
+            Body::Server(smsg) => Box::pin(self.handle_server_msg(src, smsg, dirty_ret)).await,
             Body::Coord(CoordMsg::Reply { token, ret }) => {
                 self.complete_token(token, TokenReply::Dirty(ret));
             }
@@ -348,7 +452,7 @@ impl Server {
     async fn handle_client_request(
         &self,
         client_node: NodeId,
-        req: ClientRequest,
+        req: Rc<ClientRequest>,
         dirty_ret: Option<DirtyRet>,
     ) {
         // Duplicate suppression: a retransmitted request gets the cached
@@ -369,15 +473,19 @@ impl Server {
             // gets the cached response once the first execution replies.
             return;
         }
+        // The rarely-taken handlers with huge state machines (rename's 2PC,
+        // rmdir's aggregation) are boxed so the per-packet dispatch future —
+        // whose size is the MAX over these branches and which is copied into
+        // a fresh allocation on every spawn — stays small for the hot ops.
         let result = match &req.op {
             MetaOp::Create { .. } | MetaOp::Delete { .. } | MetaOp::Mkdir { .. } => {
-                self.handle_double_inode(client_node, &req).await
+                Box::pin(self.handle_double_inode(client_node, &req)).await
             }
-            MetaOp::Rmdir { .. } => self.handle_rmdir(client_node, &req).await,
+            MetaOp::Rmdir { .. } => Box::pin(self.handle_rmdir(client_node, &req)).await,
             MetaOp::Statdir { .. } | MetaOp::Readdir { .. } => {
-                Some(self.handle_dir_read(&req, dirty_ret).await)
+                Some(Box::pin(self.handle_dir_read(&req, dirty_ret)).await)
             }
-            MetaOp::Rename { .. } => Some(self.handle_rename(&req).await),
+            MetaOp::Rename { .. } => Some(Box::pin(self.handle_rename(&req)).await),
             _ => Some(self.handle_single_inode(&req).await),
         };
         self.inner.borrow_mut().in_flight_ops.remove(&req.op_id);
@@ -388,6 +496,10 @@ impl Server {
         }
     }
 
+    // Handlers with large state machines are boxed: the per-packet dispatch
+    // future's size is the max over every arm below, and it is copied into a
+    // fresh allocation on every packet spawn — keeping the arms small keeps
+    // the per-packet copy small.
     async fn handle_server_msg(&self, src: NodeId, msg: ServerMsg, dirty_ret: Option<DirtyRet>) {
         match msg {
             ServerMsg::AsyncCommit {
@@ -396,13 +508,13 @@ impl Server {
                 op_token,
                 fallback,
             } => {
-                self.handle_async_commit_packet(
+                Box::pin(self.handle_async_commit_packet(
                     src, response, origin, op_token, fallback, dirty_ret,
-                )
+                ))
                 .await;
             }
             ServerMsg::AggregationRequest { agg, invalidate } => {
-                self.handle_aggregation_request(agg, invalidate).await;
+                Box::pin(self.handle_aggregation_request(agg, invalidate)).await;
             }
             ServerMsg::AggregationEntries { agg, from, entries } => {
                 self.handle_aggregation_entries(agg, from, entries);
@@ -416,7 +528,7 @@ impl Server {
                 from,
                 entries,
             } => {
-                self.handle_changelog_push(dir_key, fp, from, entries).await;
+                Box::pin(self.handle_changelog_push(dir_key, fp, from, entries)).await;
             }
             ServerMsg::ChangeLogPushAck { dir_key, applied } => {
                 self.handle_push_ack(dir_key, applied);
@@ -426,8 +538,7 @@ impl Server {
                 dir_key,
                 entry,
             } => {
-                self.handle_remote_dir_update(src, req_id, dir_key, entry)
-                    .await;
+                Box::pin(self.handle_remote_dir_update(src, req_id, dir_key, entry)).await;
             }
             ServerMsg::RemoteDirUpdateAck { req_id, result } => {
                 let reply = match result {
@@ -464,15 +575,20 @@ impl Server {
             } => {
                 self.handle_txn_prepare(txn_id, coordinator, ops).await;
             }
-            ServerMsg::TxnVote { txn_id, from, ok } => {
-                self.handle_txn_vote(txn_id, from, ok);
+            ServerMsg::TxnVote {
+                txn_id,
+                from,
+                ok,
+                dst_type,
+            } => {
+                self.handle_txn_vote(txn_id, from, ok, dst_type);
             }
             ServerMsg::TxnCommit { txn_id } => {
                 // Ack once the commit is fully applied — by this copy or a
                 // previously completed one. A retransmitted copy racing a
                 // still-running apply is dropped; the coordinator's
                 // retransmission timer re-asks until the apply finished.
-                if self.handle_txn_decision(txn_id, true).await {
+                if Box::pin(self.handle_txn_decision(txn_id, true)).await {
                     self.send_plain(
                         src,
                         Body::Server(ServerMsg::TxnDecisionAck {
@@ -486,7 +602,7 @@ impl Server {
                 self.handle_txn_ack(txn_id, from);
             }
             ServerMsg::TxnAbort { txn_id } => {
-                self.handle_txn_decision(txn_id, false).await;
+                Box::pin(self.handle_txn_decision(txn_id, false)).await;
                 // Abort is idempotent (nothing is applied): always ack so
                 // the coordinator stops retransmitting.
                 self.send_plain(
@@ -544,7 +660,7 @@ impl Server {
             }
             ServerMsg::RemoteTxnOp { req_id, op } => {
                 self.cpu.run(self.cfg.costs.software_path).await;
-                self.apply_txn_ops(std::slice::from_ref(&op)).await;
+                Box::pin(self.apply_txn_ops(std::slice::from_ref(&op))).await;
                 self.send_plain(
                     src,
                     Body::Server(ServerMsg::RemoteDirUpdateAck {
@@ -552,6 +668,24 @@ impl Server {
                         result: Ok(()),
                     }),
                 );
+            }
+            ServerMsg::TypeProbe { req_id, key } => {
+                self.cpu
+                    .run(self.cfg.costs.software_path + self.cfg.costs.kv_get)
+                    .await;
+                let file_type = self
+                    .inner
+                    .borrow_mut()
+                    .inodes
+                    .get_ref(&key)
+                    .map(|a| a.file_type);
+                self.send_plain(
+                    src,
+                    Body::Server(ServerMsg::TypeProbeAck { req_id, file_type }),
+                );
+            }
+            ServerMsg::TypeProbeAck { req_id, file_type } => {
+                self.complete_token(req_id, TokenReply::Type(file_type));
             }
         }
     }
@@ -706,16 +840,21 @@ impl Server {
         token: u64,
         body: Body,
     ) -> Option<TokenReply> {
+        // Exponential backoff, mirroring the client: duplicates are
+        // suppressed by the receiver, so pacing retries only sheds packets.
+        let mut wait = self.cfg.costs.request_timeout;
+        let max_wait = self.cfg.costs.request_timeout * 16;
         for attempt in 0..=self.cfg.costs.max_retries {
             if attempt > 0 {
                 self.inner.borrow_mut().stats.retransmissions += 1;
             }
             let rx = self.register_token(token);
             self.send_plain(dst, body.clone());
-            match timeout(&self.handle, self.cfg.costs.request_timeout, rx.recv()).await {
+            match timeout(&self.handle, wait, rx.recv()).await {
                 Some(Ok(reply)) => return Some(reply),
                 _ => {
                     self.inner.borrow_mut().pending_tokens.remove(&token);
+                    wait = (wait * 2).min(max_wait);
                 }
             }
         }
@@ -738,37 +877,44 @@ impl Server {
             op_id,
             effects,
             pending_entry,
-            applied_entry_ids: applied_entry_ids.clone(),
+            applied_entry_ids,
         };
         let size = record.wire_size();
-        let lsn = self
-            .durable
-            .borrow_mut()
-            .wal
-            .append_sized(record.clone(), size);
+        // Apply to the volatile stores from the borrowed record, then move
+        // the record into the WAL — one materialization instead of a deep
+        // clone per logged operation. (No await point separates the two, so
+        // a simulated crash cannot observe the intermediate state.)
         {
             let mut inner = self.inner.borrow_mut();
             for e in &record.effects {
                 inner.apply_effect(e);
             }
-            for id in applied_entry_ids {
-                inner.applied_entry_ids.insert(id);
+            for id in &record.applied_entry_ids {
+                inner.applied_entry_ids.insert(*id);
             }
         }
-        lsn
+        self.durable.borrow_mut().wal.append_sized(record, size)
+    }
+
+    /// Sends one body to every listed server, building the message once and
+    /// cloning only for all recipients but the last (alloc-free for the
+    /// common single-recipient fan-out).
+    pub(crate) fn multicast_plain(&self, servers: &[ServerId], body: Body) {
+        let Some((last, rest)) = servers.split_last() else {
+            return;
+        };
+        for s in rest {
+            self.send_plain(self.cfg.node_of(*s), body.clone());
+        }
+        self.send_plain(self.cfg.node_of(*last), body);
     }
 
     /// Broadcasts an invalidation-list append to every other server.
     pub(crate) fn broadcast_invalidation(&self, dir_id: DirId, dir_key: MetaKey) {
-        for other in self.cfg.other_servers() {
-            self.send_plain(
-                self.cfg.node_of(other),
-                Body::Server(ServerMsg::InvalidationBroadcast {
-                    dir_id,
-                    dir_key: dir_key.clone(),
-                }),
-            );
-        }
+        self.multicast_plain(
+            &self.cfg.other_servers(),
+            Body::Server(ServerMsg::InvalidationBroadcast { dir_id, dir_key }),
+        );
     }
 
     /// Resolves the dirty state of a fingerprint according to the tracking
@@ -841,10 +987,7 @@ impl Server {
 
     /// Directly installs a directory entry on the owner of the directory.
     pub fn preload_entry(&self, dir: DirId, entry: DirEntry) {
-        self.inner
-            .borrow_mut()
-            .entries
-            .put((dir, entry.name.clone()), entry);
+        self.inner.borrow_mut().put_entry(dir, entry);
     }
 
     /// Directly bumps a preloaded directory's entry count so `statdir`
@@ -898,10 +1041,7 @@ impl Server {
         // changes: a rename overwriting an existing name re-puts the entry
         // (no growth), and a remove of an already-absent name must not
         // shrink the directory below its entry count.
-        let target_exists = inner
-            .entries
-            .peek(&(entry.dir, entry.name.clone()))
-            .is_some();
+        let target_exists = inner.entry_exists(&entry.dir, &entry.name);
         let effective_delta = match entry.op {
             switchfs_proto::ChangeOp::Insert { .. } if target_exists => 0,
             switchfs_proto::ChangeOp::Remove if !target_exists => 0,
@@ -931,21 +1071,27 @@ impl Server {
     }
 
     /// Reads a directory's attributes and entries for `readdir`, charging the
-    /// per-entry scan cost.
-    pub(crate) async fn read_listing(&self, key: &MetaKey) -> Option<(InodeAttrs, Vec<DirEntry>)> {
-        let attrs = self.inner.borrow_mut().inodes.get(key)?;
-        if attrs.file_type != FileType::Directory {
-            return None;
-        }
-        let entries: Vec<DirEntry> = {
+    /// per-entry scan cost. The listing is shared (`Rc`), not copied: the
+    /// same allocation flows into the response, the duplicate-suppression
+    /// cache and every in-flight packet copy.
+    pub(crate) async fn read_listing(
+        &self,
+        key: &MetaKey,
+    ) -> Option<(InodeAttrs, Rc<Vec<DirEntry>>)> {
+        let (attrs, entries) = {
             let mut inner = self.inner.borrow_mut();
+            let attrs = inner.inodes.get(key)?;
+            if attrs.file_type != FileType::Directory {
+                return None;
+            }
             let dir = attrs.id;
-            inner
-                .entries
-                .scan_while(&(dir, String::new()), |(d, _)| *d == dir)
-                .into_iter()
-                .map(|(_, e)| e)
-                .collect()
+            // `get_mut_read`: mutable only to fill the listing memo — this
+            // is a read and must be billed as one.
+            let entries = match inner.entries.get_mut_read(&dir) {
+                Some(content) => content.listing(),
+                None => Rc::new(Vec::new()),
+            };
+            (attrs, entries)
         };
         let scan_cost = self.cfg.costs.readdir_per_entry * entries.len().max(1) as u64;
         self.cpu.run(self.cfg.costs.kv_get + scan_cost).await;

@@ -3,6 +3,8 @@
 
 use std::collections::HashSet;
 
+use switchfs_simnet::FxHashSet;
+
 use switchfs_proto::message::{AggregationPayload, Body, ClientRequest, ServerMsg};
 use switchfs_proto::message::{CoordMsg, MetaOp};
 use switchfs_proto::{
@@ -52,7 +54,9 @@ impl Server {
             if self.inner.borrow().inodes.peek(&key).is_none() {
                 return OpResult::Err(FsError::NotFound);
             }
-            self.aggregate_group(fp, None).await;
+            // Boxed: the aggregation machinery dominates this future's size
+            // but runs only on the scattered path.
+            Box::pin(self.aggregate_group(fp, None)).await;
             self.finish_dir_read(&key, want_listing).await
         } else {
             // Normal state: a plain read, serialized after any in-flight
@@ -108,7 +112,10 @@ impl Server {
 
         // Collect remote change-logs, retrying lost requests (§5.4.1).
         let mut remote_entries: Vec<ChangeLogEntry> = Vec::new();
-        let mut responders: HashSet<ServerId> = HashSet::new();
+        // Iterated below to send acknowledgments: must have a
+        // process-independent iteration order, or the ack packet order (and
+        // with it the whole downstream schedule) varies run to run.
+        let mut responders: FxHashSet<ServerId> = FxHashSet::default();
         if !others.is_empty() {
             let mut attempt = 0;
             loop {
@@ -175,9 +182,7 @@ impl Server {
         for s in &responders {
             self.send_plain(
                 self.cfg.node_of(*s),
-                Body::Server(ServerMsg::AggregationAck {
-                    agg: payload.clone(),
-                }),
+                Body::Server(ServerMsg::AggregationAck { agg: payload }),
             );
         }
         // The owner's own deferred entries for this group are now applied.
@@ -206,7 +211,7 @@ impl Server {
         invalidate: Option<(DirId, MetaKey)>,
     ) {
         let body = Body::Server(ServerMsg::AggregationRequest {
-            agg: payload.clone(),
+            agg: *payload,
             invalidate,
         });
         match self.cfg.tracking {
@@ -228,15 +233,11 @@ impl Server {
                         seq: self.next_remove_seq(),
                     }),
                 );
-                for s in self.cfg.other_servers() {
-                    self.send_plain(self.cfg.node_of(s), body.clone());
-                }
+                self.multicast_plain(&self.cfg.other_servers(), body);
             }
             TrackingMode::OwnerServer => {
                 self.inner.borrow_mut().local_dirty.remove(payload.fp);
-                for s in self.cfg.other_servers() {
-                    self.send_plain(self.cfg.node_of(s), body.clone());
-                }
+                self.multicast_plain(&self.cfg.other_servers(), body);
             }
         }
     }
@@ -253,12 +254,13 @@ impl Server {
             return 0;
         }
         let costs = self.cfg.costs;
-        // Group entries per directory, preserving FIFO order within each.
-        let mut per_dir: Vec<(DirId, Vec<ChangeLogEntry>)> = Vec::new();
+        // Group entries per directory by reference, preserving FIFO order
+        // within each — nothing is cloned just to be regrouped.
+        let mut per_dir: Vec<(DirId, Vec<&ChangeLogEntry>)> = Vec::new();
         for e in entries {
             match per_dir.iter_mut().find(|(d, _)| *d == e.dir) {
-                Some((_, v)) => v.push(e.clone()),
-                None => per_dir.push((e.dir, vec![e.clone()])),
+                Some((_, v)) => v.push(e),
+                None => per_dir.push((e.dir, vec![e])),
             }
         }
         let mut applied = 0usize;
@@ -275,7 +277,7 @@ impl Server {
             };
             match self.cfg.update_mode {
                 UpdateMode::AsyncCompacted => {
-                    let compacted = CompactedChanges::from_entries(&dir_entries);
+                    let compacted = CompactedChanges::from_entry_refs(dir_entries.iter().copied());
                     {
                         let mut inner = self.inner.borrow_mut();
                         inner.stats.entries_compacted_away += compacted.merged_entries as u64;
@@ -399,7 +401,7 @@ impl Server {
         self.send_plain(
             owner_node,
             Body::Server(ServerMsg::AggregationEntries {
-                agg: agg.clone(),
+                agg,
                 from: self.cfg.id,
                 entries,
             }),
@@ -479,15 +481,14 @@ impl Server {
         self.cpu.run(costs.software_path).await;
         let fpg = self.locks.fp_group(fp);
         let _w = fpg.write().await;
+        let applied_ids: Vec<OpId> = entries.iter().map(|e| e.entry_id).collect();
         let fresh: Vec<ChangeLogEntry> = {
             let inner = self.inner.borrow();
             entries
-                .iter()
+                .into_iter()
                 .filter(|e| !inner.applied_entry_ids.contains(&e.entry_id))
-                .cloned()
                 .collect()
         };
-        let applied_ids: Vec<OpId> = entries.iter().map(|e| e.entry_id).collect();
         self.apply_entries_to_owned_dirs(fp, &fresh).await;
         {
             let mut inner = self.inner.borrow_mut();

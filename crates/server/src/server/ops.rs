@@ -46,7 +46,7 @@ impl Server {
         let costs = self.cfg.costs;
         self.cpu.run(costs.request_overhead()).await;
         let key = req.op.primary_key().clone();
-        let Some(parent) = req.parent.clone() else {
+        let Some(parent) = req.parent.as_ref() else {
             return Some(OpResult::Err(FsError::NotFound));
         };
         // Locking and checking (§5.2.1): parent change-log write lock, then
@@ -59,12 +59,19 @@ impl Server {
         if self.is_stale(&req.ancestors) {
             return Some(OpResult::Err(FsError::StaleCache));
         }
-        let existing = self.inner.borrow_mut().inodes.get(&key);
+        // Borrowed existence/type check: the attributes themselves are only
+        // needed on paths that build new ones.
+        let existing_type = self
+            .inner
+            .borrow_mut()
+            .inodes
+            .get_ref(&key)
+            .map(|a| a.file_type);
         let now = self.now_ns();
 
         let (effects, entry, result) = match &req.op {
             MetaOp::Create { perm, .. } => {
-                if existing.is_some() {
+                if existing_type.is_some() {
                     return Some(OpResult::Err(FsError::AlreadyExists));
                 }
                 let id = self.fresh_dir_id();
@@ -86,10 +93,18 @@ impl Server {
                 )
             }
             MetaOp::Delete { .. } => {
-                let Some(attrs) = existing else {
+                let Some(file_type) = existing_type else {
+                    // Not stored here. Under per-file-hash placement a
+                    // directory's inode lives with its fingerprint group on a
+                    // different server, so distinguish `EISDIR` from `ENOENT`
+                    // with a cross-server type probe (the grouping placements
+                    // colocate the directory inode and never get here).
+                    if self.probe_is_directory(&key).await {
+                        return Some(OpResult::Err(FsError::IsADirectory));
+                    }
                     return Some(OpResult::Err(FsError::NotFound));
                 };
-                if attrs.is_dir() {
+                if file_type == FileType::Directory {
                     return Some(OpResult::Err(FsError::IsADirectory));
                 }
                 let entry = self.make_entry(req.op_id, parent.id, &key.name, ChangeOp::Remove, -1);
@@ -100,7 +115,7 @@ impl Server {
                 )
             }
             MetaOp::Mkdir { perm, .. } => {
-                if existing.is_some() {
+                if existing_type.is_some() {
                     return Some(OpResult::Err(FsError::AlreadyExists));
                 }
                 let id = self.fresh_dir_id();
@@ -137,7 +152,7 @@ impl Server {
                     self.sync_init_dir_content(&key, attrs.clone()).await;
                 }
             }
-            if let Err(e) = self.sync_parent_update(&parent, &entry).await {
+            if let Err(e) = self.sync_parent_update(parent, &entry).await {
                 return Some(OpResult::Err(e));
             }
             return Some(result);
@@ -163,7 +178,7 @@ impl Server {
         // Dirty-set update, reply and unlocking (§5.2.1 step 6–7).
         let response = self.make_response(req.op_id, result);
         match self
-            .async_commit(client_node, response.clone(), &parent, &entry)
+            .async_commit(client_node, response.clone(), parent, &entry)
             .await
         {
             CommitOutcome::DeliveredBySwitch | CommitOutcome::FallbackHandled => None,
@@ -172,6 +187,56 @@ impl Server {
                 None
             }
         }
+    }
+
+    /// Asks `owner` what type of inode (if any) it stores under `key`. The
+    /// local store answers without a round-trip. Returns `None` on absence
+    /// or timeout (conservative: callers treat "unknown" as "absent", which
+    /// a retry can correct).
+    pub(crate) async fn probe_inode_type(
+        &self,
+        owner: switchfs_proto::ServerId,
+        key: &switchfs_proto::MetaKey,
+    ) -> Option<FileType> {
+        if owner == self.cfg.id {
+            return self
+                .inner
+                .borrow_mut()
+                .inodes
+                .get_ref(key)
+                .map(|a| a.file_type);
+        }
+        let token = self.next_token();
+        let body = Body::Server(ServerMsg::TypeProbe {
+            req_id: token,
+            key: key.clone(),
+        });
+        match self
+            .send_with_ack(self.cfg.node_of(owner), token, body)
+            .await
+        {
+            Some(crate::server::TokenReply::Type(t)) => t,
+            _ => None,
+        }
+    }
+
+    /// Asks the fingerprint-group owner of `key` whether it stores a
+    /// directory inode under that key. Only meaningful under per-file-hash
+    /// placement, where file and directory inodes of the same key live on
+    /// different servers; the grouping placements colocate them and answer
+    /// locally.
+    pub(crate) async fn probe_is_directory(&self, key: &switchfs_proto::MetaKey) -> bool {
+        if !matches!(
+            self.cfg.placement.policy(),
+            switchfs_proto::PartitionPolicy::PerFileHash
+        ) {
+            return false;
+        }
+        let dir_owner = self
+            .cfg
+            .placement
+            .dir_owner_by_fp(Fingerprint::of_dir(&key.pid, &key.name));
+        self.probe_inode_type(dir_owner, key).await == Some(FileType::Directory)
     }
 
     /// Baseline-mode parent update: apply the directory update at the
@@ -272,7 +337,7 @@ impl Server {
         let costs = self.cfg.costs;
         self.cpu.run(costs.request_overhead()).await;
         let key = req.op.primary_key().clone();
-        let Some(parent) = req.parent.clone() else {
+        let Some(parent) = req.parent.as_ref() else {
             // Removing the root directory is not allowed.
             return Some(OpResult::Err(FsError::NotFound));
         };
@@ -298,7 +363,7 @@ impl Server {
         let dir_id = attrs.id;
 
         if self.cfg.update_mode == crate::config::UpdateMode::Synchronous {
-            return Some(self.sync_rmdir(req, &key, dir_id, &parent).await);
+            return Some(self.sync_rmdir(req, &key, dir_id, parent).await);
         }
 
         // Collect the latest updates to the directory and have every other
@@ -309,10 +374,7 @@ impl Server {
         // Emptiness check on the aggregated state.
         let entry_count = {
             let mut inner = self.inner.borrow_mut();
-            inner
-                .entries
-                .scan_while(&(dir_id, String::new()), |(d, _)| *d == dir_id)
-                .len()
+            inner.entries.get_ref(&dir_id).map_or(0, |c| c.len())
         };
         self.cpu.run(costs.kv_get).await;
         if entry_count > 0 {
@@ -320,12 +382,10 @@ impl Server {
             // other servers' invalidation lists; retract it, since the
             // directory is staying (otherwise later operations under it would
             // be rejected as stale forever).
-            for other in self.cfg.other_servers() {
-                self.send_plain(
-                    self.cfg.node_of(other),
-                    Body::Server(ServerMsg::InvalidationRevoke { dir_id }),
-                );
-            }
+            self.multicast_plain(
+                &self.cfg.other_servers(),
+                Body::Server(ServerMsg::InvalidationRevoke { dir_id }),
+            );
             return Some(OpResult::Err(FsError::NotEmpty));
         }
 
@@ -352,7 +412,7 @@ impl Server {
         }
         let response = self.make_response(req.op_id, OpResult::Done);
         match self
-            .async_commit(client_node, response.clone(), &parent, &entry)
+            .async_commit(client_node, response.clone(), parent, &entry)
             .await
         {
             CommitOutcome::DeliveredBySwitch | CommitOutcome::FallbackHandled => None,
@@ -374,10 +434,7 @@ impl Server {
         let costs = self.cfg.costs;
         let entry_count = {
             let mut inner = self.inner.borrow_mut();
-            inner
-                .entries
-                .scan_while(&(dir_id, String::new()), |(d, _)| *d == dir_id)
-                .len()
+            inner.entries.get_ref(&dir_id).map_or(0, |c| c.len())
         };
         self.cpu.run(costs.kv_get).await;
         if entry_count > 0 {

@@ -157,7 +157,9 @@ impl Server {
     /// stop-the-world reconfiguration (§5.5). Returns how many groups were
     /// aggregated.
     pub async fn aggregate_all_owned(&self) -> usize {
-        let fps: std::collections::HashSet<u64> = {
+        // Deterministic iteration: the aggregation order below is part of
+        // the replayable schedule.
+        let fps: switchfs_simnet::FxHashSet<u64> = {
             let inner = self.inner.borrow();
             inner
                 .dir_index
@@ -195,7 +197,7 @@ impl Server {
                 entries: inner
                     .entries
                     .iter()
-                    .map(|((d, _), e)| (*d, e.clone()))
+                    .flat_map(|(d, c)| c.iter().map(move |e| (*d, e.clone())))
                     .collect(),
                 dir_index: inner
                     .dir_index
@@ -234,7 +236,7 @@ impl Server {
             inner.inodes.put(k.clone(), v.clone());
         }
         for (d, e) in &data.entries {
-            inner.entries.put((*d, e.name.clone()), e.clone());
+            inner.put_entry(*d, e.clone());
         }
         for (id, key) in &data.dir_index {
             inner.dir_index.insert(*id, key.clone());

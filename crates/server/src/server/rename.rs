@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use switchfs_proto::message::{Body, ClientRequest, MetaOp, ServerMsg, TxnOp};
 use switchfs_proto::{
-    ChangeLogEntry, ChangeOp, Fingerprint, FsError, OpResult, Placement, ServerId,
+    ChangeLogEntry, ChangeOp, FileType, Fingerprint, FsError, OpResult, Placement, ServerId,
 };
 
 use crate::server::{Server, TokenReply};
@@ -43,6 +43,48 @@ impl Server {
         else {
             return OpResult::Err(FsError::NotFound);
         };
+        // Destination conflict pre-check for the placements that scatter a
+        // key's file and directory inodes across different servers
+        // (per-file hashing): the 2PC participants only validate the stores
+        // they own, so an existing inode of the *other* kind must be probed
+        // explicitly — one typed probe RTT, replacing the two advisory
+        // `stat`/`statdir` probes the client used to pay on every rename.
+        // Runs BEFORE the source lock, like the client probes did: holding
+        // the hot source lock across a round-trip would serialize
+        // conflict-heavy rename bursts. The race this leaves open (a
+        // conflicting inode appearing between probe and commit) is the same
+        // one the client-side probes had.
+        if src != dst
+            && matches!(
+                self.cfg.placement.policy(),
+                switchfs_proto::PartitionPolicy::PerFileHash
+            )
+        {
+            let src_is_dir = self
+                .inner
+                .borrow()
+                .inodes
+                .peek(src)
+                .is_some_and(|a| a.is_dir());
+            if src_is_dir {
+                // A directory may not land on an existing file (the file
+                // inode lives at the per-file-hash owner, which the
+                // dir-routed transaction never consults).
+                let file_owner = self.cfg.placement.file_owner(dst);
+                if self.probe_inode_type(file_owner, dst).await == Some(FileType::File) {
+                    return OpResult::RenameDstExists {
+                        dst_type: FileType::File,
+                    };
+                }
+            } else if self.probe_is_directory(dst).await {
+                // A file may not overwrite an existing directory (the
+                // directory inode lives with its fingerprint group).
+                return OpResult::RenameDstExists {
+                    dst_type: FileType::Directory,
+                };
+            }
+        }
+
         // Lock the source inode for the duration of the transaction.
         let src_lock = self.locks.inode(src);
         let _src_guard = src_lock.write().await;
@@ -147,10 +189,9 @@ impl Server {
                     let inner = self.inner.borrow();
                     let entries: Vec<switchfs_proto::DirEntry> = inner
                         .entries
-                        .iter()
-                        .filter(|((d, _), _)| *d == dir_id)
-                        .map(|(_, e)| e.clone())
-                        .collect();
+                        .peek(&dir_id)
+                        .map(|c| c.iter().cloned().collect())
+                        .unwrap_or_default();
                     (dst_inode_owner, entries)
                 }
                 _ => (placement.dir_owner_by_id(&dir_id), Vec::new()),
@@ -238,14 +279,15 @@ impl Server {
 
         // Coordinator-local destination check (mirroring the participant's
         // prepare-time validation): an inode overwrite is only legal for
-        // file-over-file.
+        // file-over-file. The reject carries the occupying inode's type so
+        // the client can map it to the right POSIX error without having
+        // probed the destination.
         if dst_inode_owner == self.cfg.id {
             if let Some(existing) = self.inner.borrow().inodes.peek(dst) {
-                if existing.is_dir() {
-                    return OpResult::Err(FsError::IsADirectory);
-                }
-                if dst_attrs.is_dir() {
-                    return OpResult::Err(FsError::NotADirectory);
+                if existing.is_dir() || dst_attrs.is_dir() {
+                    return OpResult::RenameDstExists {
+                        dst_type: existing.file_type,
+                    };
                 }
             }
         }
@@ -253,6 +295,7 @@ impl Server {
         // Two-phase commit.
         let txn_id = self.next_token();
         let mut vote_ok = true;
+        let mut typed_reject: Option<switchfs_proto::FileType> = None;
         for (server, ops) in &per_server {
             if *server == self.cfg.id {
                 continue;
@@ -288,10 +331,13 @@ impl Server {
             .await;
             match vote {
                 Some(Ok(TokenReply::Ack)) => {}
-                _ => {
+                other => {
                     // Either an explicit negative vote or a timeout; drop
                     // the stale routing entry (so a late vote is ignored)
                     // and the orphaned oneshot sender.
+                    if let Some(Ok(TokenReply::VoteRejected(Some(t)))) = other {
+                        typed_reject = Some(t);
+                    }
                     let mut inner = self.inner.borrow_mut();
                     inner.txn_vote_tokens.remove(&(txn_id, *server));
                     inner.pending_tokens.remove(&token);
@@ -304,7 +350,12 @@ impl Server {
             // Abort with acknowledgment so no participant is left holding a
             // prepared transaction after a lost abort packet.
             self.broadcast_decision(txn_id, &per_server, false).await;
-            return OpResult::Err(FsError::Unavailable);
+            // A typed reject (destination occupied) is a definitive POSIX
+            // error; anything else (timeout, crash) stays retryable.
+            return match typed_reject {
+                Some(dst_type) => OpResult::RenameDstExists { dst_type },
+                None => OpResult::Err(FsError::Unavailable),
+            };
         }
 
         // Commit: apply the local mutations, then tell every participant and
@@ -441,18 +492,24 @@ impl Server {
         self.cpu
             .run(self.cfg.costs.software_path + self.cfg.costs.wal_append)
             .await;
-        // Authoritative destination check, closing the race left open by
-        // the client's advisory probe: an inode overwrite is only legal for
-        // file-over-file (POSIX rename). Overwriting a directory, or
+        // Authoritative destination check: an inode overwrite is only legal
+        // for file-over-file (POSIX rename). Overwriting a directory, or
         // landing a directory on an existing inode, votes the transaction
-        // down; the coordinator aborts and the client re-probes.
-        let ok = ops.iter().all(|op| match op {
-            TxnOp::PutInode { key, attrs } => match self.inner.borrow().inodes.peek(key) {
-                Some(existing) => !existing.is_dir() && !attrs.is_dir(),
-                None => true,
-            },
-            _ => true,
-        });
+        // down; the vote carries the occupying inode's type so the
+        // coordinator can reject the client with the right POSIX error and
+        // the client never needs its own destination probe.
+        let mut dst_type: Option<switchfs_proto::FileType> = None;
+        for op in &ops {
+            if let TxnOp::PutInode { key, attrs } = op {
+                if let Some(existing) = self.inner.borrow().inodes.peek(key) {
+                    if existing.is_dir() || attrs.is_dir() {
+                        dst_type = Some(existing.file_type);
+                        break;
+                    }
+                }
+            }
+        }
+        let ok = dst_type.is_none();
         if ok {
             // Log the prepared transaction so a crash before the decision
             // can be resolved by re-asking the coordinator (simplified
@@ -468,12 +525,19 @@ impl Server {
                 txn_id,
                 from: self.cfg.id,
                 ok,
+                dst_type,
             }),
         );
     }
 
     /// Coordinator side: a participant's vote arrived.
-    pub(crate) fn handle_txn_vote(&self, txn_id: u64, from: ServerId, ok: bool) {
+    pub(crate) fn handle_txn_vote(
+        &self,
+        txn_id: u64,
+        from: ServerId,
+        ok: bool,
+        dst_type: Option<switchfs_proto::FileType>,
+    ) {
         // Complete the waiting prepare. Duplicates and votes for timed-out
         // prepares find no entry and are dropped.
         let token = self
@@ -487,7 +551,7 @@ impl Server {
                 if ok {
                     TokenReply::Ack
                 } else {
-                    TokenReply::Failed(FsError::Unavailable)
+                    TokenReply::VoteRejected(dst_type)
                 },
             );
         }

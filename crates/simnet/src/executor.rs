@@ -10,7 +10,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -23,21 +23,23 @@ use rand::{Rng, SeedableRng};
 use crate::sync::oneshot;
 use crate::time::{SimDuration, SimTime};
 
-/// Identifier of a spawned task.
+/// Identifier of a spawned task (unique over the simulation's lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
 
 type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
-/// The queue of tasks that have been woken and are ready to be polled.
+/// The queue of `(slot, task id)` pairs that have been woken and are ready
+/// to be polled. The id disambiguates stale wake-ups after a slot is reused.
 ///
 /// This is the only piece of executor state shared with [`Waker`]s, which
 /// must be `Send + Sync`; everything else lives behind a single-threaded
 /// `RefCell`.
-type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+type ReadyQueue = Arc<Mutex<VecDeque<(u32, u64)>>>;
 
 struct TaskWaker {
-    task: TaskId,
+    slot: u32,
+    id: u64,
     ready: ReadyQueue,
 }
 
@@ -46,14 +48,32 @@ impl Wake for TaskWaker {
         self.ready
             .lock()
             .expect("ready queue poisoned")
-            .push_back(self.task);
+            .push_back((self.slot, self.id));
     }
 }
+
+/// One live task: its future (taken out while being polled) and its waker,
+/// created once at spawn and reused for every poll — polling allocates
+/// nothing.
+struct Task {
+    id: u64,
+    fut: Option<LocalFuture>,
+    waker: Waker,
+}
+
+/// Shared waker slot of one registered timer. The owning [`Sleep`] clears
+/// it on drop (cancellation) or completion; a cleared slot's heap entry
+/// still advances the clock when popped but wakes nobody. Spent slots are
+/// pooled and reused, so steady-state sleeping allocates nothing.
+type TimerSlot = Rc<RefCell<Option<Waker>>>;
+
+/// Upper bound on pooled timer slots (a memory cap, not a correctness knob).
+const SLOT_POOL_CAP: usize = 4096;
 
 struct TimerEntry {
     deadline: SimTime,
     seq: u64,
-    waker: Waker,
+    slot: TimerSlot,
 }
 
 impl PartialEq for TimerEntry {
@@ -77,8 +97,15 @@ struct SimState {
     now: SimTime,
     next_task: u64,
     next_timer_seq: u64,
-    tasks: HashMap<TaskId, LocalFuture>,
+    /// Slab of live tasks; `free_slots` lists vacant indices for reuse.
+    tasks: Vec<Option<Task>>,
+    free_slots: Vec<u32>,
+    live_tasks: usize,
     timers: BinaryHeap<Reverse<TimerEntry>>,
+    /// Scratch buffer reused by `fire_timers_at`.
+    fired_scratch: Vec<TimerSlot>,
+    /// Pool of spent timer slots, recycled to keep sleeps alloc-free.
+    slot_pool: Vec<TimerSlot>,
     rng: StdRng,
     spawned_total: u64,
     polls_total: u64,
@@ -124,8 +151,12 @@ impl Sim {
             now: SimTime::ZERO,
             next_task: 0,
             next_timer_seq: 0,
-            tasks: HashMap::new(),
+            tasks: Vec::new(),
+            free_slots: Vec::new(),
+            live_tasks: 0,
             timers: BinaryHeap::new(),
+            fired_scratch: Vec::new(),
+            slot_pool: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             spawned_total: 0,
             polls_total: 0,
@@ -169,14 +200,14 @@ impl Sim {
         loop {
             // Drain the ready queue, polling tasks in FIFO wake order.
             loop {
-                let task_id = {
+                let (slot, id) = {
                     let mut q = self.ready.lock().expect("ready queue poisoned");
                     match q.pop_front() {
                         Some(t) => t,
                         None => break,
                     }
                 };
-                self.poll_task(task_id);
+                self.poll_task(slot, id);
             }
 
             // No runnable task: advance the clock to the next timer.
@@ -199,7 +230,7 @@ impl Sim {
                         end_time: state.now,
                         tasks_spawned: state.spawned_total,
                         polls: state.polls_total,
-                        tasks_pending: state.tasks.len(),
+                        tasks_pending: state.live_tasks,
                     };
                 }
             }
@@ -207,44 +238,75 @@ impl Sim {
     }
 
     fn fire_timers_at(&self, t: SimTime) {
-        let mut fired = Vec::new();
-        {
+        let mut fired = {
             let mut state = self.state.borrow_mut();
             state.now = t;
+            let mut fired = std::mem::take(&mut state.fired_scratch);
             while let Some(Reverse(entry)) = state.timers.peek() {
                 if entry.deadline > t {
                     break;
                 }
                 let Reverse(entry) = state.timers.pop().expect("peeked");
-                fired.push(entry.waker);
+                fired.push(entry.slot);
+            }
+            fired
+        };
+        for slot in &fired {
+            // A cancelled timer (slot already cleared) advances the clock
+            // but wakes nobody.
+            let waker = slot.borrow_mut().take();
+            if let Some(w) = waker {
+                w.wake();
             }
         }
-        for w in fired {
-            w.wake();
+        {
+            let mut state = self.state.borrow_mut();
+            // Recycle slots whose `Sleep` has already gone away; the rest
+            // are returned by the `Sleep`'s drop.
+            for slot in fired.drain(..) {
+                if Rc::strong_count(&slot) == 1 && state.slot_pool.len() < SLOT_POOL_CAP {
+                    state.slot_pool.push(slot);
+                }
+            }
+            state.fired_scratch = fired;
         }
     }
 
-    fn poll_task(&self, task_id: TaskId) {
-        // Remove the task from the table before polling so that code inside
-        // the future can freely spawn new tasks (which mutates the table).
-        let fut = {
+    fn poll_task(&self, slot: u32, id: u64) {
+        // Take the future out of its slot before polling so that code inside
+        // it can freely spawn new tasks (which mutates the slab); the slot
+        // itself stays occupied, so it cannot be reused mid-poll.
+        let (mut fut, waker) = {
             let mut state = self.state.borrow_mut();
+            let Some(task) = state.tasks.get_mut(slot as usize).and_then(Option::as_mut) else {
+                return;
+            };
+            if task.id != id {
+                // The slot was reused; this wake-up targets a dead task.
+                return;
+            }
+            let Some(fut) = task.fut.take() else {
+                // Already being polled higher up the stack; the wake-up that
+                // queued us again will be re-observed through the waker.
+                return;
+            };
+            let waker = task.waker.clone();
             state.polls_total += 1;
-            state.tasks.remove(&task_id)
+            (fut, waker)
         };
-        let Some(mut fut) = fut else {
-            // Already completed; a stale wake-up.
-            return;
-        };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            task: task_id,
-            ready: self.ready.clone(),
-        }));
         let mut cx = Context::from_waker(&waker);
         match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {}
+            Poll::Ready(()) => {
+                let mut state = self.state.borrow_mut();
+                state.tasks[slot as usize] = None;
+                state.free_slots.push(slot);
+                state.live_tasks -= 1;
+            }
             Poll::Pending => {
-                self.state.borrow_mut().tasks.insert(task_id, fut);
+                let mut state = self.state.borrow_mut();
+                if let Some(task) = state.tasks.get_mut(slot as usize).and_then(Option::as_mut) {
+                    task.fut = Some(fut);
+                }
             }
         }
     }
@@ -261,19 +323,36 @@ impl SimHandle {
     where
         F: Future<Output = ()> + 'static,
     {
-        let id = {
+        let (slot, id) = {
             let mut state = self.state.borrow_mut();
-            let id = TaskId(state.next_task);
+            let id = state.next_task;
             state.next_task += 1;
             state.spawned_total += 1;
-            state.tasks.insert(id, Box::pin(fut));
-            id
+            state.live_tasks += 1;
+            let slot = match state.free_slots.pop() {
+                Some(s) => s,
+                None => {
+                    state.tasks.push(None);
+                    (state.tasks.len() - 1) as u32
+                }
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                slot,
+                id,
+                ready: self.ready.clone(),
+            }));
+            state.tasks[slot as usize] = Some(Task {
+                id,
+                fut: Some(Box::pin(fut)),
+                waker,
+            });
+            (slot, id)
         };
         self.ready
             .lock()
             .expect("ready queue poisoned")
-            .push_back(id);
-        id
+            .push_back((slot, id));
+        TaskId(id)
     }
 
     /// Spawns a task that produces a value and returns a handle to await it.
@@ -296,6 +375,7 @@ impl SimHandle {
         Sleep {
             handle: self.clone(),
             deadline,
+            slot: None,
         }
     }
 
@@ -329,36 +409,85 @@ impl SimHandle {
         }
     }
 
-    /// Registers a waker to be woken at `deadline`. Used by simulation
-    /// primitives that need timer semantics (e.g. retransmission timeouts).
-    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+    /// Registers a timer to be woken at `deadline` and returns its shared
+    /// waker slot (drawn from the slot pool when possible). Used by
+    /// simulation primitives that need timer semantics (e.g. retransmission
+    /// timeouts).
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) -> TimerSlot {
         let mut state = self.state.borrow_mut();
+        let slot = match state.slot_pool.pop() {
+            Some(slot) => {
+                *slot.borrow_mut() = Some(waker);
+                slot
+            }
+            None => Rc::new(RefCell::new(Some(waker))),
+        };
         let seq = state.next_timer_seq;
         state.next_timer_seq += 1;
         state.timers.push(Reverse(TimerEntry {
             deadline,
             seq,
-            waker,
+            slot: Rc::clone(&slot),
         }));
+        slot
+    }
+
+    /// Returns a spent slot to the pool once nothing else references it.
+    pub(crate) fn recycle_slot(&self, slot: TimerSlot) {
+        if Rc::strong_count(&slot) == 1 {
+            let mut state = self.state.borrow_mut();
+            if state.slot_pool.len() < SLOT_POOL_CAP {
+                state.slot_pool.push(slot);
+            }
+        }
     }
 }
 
 /// Future returned by [`SimHandle::sleep`] and friends.
+///
+/// Registers exactly one heap entry, however many times it is polled, and
+/// cancels that entry when dropped (e.g. when a `timeout` races a response
+/// that arrives first) — a completed RPC leaves no pending wake-up behind.
 pub struct Sleep {
     handle: SimHandle,
     deadline: SimTime,
+    slot: Option<TimerSlot>,
 }
 
 impl Future for Sleep {
     type Output = ();
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.handle.now() >= self.deadline {
-            Poll::Ready(())
-        } else {
-            self.handle
-                .register_timer(self.deadline, cx.waker().clone());
-            Poll::Pending
+            if let Some(slot) = self.slot.take() {
+                slot.borrow_mut().take();
+                self.handle.recycle_slot(slot);
+            }
+            return Poll::Ready(());
+        }
+        match &self.slot {
+            Some(slot) => {
+                // Re-polled before the deadline: refresh the waker in place.
+                *slot.borrow_mut() = Some(cx.waker().clone());
+            }
+            None => {
+                self.slot = Some(
+                    self.handle
+                        .register_timer(self.deadline, cx.waker().clone()),
+                );
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            // Lazy cancellation: clear the waker; the heap entry fires as a
+            // no-op and the slot returns to the pool.
+            slot.borrow_mut().take();
+            self.handle.recycle_slot(slot);
         }
     }
 }
@@ -373,9 +502,9 @@ pub async fn timeout<F: Future>(
     after: SimDuration,
     fut: F,
 ) -> Option<F::Output> {
-    let sleep = handle.sleep(after);
-    let mut fut = Box::pin(fut);
-    let mut sleep = Box::pin(sleep);
+    // Stack-pinned: a timeout allocates nothing of its own.
+    let mut sleep = std::pin::pin!(handle.sleep(after));
+    let mut fut = std::pin::pin!(fut);
     std::future::poll_fn(move |cx| {
         if let Poll::Ready(v) = fut.as_mut().poll(cx) {
             return Poll::Ready(Some(v));

@@ -43,6 +43,7 @@
 
 pub mod cpu;
 pub mod executor;
+pub mod fxhash;
 pub mod metrics;
 pub mod net;
 pub mod sync;
@@ -50,6 +51,7 @@ pub mod time;
 
 pub use cpu::CpuPool;
 pub use executor::{timeout, Sim, SimHandle, TaskId};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{LatencyHistogram, ThroughputMeter};
 pub use net::{
     Endpoint, NetFaults, Network, NodeId, Packet, SwitchAction, SwitchId, SwitchLogic, Topology,

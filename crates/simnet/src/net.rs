@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::executor::SimHandle;
+use crate::fxhash::FxHashMap;
 use crate::sync::mpsc;
 use crate::time::{SimDuration, SimTime};
 
@@ -74,8 +75,10 @@ pub enum SwitchAction<M> {
 pub trait SwitchLogic<M> {
     /// Processes one packet arriving at this switch at time `now` and returns
     /// the forwarding decisions (possibly several, for multicast; possibly
-    /// none, equivalent to a drop).
-    fn process(&mut self, now: SimTime, pkt: &Packet<M>) -> Vec<SwitchAction<M>>;
+    /// none, equivalent to a drop). The packet is passed by value so the
+    /// common single-`Forward` case can move the payload through the switch
+    /// instead of cloning it per hop.
+    fn process(&mut self, now: SimTime, pkt: Packet<M>) -> Vec<SwitchAction<M>>;
 
     /// Human-readable name used in traces.
     fn name(&self) -> &str {
@@ -88,10 +91,10 @@ pub trait SwitchLogic<M> {
 pub struct L2Forward;
 
 impl<M: Clone> SwitchLogic<M> for L2Forward {
-    fn process(&mut self, _now: SimTime, pkt: &Packet<M>) -> Vec<SwitchAction<M>> {
+    fn process(&mut self, _now: SimTime, pkt: Packet<M>) -> Vec<SwitchAction<M>> {
         vec![SwitchAction::Forward {
             dst: pkt.dst,
-            payload: pkt.payload.clone(),
+            payload: pkt.payload,
         }]
     }
 
@@ -202,9 +205,9 @@ pub type SpineSelector<M> = Rc<dyn Fn(&M, u32) -> u32>;
 
 struct NetworkInner<M> {
     handle: SimHandle,
-    mailboxes: HashMap<NodeId, mpsc::Sender<Packet<M>>>,
-    node_down: HashMap<NodeId, bool>,
-    switches: HashMap<SwitchId, Box<dyn SwitchLogic<M>>>,
+    mailboxes: FxHashMap<NodeId, mpsc::Sender<Packet<M>>>,
+    node_down: FxHashMap<NodeId, bool>,
+    switches: FxHashMap<SwitchId, Box<dyn SwitchLogic<M>>>,
     topology: Topology,
     params: LinkParams,
     faults: NetFaults,
@@ -231,13 +234,13 @@ impl<M: Clone + 'static> Network<M> {
     /// forwarding. Use [`Network::install_switch`] to replace it with the
     /// SwitchFS data plane.
     pub fn new(handle: SimHandle, params: LinkParams, faults: NetFaults, seed: u64) -> Self {
-        let mut switches: HashMap<SwitchId, Box<dyn SwitchLogic<M>>> = HashMap::new();
+        let mut switches: FxHashMap<SwitchId, Box<dyn SwitchLogic<M>>> = FxHashMap::default();
         switches.insert(SwitchId(0), Box::new(L2Forward));
         Network {
             inner: Rc::new(RefCell::new(NetworkInner {
                 handle,
-                mailboxes: HashMap::new(),
-                node_down: HashMap::new(),
+                mailboxes: FxHashMap::default(),
+                node_down: FxHashMap::default(),
                 switches,
                 topology: Topology::SingleRack,
                 params,
@@ -359,9 +362,17 @@ impl<M: Clone + 'static> Network<M> {
             }
             copies
         };
-        for extra_delay in copies {
+        // Move the packet into the last copy's delivery task; only fault
+        // duplication pays for a clone.
+        let mut pkt = Some(pkt);
+        let last = copies.len().saturating_sub(1);
+        for (i, extra_delay) in copies.into_iter().enumerate() {
             let net = self.clone();
-            let pkt = pkt.clone();
+            let pkt = if i == last {
+                pkt.take().expect("one packet per copy")
+            } else {
+                pkt.clone().expect("one packet per copy")
+            };
             handle.spawn(async move {
                 net.deliver(pkt, extra_delay).await;
             });
@@ -369,61 +380,43 @@ impl<M: Clone + 'static> Network<M> {
     }
 
     /// Runs one packet through its route: link → switch(es) → link → mailbox.
+    ///
+    /// The single-packet flow (no multicast) stays entirely alloc-free: the
+    /// route lives in a fixed array and the packet travels in an `Option`;
+    /// only a multicasting switch spills into a vector.
     async fn deliver(&self, pkt: Packet<M>, extra_delay: SimDuration) {
-        let (handle, link_latency, switch_latency, route) = {
+        let (handle, link_latency, switch_latency, route, hops) = {
             let inner = self.inner.borrow();
+            let (route, hops) = self.route_for(&inner, &pkt);
             (
                 inner.handle.clone(),
                 inner.params.link_latency,
                 inner.params.switch_latency,
-                self.route_for(&inner, &pkt),
+                route,
+                hops,
             )
         };
         if !extra_delay.is_zero() {
             handle.sleep(extra_delay).await;
         }
-        // The packet set currently travelling this route. Switch programs can
-        // multicast, so this can grow.
-        let mut in_flight = vec![pkt];
-        for switch_id in route {
+        // The packet set currently travelling this route. Switch programs
+        // can multicast, so this can grow. Only `single`/`multi` live across
+        // the sleeps: the switch-processing block is a plain function, so
+        // its scratch never inflates this future's state machine.
+        let mut single = Some(pkt);
+        let mut multi: Vec<Packet<M>> = Vec::new();
+        for switch_id in route.into_iter().take(hops) {
             handle.sleep(link_latency).await;
             let now = handle.now();
-            let mut next = Vec::with_capacity(in_flight.len());
-            {
-                let mut inner = self.inner.borrow_mut();
-                for p in in_flight.drain(..) {
-                    let Some(logic) = inner.switches.get_mut(&switch_id) else {
-                        // Unknown switch: behave like a plain wire.
-                        next.push(p);
-                        continue;
-                    };
-                    let actions = logic.process(now, &p);
-                    if actions.is_empty() {
-                        inner.stats.dropped_by_switch += 1;
-                    }
-                    for action in actions {
-                        match action {
-                            SwitchAction::Forward { dst, payload } => next.push(Packet {
-                                src: p.src,
-                                dst,
-                                payload,
-                            }),
-                            SwitchAction::Drop => {
-                                inner.stats.dropped_by_switch += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            in_flight = next;
-            if in_flight.is_empty() {
+            (single, multi) = self.process_at_switch(switch_id, now, single, multi);
+            if single.is_none() && multi.is_empty() {
                 return;
             }
             handle.sleep(switch_latency).await;
         }
         handle.sleep(link_latency).await;
         let mut inner = self.inner.borrow_mut();
-        for p in in_flight {
+        for p in single.into_iter().chain(multi) {
             if *inner.node_down.get(&p.dst).unwrap_or(&false) {
                 inner.stats.dropped_node_down += 1;
                 continue;
@@ -440,9 +433,58 @@ impl<M: Clone + 'static> Network<M> {
         }
     }
 
-    fn route_for(&self, inner: &NetworkInner<M>, pkt: &Packet<M>) -> Vec<SwitchId> {
+    /// Runs every in-flight packet through one switch, preserving arrival
+    /// order. Returns the surviving packets in the same single/multi shape
+    /// `deliver` carries them in.
+    #[allow(clippy::type_complexity)]
+    fn process_at_switch(
+        &self,
+        switch_id: SwitchId,
+        now: SimTime,
+        single: Option<Packet<M>>,
+        mut multi: Vec<Packet<M>>,
+    ) -> (Option<Packet<M>>, Vec<Packet<M>>) {
+        let mut inner = self.inner.borrow_mut();
+        let mut out_single = None;
+        let mut out_multi: Vec<Packet<M>> = Vec::new();
+        let mut emit = |p: Packet<M>, out_multi: &mut Vec<Packet<M>>| match out_single.take() {
+            None if out_multi.is_empty() => out_single = Some(p),
+            None => out_multi.push(p),
+            Some(first) => {
+                out_multi.push(first);
+                out_multi.push(p);
+            }
+        };
+        for p in single.into_iter().chain(multi.drain(..)) {
+            let Some(logic) = inner.switches.get_mut(&switch_id) else {
+                // Unknown switch: behave like a plain wire.
+                emit(p, &mut out_multi);
+                continue;
+            };
+            let src = p.src;
+            let actions = logic.process(now, p);
+            if actions.is_empty() {
+                inner.stats.dropped_by_switch += 1;
+            }
+            for action in actions {
+                match action {
+                    SwitchAction::Forward { dst, payload } => {
+                        emit(Packet { src, dst, payload }, &mut out_multi)
+                    }
+                    SwitchAction::Drop => {
+                        inner.stats.dropped_by_switch += 1;
+                    }
+                }
+            }
+        }
+        (out_single, out_multi)
+    }
+
+    /// The switches a packet traverses, as a fixed-size array plus hop
+    /// count — computed per packet, so it must not allocate.
+    fn route_for(&self, inner: &NetworkInner<M>, pkt: &Packet<M>) -> ([SwitchId; 3], usize) {
         match &inner.topology {
-            Topology::SingleRack => vec![SwitchId(0)],
+            Topology::SingleRack => ([SwitchId(0), SwitchId(0), SwitchId(0)], 1),
             Topology::LeafSpine {
                 node_rack,
                 spine_count,
@@ -457,13 +499,16 @@ impl<M: Clone + 'static> Network<M> {
                     // Even same-rack traffic traverses the spine in the
                     // paper's multi-rack deployment so that the programmable
                     // spine switch keeps its global view (§6.4).
-                    vec![SwitchId(1000 + src_rack), SwitchId(spine)]
+                    ([SwitchId(1000 + src_rack), SwitchId(spine), SwitchId(0)], 2)
                 } else {
-                    vec![
-                        SwitchId(1000 + src_rack),
-                        SwitchId(spine),
-                        SwitchId(1000 + dst_rack),
-                    ]
+                    (
+                        [
+                            SwitchId(1000 + src_rack),
+                            SwitchId(spine),
+                            SwitchId(1000 + dst_rack),
+                        ],
+                        3,
+                    )
                 }
             }
         }
@@ -629,7 +674,7 @@ mod tests {
         seen: Rc<Cell<u32>>,
     }
     impl SwitchLogic<u32> for CountingSwitch {
-        fn process(&mut self, _now: SimTime, pkt: &Packet<u32>) -> Vec<SwitchAction<u32>> {
+        fn process(&mut self, _now: SimTime, pkt: Packet<u32>) -> Vec<SwitchAction<u32>> {
             self.seen.set(self.seen.get() + 1);
             if pkt.payload == 0 {
                 vec![SwitchAction::Drop]

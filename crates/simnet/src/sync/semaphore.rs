@@ -79,9 +79,12 @@ impl Semaphore {
         self.inner.borrow().waiters.len()
     }
 
-    /// Adds `n` permits, waking waiters that can now proceed.
+    /// Adds `n` permits, waking waiters that can now proceed. The common
+    /// single-waiter hand-off stays alloc-free; only a multi-waiter wake
+    /// spills into a vector.
     pub fn release(&self, n: usize) {
-        let mut wakers = Vec::new();
+        let mut first: Option<Waker> = None;
+        let mut rest: Vec<Waker> = Vec::new();
         {
             let mut inner = self.inner.borrow_mut();
             inner.permits += n;
@@ -93,11 +96,18 @@ impl Semaphore {
                 inner.permits -= w.need;
                 w.granted.set(true);
                 if let Some(wk) = w.waker.take() {
-                    wakers.push(wk);
+                    if first.is_none() {
+                        first = Some(wk);
+                    } else {
+                        rest.push(wk);
+                    }
                 }
             }
         }
-        for w in wakers {
+        if let Some(w) = first {
+            w.wake();
+        }
+        for w in rest {
             w.wake();
         }
     }

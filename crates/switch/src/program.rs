@@ -149,18 +149,21 @@ impl SwitchFsProgram {
     }
 
     /// Processes one packet and returns the list of `(destination node,
-    /// rewritten message)` pairs to emit.
-    pub fn process(&mut self, src: u32, dst: u32, msg: &NetMsg) -> Vec<(u32, NetMsg)> {
+    /// rewritten message)` pairs to emit. Takes the message by value so the
+    /// dominant single-output cases (plain forwarding, query, overflow
+    /// redirect) move the payload through the data plane without cloning;
+    /// only genuine multicast pays for copies.
+    pub fn process(&mut self, src: u32, dst: u32, mut msg: NetMsg) -> Vec<(u32, NetMsg)> {
         self.stats.packets += 1;
         let Some(hdr) = msg.dirty else {
             self.stats.regular_packets += 1;
-            return vec![(dst, msg.clone())];
+            return vec![(dst, msg)];
         };
         if msg.dst_port != UdpPorts::DIRTY_SET {
             // Malformed: a dirty header on the plain port is ignored by the
             // parser and the packet is forwarded untouched.
             self.stats.regular_packets += 1;
-            return vec![(dst, msg.clone())];
+            return vec![(dst, msg)];
         }
         let fp = hdr.fingerprint;
         let pipe_idx = self.pipe_of(fp);
@@ -171,15 +174,14 @@ impl SwitchFsProgram {
             DirtySetOp::Query => {
                 self.stats.queries += 1;
                 let present = self.pipes[pipe_idx].query(fp);
-                let mut out = msg.clone();
-                if let Some(h) = &mut out.dirty {
+                if let Some(h) = &mut msg.dirty {
                     h.ret = DirtyRet::State(if present {
                         DirtyState::Scattered
                     } else {
                         DirtyState::Normal
                     });
                 }
-                vec![(dst, out)]
+                vec![(dst, msg)]
             }
             DirtySetOp::Insert => {
                 self.stats.inserts += 1;
@@ -190,27 +192,25 @@ impl SwitchFsProgram {
                 };
                 match outcome {
                     InsertOutcome::Inserted => {
-                        let mut out = msg.clone();
-                        if let Some(h) = &mut out.dirty {
+                        if let Some(h) = &mut msg.dirty {
                             h.ret = DirtyRet::Inserted;
                         }
                         // Multicast: one copy to the original destination
                         // (the client, completing the operation) and one back
                         // to the origin server (releasing its locks).
                         self.stats.multicast_copies += 1;
-                        vec![(dst, out.clone()), (src, out)]
+                        vec![(dst, msg.clone()), (src, msg)]
                     }
                     InsertOutcome::Overflow => {
                         self.stats.insert_overflows += 1;
-                        let mut out = msg.clone();
-                        if let Some(h) = &mut out.dirty {
+                        if let Some(h) = &mut msg.dirty {
                             h.ret = DirtyRet::Overflowed;
                         }
                         // Address rewriter: redirect to the alternative
                         // destination (the parent directory's owner) for
                         // synchronous fallback handling.
                         let fallback_dst = hdr.alt_dst.unwrap_or(dst);
-                        vec![(fallback_dst, out)]
+                        vec![(fallback_dst, msg)]
                     }
                 }
             }
@@ -225,14 +225,13 @@ impl SwitchFsProgram {
                 *high = hdr.remove_seq;
                 self.stats.removes += 1;
                 self.pipes[pipe_idx].remove(fp);
-                let mut out = msg.clone();
-                if let Some(h) = &mut out.dirty {
+                if let Some(h) = &mut msg.dirty {
                     h.ret = DirtyRet::Removed;
                 }
                 // Aggregation requests are multicast to every other metadata
                 // server; other remove-carrying packets (none today) would
                 // just go to their destination.
-                if matches!(out.body, Body::Server(_)) {
+                if matches!(msg.body, Body::Server(_)) {
                     let targets: Vec<u32> = self
                         .config
                         .server_nodes
@@ -240,13 +239,16 @@ impl SwitchFsProgram {
                         .copied()
                         .filter(|&n| n != src)
                         .collect();
-                    if targets.is_empty() {
-                        return vec![(dst, out)];
-                    }
-                    self.stats.multicast_copies += targets.len() as u64 - 1;
-                    targets.into_iter().map(|n| (n, out.clone())).collect()
+                    let Some((last, rest)) = targets.split_last() else {
+                        return vec![(dst, msg)];
+                    };
+                    self.stats.multicast_copies += rest.len() as u64;
+                    let mut out: Vec<(u32, NetMsg)> =
+                        rest.iter().map(|&n| (n, msg.clone())).collect();
+                    out.push((*last, msg));
+                    out
                 } else {
-                    vec![(dst, out)]
+                    vec![(dst, msg)]
                 }
             }
         }
@@ -280,7 +282,7 @@ mod tests {
     fn regular_packets_pass_through() {
         let mut p = program(vec![10, 11]);
         let msg = NetMsg::plain(seq(1, 1), Body::Empty);
-        let out = p.process(1, 10, &msg);
+        let out = p.process(1, 10, msg);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, 10);
         assert_eq!(p.stats().regular_packets, 1);
@@ -291,7 +293,7 @@ mod tests {
         let mut p = program(vec![10, 11]);
         let f = fp(1);
         let q = NetMsg::with_dirty(seq(1, 1), DirtySetHeader::query(f), Body::Empty);
-        let out = p.process(1, 10, &q);
+        let out = p.process(1, 10, q.clone());
         assert_eq!(out.len(), 1);
         assert_eq!(
             out[0].1.dirty.unwrap().ret,
@@ -299,8 +301,8 @@ mod tests {
         );
         // Insert, then query again.
         let ins = NetMsg::with_dirty(seq(10, 2), DirtySetHeader::insert(f, 11), Body::Empty);
-        p.process(10, 1, &ins);
-        let out = p.process(1, 10, &q);
+        p.process(10, 1, ins);
+        let out = p.process(1, 10, q);
         assert_eq!(
             out[0].1.dirty.unwrap().ret,
             DirtyRet::State(DirtyState::Scattered)
@@ -312,7 +314,7 @@ mod tests {
         let mut p = program(vec![10, 11]);
         let ins = NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(fp(2), 11), Body::Empty);
         // src = server 10, dst = client 1.
-        let out = p.process(10, 1, &ins);
+        let out = p.process(10, 1, ins);
         let dests: Vec<u32> = out.iter().map(|(d, _)| *d).collect();
         assert_eq!(dests, vec![1, 10]);
         for (_, m) in &out {
@@ -326,7 +328,7 @@ mod tests {
         let mut p = program(vec![10, 11]);
         p.set_force_overflow(true);
         let ins = NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(fp(3), 42), Body::Empty);
-        let out = p.process(10, 1, &ins);
+        let out = p.process(10, 1, ins);
         assert_eq!(out.len(), 1);
         assert_eq!(
             out[0].0, 42,
@@ -345,7 +347,7 @@ mod tests {
         p.process(
             10,
             1,
-            &NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
+            NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
         );
         assert!(p.contains(f));
         let agg = Body::Server(ServerMsg::AggregationRequest {
@@ -357,7 +359,7 @@ mod tests {
             invalidate: None,
         });
         let rm = NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(f, 1), agg);
-        let out = p.process(11, 11, &rm);
+        let out = p.process(11, 11, rm);
         let mut dests: Vec<u32> = out.iter().map(|(d, _)| *d).collect();
         dests.sort_unstable();
         assert_eq!(
@@ -374,16 +376,16 @@ mod tests {
         let f = fp(5);
         let rm1 = NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(f, 5), Body::Empty);
         let rm_stale = NetMsg::with_dirty(seq(11, 2), DirtySetHeader::remove(f, 4), Body::Empty);
-        assert!(!p.process(11, 10, &rm1).is_empty());
+        assert!(!p.process(11, 10, rm1).is_empty());
         // The fingerprint is re-inserted by a later operation...
         p.process(
             10,
             1,
-            &NetMsg::with_dirty(seq(10, 3), DirtySetHeader::insert(f, 11), Body::Empty),
+            NetMsg::with_dirty(seq(10, 3), DirtySetHeader::insert(f, 11), Body::Empty),
         );
         assert!(p.contains(f));
         // ...and the stale duplicate remove must not clear it.
-        let out = p.process(11, 10, &rm_stale);
+        let out = p.process(11, 10, rm_stale);
         assert!(out.is_empty());
         assert!(p.contains(f));
         assert_eq!(p.stats().stale_removes, 1);
@@ -397,17 +399,17 @@ mod tests {
         p.process(
             11,
             10,
-            &NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(f, 5), Body::Empty),
+            NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(f, 5), Body::Empty),
         );
         p.process(
             10,
             1,
-            &NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
+            NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
         );
         let out = p.process(
             12,
             10,
-            &NetMsg::with_dirty(seq(12, 1), DirtySetHeader::remove(f, 1), Body::Empty),
+            NetMsg::with_dirty(seq(12, 1), DirtySetHeader::remove(f, 1), Body::Empty),
         );
         assert!(!out.is_empty());
         assert!(!p.contains(f));
@@ -420,12 +422,12 @@ mod tests {
         p.process(
             10,
             1,
-            &NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
+            NetMsg::with_dirty(seq(10, 1), DirtySetHeader::insert(f, 11), Body::Empty),
         );
         p.process(
             11,
             10,
-            &NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(fp(8), 9), Body::Empty),
+            NetMsg::with_dirty(seq(11, 1), DirtySetHeader::remove(fp(8), 9), Body::Empty),
         );
         assert!(p.contains(f));
         p.reboot();
@@ -435,7 +437,7 @@ mod tests {
         let out = p.process(
             11,
             10,
-            &NetMsg::with_dirty(seq(11, 2), DirtySetHeader::remove(fp(8), 1), Body::Empty),
+            NetMsg::with_dirty(seq(11, 2), DirtySetHeader::remove(fp(8), 1), Body::Empty),
         );
         assert!(!out.is_empty());
     }
@@ -445,7 +447,7 @@ mod tests {
         let mut p = program(vec![10, 11]);
         for i in 0..50u64 {
             let q = NetMsg::with_dirty(seq(1, i), DirtySetHeader::query(fp(i)), Body::Empty);
-            p.process(1, 10, &q);
+            p.process(1, 10, q);
         }
         let s = p.stats();
         assert_eq!(s.queries, 50);

@@ -111,13 +111,20 @@ fn reference_scenario() -> Vec<Step> {
         Stat("/proj/src/missing.rs"), // NotFound
         Statdir("/nope"),             // NotFound
         Rmdir("/proj/src"),           // NotEmpty
-        // Known divergence, deliberately NOT part of the scenario: deleting
-        // a directory with `delete` (unlink) returns IsADirectory on the
-        // grouping placements (the inode is co-located with the parent, so
-        // its type is visible) but NotFound on the per-file-hash placements
-        // (the file-owner server never stores the directory inode).
-        // Reconciling this needs a cross-server type probe in the delete
-        // path; tracked as a ROADMAP open item.
+        // `delete` (unlink) of a directory must fail with IsADirectory on
+        // every placement. The grouping placements see the co-located
+        // directory inode directly; the per-file-hash placements (whose
+        // file-owner server never stores directory inodes) resolve it with
+        // a cross-server type probe to the fingerprint-group owner. This
+        // used to be a documented divergence (NotFound on per-file hash);
+        // the probe closed it.
+        Delete("/proj/doc"), // IsADirectory, on every placement
+        // Rename destination conflicts must agree across placements too:
+        // the coordinator (not the client) detects them at prepare time and
+        // rejects with the destination's type, wherever the conflicting
+        // inode happens to live.
+        Rename("/proj/src/main.rs", "/proj/doc"), // IsADirectory: file onto dir
+        Rename("/proj/doc", "/proj/README.md"),   // NotADirectory: dir onto file
         // Mutations: rename within and across directories.
         Rename("/proj/src/lib.rs", "/proj/src/lib2.rs"),
         Rename("/proj/README.md", "/proj/doc/README.md"),
@@ -201,7 +208,7 @@ fn namespace_snapshot(cluster: &Cluster, roots: &[&str]) -> Vec<String> {
         let mut out = Vec::new();
         let mut stack = roots;
         while let Some(dir) = stack.pop() {
-            let (attrs, mut entries) = match client.readdir(&dir).await {
+            let (attrs, entries) = match client.readdir(&dir).await {
                 Ok(v) => v,
                 Err(FsError::NotFound) => {
                     out.push(format!("{dir} absent"));
@@ -209,6 +216,9 @@ fn namespace_snapshot(cluster: &Cluster, roots: &[&str]) -> Vec<String> {
                 }
                 Err(e) => panic!("readdir {dir}: {e:?}"),
             };
+            // The shared listing is immutable; sort a private copy (the
+            // harvest must not depend on server-side ordering).
+            let mut entries = (*entries).clone();
             entries.sort_by(|a, b| a.name.cmp(&b.name));
             out.push(format!("{dir} dir size={}", attrs.size));
             for e in entries {

@@ -141,4 +141,56 @@ proptest! {
             prop_assert_ne!(fa, fb);
         }
     }
+
+    /// Rc-shared directory listings are copy-on-write: a listing handed to a
+    /// reader is never observably mutated by later inserts/removes, and the
+    /// store's own view always matches a reference model. Readers taken
+    /// between the same two mutations share one allocation.
+    #[test]
+    fn dir_content_listing_is_never_shared_across_mutation(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..12), 1..80),
+    ) {
+        use std::rc::Rc;
+        use switchfs::proto::DirEntry;
+        use switchfs::server::DirContent;
+
+        let mut content = DirContent::default();
+        let mut model: BTreeMap<String, u16> = BTreeMap::new();
+        // Snapshots handed out to "readers", with the model state they saw.
+        type Snapshot = (Rc<Vec<DirEntry>>, Vec<(String, u16)>);
+        let mut snapshots: Vec<Snapshot> = Vec::new();
+        for (i, (insert, name)) in ops.iter().enumerate() {
+            let name = format!("f{name}");
+            if *insert {
+                let mode = i as u16;
+                content.insert(DirEntry {
+                    name: name.clone(),
+                    file_type: FileType::File,
+                    mode,
+                });
+                model.insert(name, mode);
+            } else {
+                content.remove(&name);
+                model.remove(&name);
+            }
+            let listing = content.listing();
+            // Two readers between the same mutations share one allocation.
+            prop_assert!(Rc::ptr_eq(&listing, &content.listing()));
+            snapshots.push((
+                listing,
+                model.iter().map(|(n, m)| (n.clone(), *m)).collect(),
+            ));
+        }
+        // No snapshot was retroactively mutated: each still shows exactly
+        // the state the reader observed when it was taken.
+        for (listing, expected) in &snapshots {
+            let got: Vec<(String, u16)> =
+                listing.iter().map(|e| (e.name.clone(), e.mode)).collect();
+            prop_assert_eq!(&got, expected);
+        }
+        // And the store's final view matches the model.
+        let final_view: Vec<String> = content.iter().map(|e| e.name.clone()).collect();
+        let model_view: Vec<String> = model.keys().cloned().collect();
+        prop_assert_eq!(final_view, model_view);
+    }
 }
