@@ -55,9 +55,22 @@ fn print_rows(title: &str, rows: &[Row], json: bool) {
     }
 }
 
-const EXPERIMENTS: [&str; 14] = [
-    "tab2", "fig2", "fig12a", "fig12b", "fig13", "fig14", "overflow", "fig15", "fig16", "fig17a",
-    "fig17b", "fig18", "fig19", "recovery",
+const EXPERIMENTS: [&str; 15] = [
+    "tab2",
+    "fig2",
+    "fig12a",
+    "fig12b",
+    "fig13",
+    "fig14",
+    "overflow",
+    "fig15",
+    "fig16",
+    "fig17a",
+    "fig17b",
+    "fig18",
+    "fig19",
+    "recovery",
+    "availability",
 ];
 
 fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row>)> {
@@ -109,6 +122,10 @@ fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row
         )),
         "fig19" => Some(("Fig. 19: end-to-end workloads", experiments::fig19(scale))),
         "recovery" => Some(("§7.7: crash recovery time", experiments::recovery(scale))),
+        "availability" => Some((
+            "§7.7: availability under a server crash (healthy / degraded / recovered)",
+            experiments::availability(scale),
+        )),
         _ => None,
     }
 }

@@ -449,6 +449,49 @@ pub fn fig19(scale: ExperimentScale) -> Vec<Row> {
     rows
 }
 
+/// §7.7-style availability figure: create throughput in three windows —
+/// healthy, with one metadata server crashed (requests to it time out and
+/// retry), and after its recovery — plus the recovery work itself. The dip
+/// and the post-recovery restoration are the availability story the chaos
+/// subsystem sweeps at scale.
+pub fn availability(scale: ExperimentScale) -> Vec<Row> {
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 8;
+    cfg.clients = 4;
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(64, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    // Preloads bypass the WAL; checkpoint so the crash below cannot erase
+    // the namespace the workload runs against.
+    cluster.checkpoint_all();
+    let mut builder = WorkloadBuilder::new(ns, 31);
+    let window_ops = scale.ops() / 2;
+
+    let healthy = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+    cluster.crash_server(0);
+    let degraded = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+    let report = cluster.recover_server(0);
+    let recovered = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+
+    vec![
+        Row::new("healthy")
+            .col("create Kops/s", healthy.kops)
+            .col("errors", healthy.errors as f64),
+        Row::new("one server down")
+            .col("create Kops/s", degraded.kops)
+            .col("errors", degraded.errors as f64),
+        Row::new("after recovery")
+            .col("create Kops/s", recovered.kops)
+            .col("errors", recovered.errors as f64),
+        Row::new("recovery work")
+            .col("WAL records replayed", report.wal_records_replayed as f64)
+            .col("inodes recovered", report.inodes_recovered as f64)
+            .col("virtual ms", report.duration_ns as f64 / 1e6),
+    ]
+}
+
 /// §7.7: crash-recovery time after a server failure and a switch failure.
 pub fn recovery(scale: ExperimentScale) -> Vec<Row> {
     let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);

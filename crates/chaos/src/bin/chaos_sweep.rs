@@ -1,0 +1,210 @@
+//! Multi-seed chaos sweep, used by the `chaos-smoke` CI job and for local
+//! soak runs.
+//!
+//! ```text
+//! cargo run --release -p switchfs-chaos --bin chaos-sweep -- \
+//!     [--seeds N] [--ops N] [--all-systems] [--replay-every N] [--artifact PATH]
+//! ```
+//!
+//! Runs `N` seeds × every plan kind (crash / partition / loss / combined),
+//! each with the consistency checker on. On the first failure the seed and
+//! the serialized fault plan are written to `PATH` (default
+//! `chaos-failure.json`) so the red run is reproducible with:
+//!
+//! ```text
+//! cargo run --release -p switchfs-chaos --bin chaos-sweep -- --repro PATH
+//! ```
+
+use serde::Deserialize;
+use switchfs_chaos::{run_chaos, verify_replay, ChaosConfig, FaultPlan, PlanKind};
+use switchfs_core::SystemKind;
+
+/// The failure-artifact schema (also what `--repro` reads back).
+#[derive(Debug, Deserialize)]
+struct Artifact {
+    system: String,
+    seed: u64,
+    kind: String,
+    servers: usize,
+    clients: usize,
+    ops_per_client: usize,
+    horizon_us: u64,
+}
+
+struct Args {
+    seeds: u64,
+    ops: usize,
+    all_systems: bool,
+    replay_every: u64,
+    artifact: String,
+    repro: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 20,
+        ops: 40,
+        all_systems: false,
+        replay_every: 5,
+        artifact: "chaos-failure.json".to_string(),
+        repro: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                args.seeds = argv[i].parse().expect("--seeds N");
+            }
+            "--ops" => {
+                i += 1;
+                args.ops = argv[i].parse().expect("--ops N");
+            }
+            "--all-systems" => args.all_systems = true,
+            "--replay-every" => {
+                i += 1;
+                args.replay_every = argv[i].parse().expect("--replay-every N");
+            }
+            "--artifact" => {
+                i += 1;
+                args.artifact = argv[i].clone();
+            }
+            "--repro" => {
+                i += 1;
+                args.repro = Some(argv[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// The artifact format: everything needed to re-run one failing scenario.
+fn failure_artifact(cfg: &ChaosConfig, plan: &FaultPlan, violations: &[String]) -> String {
+    let violations_json: Vec<serde_json::Value> = violations
+        .iter()
+        .map(|v| serde_json::Value::String(v.clone()))
+        .collect();
+    serde_json::json!({
+        "system": format!("{}", cfg.system),
+        "seed": cfg.seed,
+        "kind": plan.kind.label(),
+        "servers": cfg.servers,
+        "clients": cfg.clients,
+        "ops_per_client": cfg.ops_per_client,
+        "horizon_us": cfg.horizon_us,
+        "violations": violations_json,
+        "plan": serde_json::from_str::<serde_json::Value>(&plan.to_json())
+            .unwrap_or(serde_json::Value::Null),
+    })
+    .to_string()
+}
+
+fn run_one(cfg: ChaosConfig, check_replay: bool, artifact: &str) -> bool {
+    let label = format!("{} / {} / seed {}", cfg.system, cfg.kind.label(), cfg.seed);
+    let (report, replay_ok) = if check_replay {
+        verify_replay(cfg)
+    } else {
+        (run_chaos(cfg), true)
+    };
+    let mut ok = report.passed();
+    if !replay_ok {
+        eprintln!("FAIL {label}: same seed + plan did not replay bit-identically");
+        ok = false;
+    }
+    if !report.passed() {
+        eprintln!("FAIL {label}: {} violation(s)", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  - {v}");
+        }
+        let art = failure_artifact(&cfg, &report.plan, &report.violations);
+        if let Err(e) = std::fs::write(artifact, format!("{art}\n")) {
+            eprintln!("cannot write artifact {artifact}: {e}");
+        } else {
+            eprintln!("wrote failing seed + plan to {artifact}");
+        }
+    } else if ok {
+        let recovered: usize = report
+            .recoveries
+            .iter()
+            .map(|(_, r)| r.prepared_txns_recovered)
+            .sum();
+        println!(
+            "ok   {label}: {} ops ({} ok, {} ambiguous), {} recoveries, {} in-doubt txns resolved{}",
+            report.history.events.len(),
+            report.history.ok(),
+            report.history.ambiguous(),
+            report.recoveries.len(),
+            recovered,
+            if check_replay { ", replay verified" } else { "" },
+        );
+    }
+    ok
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.repro {
+        // Re-run one failing scenario from its artifact.
+        let text = std::fs::read_to_string(path).expect("readable artifact");
+        let doc: Artifact = serde_json::from_str(&text).expect("valid artifact JSON");
+        let kind = match doc.kind.as_str() {
+            "crash" => PlanKind::Crash,
+            "partition" => PlanKind::Partition,
+            "loss" => PlanKind::Loss,
+            _ => PlanKind::Combined,
+        };
+        let system = match doc.system.as_str() {
+            "SwitchFS" => SystemKind::SwitchFs,
+            "Emulated-InfiniFS" => SystemKind::EmulatedInfiniFs,
+            "Emulated-CFS" => SystemKind::EmulatedCfs,
+            "CephFS" => SystemKind::CephFsLike,
+            _ => SystemKind::IndexFsLike,
+        };
+        let cfg = ChaosConfig {
+            system,
+            seed: doc.seed,
+            kind,
+            servers: doc.servers,
+            clients: doc.clients,
+            ops_per_client: doc.ops_per_client,
+            horizon_us: doc.horizon_us,
+        };
+        let ok = run_one(cfg, true, "chaos-failure-repro.json");
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    let systems: Vec<SystemKind> = if args.all_systems {
+        SystemKind::all().to_vec()
+    } else {
+        vec![SystemKind::SwitchFs]
+    };
+    let mut failures = 0u64;
+    let mut runs = 0u64;
+    for system in &systems {
+        for kind in PlanKind::all() {
+            for seed in 0..args.seeds {
+                let mut cfg = ChaosConfig::new(*system, kind, seed);
+                cfg.ops_per_client = args.ops;
+                let check_replay = args.replay_every > 0 && seed % args.replay_every == 0;
+                runs += 1;
+                if !run_one(cfg, check_replay, &args.artifact) {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "chaos sweep: {runs} runs, {failures} failures ({} systems × {} kinds × {} seeds)",
+        systems.len(),
+        PlanKind::all().len(),
+        args.seeds
+    );
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,163 @@
+//! The nemesis: drives a [`FaultPlan`](crate::plan::FaultPlan) against a
+//! running deployment from inside the simulation.
+//!
+//! The nemesis runs as an ordinary simulated task alongside the workload
+//! clients: it sleeps to each event's virtual time and injects the fault
+//! through the same handles the cluster harness uses (crash/recover with
+//! `Server::recover`, switch reboot + re-aggregation, partition filters and
+//! loss windows on the `Network`, WAL slow-down on servers). Every recovery
+//! report is collected for the run report.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use switchfs_core::Cluster;
+use switchfs_proto::message::NetMsg;
+use switchfs_server::server::recovery::RecoveryReport;
+use switchfs_server::Server;
+use switchfs_simnet::{NetFaults, Network, NodeId, SimDuration, SimHandle, SimTime};
+
+use crate::plan::{Fault, FaultPlan};
+
+/// Everything the nemesis needs, captured from a [`Cluster`] *before* the
+/// simulation starts (the cluster itself cannot be borrowed into a spawned
+/// task).
+#[derive(Clone)]
+pub struct NemesisHandles {
+    /// Simulation handle (clock + sleep).
+    pub handle: SimHandle,
+    /// The network fabric.
+    pub network: Network<NetMsg>,
+    /// Every metadata server, by index.
+    pub servers: Vec<Server>,
+    /// The servers' network nodes, by index.
+    pub server_nodes: Vec<NodeId>,
+    /// The switch program, if the deployment has one (reboot hook).
+    pub switch: Option<SwitchHook>,
+}
+
+/// Reboot hook for the programmable switch.
+pub type SwitchHook = Rc<dyn Fn()>;
+
+impl NemesisHandles {
+    /// Captures the handles from a built cluster.
+    pub fn capture(cluster: &Cluster) -> NemesisHandles {
+        let servers: Vec<Server> = cluster.servers().to_vec();
+        let server_nodes: Vec<NodeId> = (0..servers.len())
+            .map(|i| cluster.server_node_id(i))
+            .collect();
+        let switch: Option<SwitchHook> = cluster.switch_program().map(|p| {
+            let p = p.clone();
+            Rc::new(move || p.borrow_mut().reboot()) as SwitchHook
+        });
+        NemesisHandles {
+            handle: cluster.sim.handle(),
+            network: cluster.network(),
+            servers,
+            server_nodes,
+            switch,
+        }
+    }
+}
+
+/// What the nemesis did, for the run report.
+#[derive(Debug, Default)]
+pub struct NemesisLog {
+    /// `(server index, report)` for every recovery the nemesis drove.
+    pub recoveries: Vec<(usize, RecoveryReport)>,
+    /// Number of switch reboots injected.
+    pub switch_reboots: usize,
+    /// Number of events applied in total.
+    pub events_applied: usize,
+}
+
+/// Runs the plan to completion. The future resolves once the last event has
+/// been applied and the plan's horizon has passed; by construction of
+/// [`FaultPlan::generate`](crate::plan::FaultPlan::generate) the cluster is
+/// healthy at that point.
+pub async fn run_nemesis(handles: NemesisHandles, plan: FaultPlan, log: Rc<RefCell<NemesisLog>>) {
+    let start = handles.handle.now();
+    for ev in &plan.events {
+        let deadline = start + SimDuration::micros(ev.at_us);
+        sleep_until(&handles.handle, deadline).await;
+        apply_fault(&handles, &ev.fault, &log).await;
+        log.borrow_mut().events_applied += 1;
+    }
+    sleep_until(
+        &handles.handle,
+        start + SimDuration::micros(plan.horizon_us),
+    )
+    .await;
+}
+
+async fn sleep_until(handle: &SimHandle, deadline: SimTime) {
+    let now = handle.now();
+    if deadline > now {
+        handle.sleep(deadline.duration_since(now)).await;
+    }
+}
+
+async fn apply_fault(handles: &NemesisHandles, fault: &Fault, log: &Rc<RefCell<NemesisLog>>) {
+    match fault {
+        Fault::CrashServer { server } => {
+            handles.servers[*server].crash();
+            handles
+                .network
+                .set_node_down(handles.server_nodes[*server], true);
+        }
+        Fault::RecoverServer { server } => {
+            handles
+                .network
+                .set_node_down(handles.server_nodes[*server], false);
+            let report = handles.servers[*server].recover().await;
+            log.borrow_mut().recoveries.push((*server, report));
+        }
+        Fault::RebootSwitch => {
+            if let Some(reboot) = &handles.switch {
+                reboot();
+                // §5.4.2: every server re-aggregates the directories it owns
+                // so the (now empty) dirty set is consistent again. The
+                // stop-the-world pause mirrors `crash_and_recover_switch`.
+                for s in &handles.servers {
+                    if !s.is_crashed() {
+                        s.set_unavailable();
+                    }
+                }
+                for s in &handles.servers {
+                    if !s.is_crashed() {
+                        s.aggregate_all_owned().await;
+                    }
+                }
+                for s in &handles.servers {
+                    if !s.is_crashed() {
+                        s.set_available(true);
+                    }
+                }
+                log.borrow_mut().switch_reboots += 1;
+            }
+        }
+        Fault::Partition { isolated } => {
+            let groups = isolated.iter().map(|i| (handles.server_nodes[*i], 1u32));
+            handles.network.set_partition(groups);
+        }
+        Fault::HealPartition => handles.network.heal_partition(),
+        Fault::SetLoss {
+            drop_pm,
+            dup_pm,
+            jitter_us,
+        } => {
+            handles.network.set_faults(NetFaults::lossy(
+                *drop_pm as f64 / 1000.0,
+                *dup_pm as f64 / 1000.0,
+                SimDuration::micros(*jitter_us),
+            ));
+        }
+        Fault::ClearLoss => handles.network.set_faults(NetFaults::reliable()),
+        Fault::DiskSpike { server, mult } => {
+            handles.servers[*server].set_disk_slowdown(*mult);
+        }
+        Fault::ClearDiskSpike { server } => {
+            handles.servers[*server].set_disk_slowdown(1);
+        }
+    }
+}

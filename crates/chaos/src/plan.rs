@@ -1,0 +1,345 @@
+//! Seed-driven fault plans.
+//!
+//! A [`FaultPlan`] is a finite, fully materialized schedule of fault events
+//! against a running deployment: server crashes and recoveries, switch
+//! reboots, network partitions, packet loss/duplication/reorder windows and
+//! disk-latency spikes. Plans are *generated* from a seed — the same seed
+//! always produces the same plan — and *serializable*, so a failing sweep
+//! run can ship its exact plan as a one-command-reproducible artifact
+//! (Jepsen-style nemesis schedules, but on the deterministic simulator).
+//!
+//! Invariants every generated plan upholds:
+//!
+//! * events are sorted by time and fit inside the plan's horizon;
+//! * every fault is eventually healed: crashed servers recover, partitions
+//!   heal, loss windows close, disk spikes clear — the run always ends on a
+//!   healthy cluster, so the final consistency check probes settled state;
+//! * at most one server is down at a time (single-failure assumption of
+//!   §5.4.2), and the fault generator never crashes a server while another
+//!   is still partitioned away.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The fault families a plan can be generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// Server crash/recover cycles plus occasional switch reboots.
+    Crash,
+    /// Network partitions isolating one metadata server at a time.
+    Partition,
+    /// Packet loss / duplication / reordering windows.
+    Loss,
+    /// Everything at once, plus disk-latency spikes.
+    Combined,
+}
+
+impl PlanKind {
+    /// All plan kinds, in sweep order.
+    pub fn all() -> [PlanKind; 4] {
+        [
+            PlanKind::Crash,
+            PlanKind::Partition,
+            PlanKind::Loss,
+            PlanKind::Combined,
+        ]
+    }
+
+    /// Stable label used in reports and artifact names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::Crash => "crash",
+            PlanKind::Partition => "partition",
+            PlanKind::Loss => "loss",
+            PlanKind::Combined => "combined",
+        }
+    }
+
+    fn salt(&self) -> u64 {
+        match self {
+            PlanKind::Crash => 0x6372_6173,
+            PlanKind::Partition => 0x7061_7274,
+            PlanKind::Loss => 0x6c6f_7373,
+            PlanKind::Combined => 0x636f_6d62,
+        }
+    }
+}
+
+/// One fault to inject. Times live on the enclosing [`FaultEvent`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Crash metadata server `server`: volatile state lost, traffic dropped.
+    CrashServer {
+        /// Index of the server.
+        server: usize,
+    },
+    /// Bring metadata server `server` back and run `Server::recover`.
+    RecoverServer {
+        /// Index of the server.
+        server: usize,
+    },
+    /// Reboot the programmable switch: all in-network state is lost and
+    /// every server re-aggregates the directories it owns (§5.4.2).
+    RebootSwitch,
+    /// Partition the listed servers away from the rest of the cluster
+    /// (clients and the coordinator stay with the majority side).
+    Partition {
+        /// Indexes of the isolated servers.
+        isolated: Vec<usize>,
+    },
+    /// Heal any active partition.
+    HealPartition,
+    /// Open a packet loss/duplication/reorder window. Probabilities are in
+    /// per-mille so the plan serializes exactly (no floats).
+    SetLoss {
+        /// Drop probability, ‰.
+        drop_pm: u32,
+        /// Duplication probability, ‰.
+        dup_pm: u32,
+        /// Max reorder jitter, µs.
+        jitter_us: u64,
+    },
+    /// Close the loss window (restore a reliable fabric).
+    ClearLoss,
+    /// Multiply WAL-append latency on `server` (disk-latency spike).
+    DiskSpike {
+        /// Index of the server.
+        server: usize,
+        /// Slow-down multiplier.
+        mult: u64,
+    },
+    /// Clear a disk-latency spike.
+    ClearDiskSpike {
+        /// Index of the server.
+        server: usize,
+    },
+}
+
+/// A fault scheduled at a virtual-time offset from the start of the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual microseconds after the workload starts.
+    pub at_us: u64,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+/// A complete, reproducible fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The family this plan was generated from.
+    pub kind: PlanKind,
+    /// The generation seed (same seed + kind + shape ⇒ same plan).
+    pub seed: u64,
+    /// Number of metadata servers the plan was generated for.
+    pub servers: usize,
+    /// Virtual microseconds the fault window spans; all events fit inside.
+    pub horizon_us: u64,
+    /// The schedule, sorted by `at_us`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `(kind, seed)` against a `servers`-server
+    /// deployment, with all faults inside `horizon_us`.
+    pub fn generate(kind: PlanKind, seed: u64, servers: usize, horizon_us: u64) -> FaultPlan {
+        assert!(servers >= 2, "chaos needs at least two servers");
+        let mut rng = StdRng::seed_from_u64(seed ^ kind.salt());
+        let mut events = Vec::new();
+        // Leave the last fifth of the horizon fault-free so the cluster is
+        // healthy and settled when the run ends.
+        let active = horizon_us * 4 / 5;
+        match kind {
+            PlanKind::Crash => {
+                Self::gen_crashes(&mut rng, &mut events, servers, active);
+                if rng.gen_bool(0.5) {
+                    events.push(FaultEvent {
+                        at_us: rng.gen_range(active / 2..active),
+                        fault: Fault::RebootSwitch,
+                    });
+                }
+            }
+            PlanKind::Partition => Self::gen_partitions(&mut rng, &mut events, servers, active),
+            PlanKind::Loss => Self::gen_loss(&mut rng, &mut events, active),
+            PlanKind::Combined => {
+                Self::gen_crashes(&mut rng, &mut events, servers, active / 2);
+                Self::gen_partitions_window(&mut rng, &mut events, servers, active / 2, active);
+                Self::gen_loss(&mut rng, &mut events, active);
+                let victim = rng.gen_range(0..servers);
+                let start = rng.gen_range(0..active / 2);
+                let end = rng.gen_range(start + 1..=active);
+                events.push(FaultEvent {
+                    at_us: start,
+                    fault: Fault::DiskSpike {
+                        server: victim,
+                        mult: rng.gen_range(4..32),
+                    },
+                });
+                events.push(FaultEvent {
+                    at_us: end,
+                    fault: Fault::ClearDiskSpike { server: victim },
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at_us);
+        FaultPlan {
+            kind,
+            seed,
+            servers,
+            horizon_us,
+            events,
+        }
+    }
+
+    /// 1–3 sequential crash→recover cycles (one server down at a time).
+    fn gen_crashes(rng: &mut StdRng, events: &mut Vec<FaultEvent>, servers: usize, active: u64) {
+        let cycles = rng.gen_range(1..=3u32);
+        let slot = active / cycles as u64;
+        for c in 0..cycles as u64 {
+            let lo = c * slot;
+            let crash_at = lo + rng.gen_range(0..slot / 3);
+            let recover_at = crash_at + rng.gen_range(slot / 4..slot / 2);
+            let server = rng.gen_range(0..servers);
+            events.push(FaultEvent {
+                at_us: crash_at,
+                fault: Fault::CrashServer { server },
+            });
+            events.push(FaultEvent {
+                at_us: recover_at.min(lo + slot - 1),
+                fault: Fault::RecoverServer { server },
+            });
+        }
+    }
+
+    /// 1–2 partition windows isolating a single server.
+    fn gen_partitions(rng: &mut StdRng, events: &mut Vec<FaultEvent>, servers: usize, active: u64) {
+        let windows = rng.gen_range(1..=2u32);
+        let slot = active / windows as u64;
+        for w in 0..windows as u64 {
+            Self::gen_partitions_window(rng, events, servers, w * slot, (w + 1) * slot);
+        }
+    }
+
+    fn gen_partitions_window(
+        rng: &mut StdRng,
+        events: &mut Vec<FaultEvent>,
+        servers: usize,
+        lo: u64,
+        hi: u64,
+    ) {
+        let span = hi - lo;
+        let start = lo + rng.gen_range(0..span / 3);
+        let end = start + rng.gen_range(span / 4..span / 2);
+        let isolated = vec![rng.gen_range(0..servers)];
+        events.push(FaultEvent {
+            at_us: start,
+            fault: Fault::Partition { isolated },
+        });
+        events.push(FaultEvent {
+            at_us: end.min(hi - 1),
+            fault: Fault::HealPartition,
+        });
+    }
+
+    /// 1–2 loss windows with bounded drop/dup/jitter.
+    fn gen_loss(rng: &mut StdRng, events: &mut Vec<FaultEvent>, active: u64) {
+        let windows = rng.gen_range(1..=2u32);
+        let slot = active / windows as u64;
+        for w in 0..windows as u64 {
+            let lo = w * slot;
+            let start = lo + rng.gen_range(0..slot / 3);
+            let end = start + rng.gen_range(slot / 4..slot / 2);
+            events.push(FaultEvent {
+                at_us: start,
+                fault: Fault::SetLoss {
+                    drop_pm: rng.gen_range(10..150),
+                    dup_pm: rng.gen_range(0..80),
+                    jitter_us: rng.gen_range(0..20),
+                },
+            });
+            events.push(FaultEvent {
+                at_us: end.min(lo + slot - 1),
+                fault: Fault::ClearLoss,
+            });
+        }
+    }
+
+    /// Serializes the plan (artifact format for failing sweep runs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("FaultPlan serializes infallibly")
+    }
+
+    /// Parses a plan serialized by [`FaultPlan::to_json`].
+    pub fn from_json(s: &str) -> Result<FaultPlan, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid fault plan: {e:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for kind in PlanKind::all() {
+            let a = FaultPlan::generate(kind, 7, 4, 80_000);
+            let b = FaultPlan::generate(kind, 7, 4, 80_000);
+            assert_eq!(a, b);
+            let c = FaultPlan::generate(kind, 8, 4, 80_000);
+            assert_ne!(a.events, c.events, "{kind:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn plans_are_sorted_healed_and_inside_the_horizon() {
+        for kind in PlanKind::all() {
+            for seed in 0..50 {
+                let plan = FaultPlan::generate(kind, seed, 4, 80_000);
+                assert!(!plan.events.is_empty());
+                assert!(plan.events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+                assert!(plan.events.iter().all(|e| e.at_us < plan.horizon_us));
+                // Every fault heals: count pairs.
+                let mut down: Vec<usize> = Vec::new();
+                let mut partitioned = false;
+                let mut lossy = false;
+                let mut spiked: Vec<usize> = Vec::new();
+                for e in &plan.events {
+                    match &e.fault {
+                        Fault::CrashServer { server } => {
+                            assert!(down.is_empty(), "single-failure assumption");
+                            down.push(*server);
+                        }
+                        Fault::RecoverServer { server } => {
+                            assert_eq!(down.pop(), Some(*server));
+                        }
+                        Fault::Partition { .. } => partitioned = true,
+                        Fault::HealPartition => partitioned = false,
+                        Fault::SetLoss { drop_pm, .. } => {
+                            assert!(*drop_pm < 500, "drop must stay survivable");
+                            lossy = true;
+                        }
+                        Fault::ClearLoss => lossy = false,
+                        Fault::DiskSpike { server, .. } => spiked.push(*server),
+                        Fault::ClearDiskSpike { server } => {
+                            assert_eq!(spiked.pop(), Some(*server));
+                        }
+                        Fault::RebootSwitch => {}
+                    }
+                }
+                assert!(down.is_empty(), "{kind:?}/{seed}: unrecovered crash");
+                assert!(!partitioned, "{kind:?}/{seed}: unhealed partition");
+                assert!(!lossy, "{kind:?}/{seed}: unclosed loss window");
+                assert!(spiked.is_empty(), "{kind:?}/{seed}: uncleared disk spike");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_roundtrip_through_json() {
+        let plan = FaultPlan::generate(PlanKind::Combined, 42, 8, 100_000);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+        assert!(FaultPlan::from_json("not json").is_err());
+    }
+}

@@ -262,33 +262,26 @@ impl LibFs {
         }
     }
 
-    /// One rename attempt: probe the source's type (routing needs it),
-    /// resolve both paths, run the transaction. The destination is NOT
-    /// probed: its owner re-checks authoritatively at prepare time and a
-    /// conflict comes back as a typed `RenameDstExists` reject, saving up to
-    /// two round-trips per rename.
+    /// One rename attempt: resolve both paths and run the transaction. The
+    /// client probes NEITHER end of the rename:
+    ///
+    /// * the destination's owner re-checks authoritatively at prepare time
+    ///   and a conflict comes back as a typed `RenameDstExists` reject;
+    /// * the source's type (which decides the coordinating server under
+    ///   per-file hashing) is taken from the cache when present; on a cold
+    ///   cache the request goes to the source's per-file-hash owner, which
+    ///   re-routes a directory rename to the fingerprint-group owner
+    ///   server-side — half a server-to-server trip instead of the up to two
+    ///   client probe RTTs this path used to pay.
     async fn try_rename(&self, src_path: &str, dst_path: &str) -> FsResult<()> {
-        // The router needs the source's type: directory inodes live with
-        // their fingerprint group, file inodes with their per-file hash, so
-        // the transaction coordinator differs. Use cached attributes when
-        // present; otherwise probe as a file first (the common case; under
-        // grouping placement it also answers for directories), then as a
-        // directory.
+        // POSIX: renaming a path onto itself succeeds as a no-op (the server
+        // re-checks existence; a missing source still fails with NotFound).
         let cached = self
             .cache
             .borrow_mut()
             .get(src_path)
             .and_then(|c| c.attrs.clone());
-        let src_attrs = match cached {
-            Some(a) => a,
-            None => match self.stat(src_path).await {
-                Ok(a) => a,
-                Err(FsError::NotFound) => self.statdir(src_path).await?,
-                Err(e) => return Err(e),
-            },
-        };
-        // POSIX: renaming an existing path onto itself succeeds as a no-op.
-        if src_path == dst_path {
+        if src_path == dst_path && cached.is_some() {
             return Ok(());
         }
         let src_res = self.resolve(src_path, false).await?;
@@ -300,9 +293,7 @@ impl LibFs {
         };
         let mut ancestors = src_res.ancestors;
         ancestors.extend(dst_res.ancestors.iter().copied());
-        let result = self
-            .issue(op, src_res.parent, ancestors, Some(src_attrs))
-            .await?;
+        let result = self.issue(op, src_res.parent, ancestors, cached).await?;
         self.cache.borrow_mut().invalidate_subtree(src_path);
         self.cache.borrow_mut().invalidate_path(dst_path);
         // The destination may overwrite an existing *file* (POSIX rename

@@ -77,7 +77,11 @@ impl RequestRouter for SwitchFsRouter {
             // Rename is coordinated by the source inode's owner: the
             // fingerprint-group owner when the source is a directory
             // (directory inodes live with their fingerprint group, like
-            // `mkdir` placed them), the per-file-hash owner otherwise.
+            // `mkdir` placed them), the per-file-hash owner otherwise. The
+            // source's type comes from the client cache when present; on a
+            // cold cache the request defaults to the per-file-hash owner,
+            // which re-routes a directory rename to the group owner
+            // server-side — the client never probes.
             MetaOp::Rename { src, .. } if target.is_some_and(InodeAttrs::is_dir) => {
                 let fp = Fingerprint::of_dir(&src.pid, &src.name);
                 self.placement.dir_owner_by_fp(fp)
@@ -91,8 +95,11 @@ impl RequestRouter for SwitchFsRouter {
         self.dirty_query_in_packet && op.is_dir_read()
     }
 
-    fn needs_target_resolution(&self, op: &MetaOp) -> bool {
-        matches!(op, MetaOp::Rename { .. })
+    fn needs_target_resolution(&self, _op: &MetaOp) -> bool {
+        // Not even for rename: a cold-cache rename routes to the per-file
+        // hash owner and is re-routed server-side when the source turns out
+        // to be a directory.
+        false
     }
 
     fn num_servers(&self) -> usize {

@@ -20,10 +20,10 @@ use crate::coordinator::Coordinator;
 use crate::switch_adapter::SwitchAdapter;
 
 /// Node-id layout of a deployment.
-fn server_node(i: usize) -> NodeId {
+pub(crate) fn server_node(i: usize) -> NodeId {
     NodeId(i as u32)
 }
-fn client_node(i: usize) -> NodeId {
+pub(crate) fn client_node(i: usize) -> NodeId {
     NodeId(1000 + i as u32)
 }
 const COORDINATOR_NODE: NodeId = NodeId(900);
@@ -212,9 +212,37 @@ impl Cluster {
         self.durables[i].clone()
     }
 
+    /// The simulated network fabric (cheap clone of the shared handle); the
+    /// chaos nemesis uses it to partition links and tune loss/duplication.
+    pub fn network(&self) -> Network<NetMsg> {
+        self.network.clone()
+    }
+
+    /// The cluster's placement, shared with servers and routers; lets tests
+    /// and the chaos harness reason about which server owns a key.
+    pub fn placement(&self) -> Rc<HashPlacement> {
+        self.placement.clone()
+    }
+
+    /// The network node hosting metadata server `i`.
+    pub fn server_node_id(&self, i: usize) -> NodeId {
+        server_node(i)
+    }
+
+    /// The network node hosting client `i`.
+    pub fn client_node_id(&self, i: usize) -> NodeId {
+        client_node(i)
+    }
+
     /// Counters of the programmable switch, if one is deployed.
     pub fn switch_stats(&self) -> Option<SwitchStats> {
         self.switch.as_ref().map(|s| s.borrow().stats())
+    }
+
+    /// The programmable switch program itself, if one is deployed (the chaos
+    /// nemesis reboots it from inside the simulation).
+    pub fn switch_program(&self) -> Option<Rc<RefCell<SwitchFsProgram>>> {
+        self.switch.clone()
     }
 
     /// Number of fingerprints currently tracked by the switch.
@@ -369,6 +397,16 @@ impl Cluster {
         self.servers[content_owner.0 as usize].preload_dir_size(&dir_key, count as u64);
     }
 
+    /// Checkpoints every server's volatile state into its durable bundle.
+    /// Call after preloading a namespace that must survive injected crashes:
+    /// preloads bypass the protocol (and therefore the WAL), so without a
+    /// checkpoint a recovery rebuilds a world without them.
+    pub fn checkpoint_all(&self) {
+        for s in &self.servers {
+            s.checkpoint();
+        }
+    }
+
     // ------------------------------------------------------------------
     // Fault orchestration (§5.4, §7.7).
     // ------------------------------------------------------------------
@@ -382,9 +420,27 @@ impl Cluster {
 
     /// Recovers metadata server `i` and returns the recovery report.
     pub fn recover_server(&self, i: usize) -> RecoveryReport {
-        self.network.set_node_down(server_node(i), false);
-        let server = self.servers[i].clone();
+        let server = self.mark_server_up(i);
         self.block_on(async move { server.recover().await })
+    }
+
+    /// Brings server `i`'s network node back up and returns the server so an
+    /// already-running async task (the chaos nemesis) can drive
+    /// `Server::recover` itself instead of re-entering the simulation via
+    /// [`Cluster::block_on`].
+    pub fn mark_server_up(&self, i: usize) -> Server {
+        self.network.set_node_down(server_node(i), false);
+        self.servers[i].clone()
+    }
+
+    /// Clears all in-network state (a switch reboot) without running the
+    /// recovery protocol; the caller is responsible for re-aggregating every
+    /// owned directory (see [`Cluster::crash_and_recover_switch`] for the
+    /// blocking variant).
+    pub fn reboot_switch(&self) {
+        if let Some(s) = &self.switch {
+            s.borrow_mut().reboot();
+        }
     }
 
     /// Reboots the programmable switch: all in-network state is lost, every
@@ -392,9 +448,7 @@ impl Cluster {
     /// to a consistent state (§5.4.2). Returns the virtual time the recovery
     /// took.
     pub fn crash_and_recover_switch(&self) -> SimDuration {
-        if let Some(s) = &self.switch {
-            s.borrow_mut().reboot();
-        }
+        self.reboot_switch();
         let servers = self.servers.clone();
         let start = self.sim.now();
         self.block_on(async move {

@@ -96,8 +96,11 @@ impl CompactedChanges {
         let mut out = CompactedChanges::default();
         // Net effect per name: we walk the FIFO and fold insert/remove pairs.
         // `entry_ops` keeps the last surviving op per name in FIFO position.
-        let mut last_op_index: std::collections::HashMap<&str, usize> =
-            std::collections::HashMap::new();
+        // Ordered map, not a std `HashMap`: this is lookup-only today, but
+        // keeping RandomState out of the aggregation path entirely is what
+        // makes the cross-process determinism guarantee auditable.
+        let mut last_op_index: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
         let mut ops: Vec<Option<(String, ChangeOp)>> = Vec::new();
         for e in entries {
             out.size_delta += e.size_delta;

@@ -421,6 +421,41 @@ pub enum ServerMsg {
         /// Transaction id.
         txn_id: u64,
     },
+    /// Recovery-time decision query (§5.4.2): a participant that crashed
+    /// between prepare and decision asks the transaction's coordinator what
+    /// became of it. The coordinator durably logs commit decisions before
+    /// broadcasting them, so the answer is authoritative; a transaction the
+    /// coordinator has no commit record of is presumed aborted.
+    TxnDecisionQuery {
+        /// Request token for matching the reply.
+        req_id: u64,
+        /// Transaction id being queried.
+        txn_id: u64,
+        /// The querying (recovering) participant.
+        from: ServerId,
+    },
+    /// Reply to a [`ServerMsg::TxnDecisionQuery`].
+    TxnDecisionReply {
+        /// Token copied from the query.
+        req_id: u64,
+        /// `Some(true)` committed, `Some(false)` aborted (or presumed
+        /// aborted), `None` still in the voting phase — the participant must
+        /// keep its prepared state and ask again.
+        commit: Option<bool>,
+    },
+    /// A client request re-routed between servers. Used by `rename` on a
+    /// cold client cache: the client sends the request to the source's
+    /// per-file-hash owner without probing the source's type; if the source
+    /// turns out to be a directory (whose inode lives with its fingerprint
+    /// group), the first server forwards the request to the group owner,
+    /// which coordinates the transaction and replies to the client directly.
+    ForwardedRequest {
+        /// Raw node id of the client awaiting the response.
+        client_node: u32,
+        /// The original request, unchanged (same op id, so duplicate
+        /// suppression works across the forward).
+        req: Rc<ClientRequest>,
+    },
     /// Broadcast appending a removed / renamed / re-permissioned directory
     /// to every server's invalidation list (§5.2, invalidation list).
     InvalidationBroadcast {

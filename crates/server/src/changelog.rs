@@ -6,10 +6,10 @@
 //! MTU-based proactive push) and the time of the last append (for the
 //! idle-push timer).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use switchfs_proto::{ChangeLogEntry, DirId, Fingerprint, MetaKey, OpId};
-use switchfs_simnet::{FxHashMap, SimTime};
+use switchfs_simnet::{FxHashMap, FxHashSet, SimTime};
 
 /// The change-log of one directory on one server.
 #[derive(Debug, Clone)]
@@ -76,7 +76,7 @@ impl ChangeLog {
 
     /// Removes the entries whose ids appear in `applied` (after an
     /// aggregation ack or a push ack) and returns how many were removed.
-    pub fn discard_applied(&mut self, applied: &HashSet<OpId>) -> usize {
+    pub fn discard_applied(&mut self, applied: &FxHashSet<OpId>) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| !applied.contains(&e.entry_id));
         self.pending_bytes = self.entries.iter().map(|e| e.wire_size()).sum();
@@ -161,7 +161,11 @@ impl ChangeLogStore {
 
     /// Removes applied entries from every log in the group and drops logs
     /// that became empty. Returns the number of removed entries.
-    pub fn discard_applied_in_group(&mut self, fp: Fingerprint, applied: &HashSet<OpId>) -> usize {
+    pub fn discard_applied_in_group(
+        &mut self,
+        fp: Fingerprint,
+        applied: &FxHashSet<OpId>,
+    ) -> usize {
         let mut removed = 0;
         let dirs = self.dirs_in_group(fp);
         for dir in dirs {
@@ -256,7 +260,7 @@ mod tests {
         for i in 0..5 {
             log.append(entry(&format!("f{i}"), i), SimTime::ZERO);
         }
-        let applied: HashSet<OpId> = [1u64, 3]
+        let applied: FxHashSet<OpId> = [1u64, 3]
             .iter()
             .map(|&s| OpId {
                 client: ClientId(1),
@@ -324,7 +328,7 @@ mod tests {
             entry("x", 1),
             SimTime::ZERO,
         );
-        let applied: HashSet<OpId> = [OpId {
+        let applied: FxHashSet<OpId> = [OpId {
             client: ClientId(1),
             seq: 1,
         }]

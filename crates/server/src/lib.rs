@@ -34,4 +34,4 @@ pub use config::{ProactiveConfig, ServerConfig, TrackingMode, UpdateMode};
 pub use costs::CostModel;
 pub use locks::LockManager;
 pub use server::{DirContent, Server, ServerStats};
-pub use wal::{DurableState, KvEffect, WalOp};
+pub use wal::{DurableState, KvEffect, TxnMarker, WalOp};

@@ -17,7 +17,6 @@ pub mod recovery;
 pub mod rename;
 
 use std::cell::RefCell;
-use std::collections::HashSet;
 
 use std::rc::Rc;
 use switchfs_simnet::{FxHashMap, FxHashSet};
@@ -94,6 +93,10 @@ pub(crate) enum TokenReply {
     VoteRejected(Option<FileType>),
     /// A type probe's answer: the type of the inode under the probed key.
     Type(Option<FileType>),
+    /// A recovery-time decision query's answer: `Some(commit)` once the
+    /// coordinator knows the outcome, `None` while the transaction is still
+    /// in its voting phase (ask again later).
+    Decision(Option<bool>),
 }
 
 /// One directory's entry list: a name-ordered map for O(log n) mutation
@@ -157,9 +160,12 @@ impl DirContent {
     }
 }
 
-/// Collector for an aggregation this server owns.
+/// Collector for an aggregation this server owns. The expected set uses the
+/// deterministic hasher like every other aggregation-path structure: no
+/// std-`RandomState` may influence (even only potentially) the replayable
+/// schedule.
 pub(crate) struct AggCollector {
-    pub expected: HashSet<ServerId>,
+    pub expected: FxHashSet<ServerId>,
     pub entries: Vec<ChangeLogEntry>,
     pub done: Option<oneshot::Sender<Vec<ChangeLogEntry>>>,
 }
@@ -209,7 +215,25 @@ pub(crate) struct ServerInner {
     /// Remote-side aggregation lock holders waiting for the owner's ack.
     pub pending_agg_acks: FxHashMap<u64, oneshot::Sender<()>>,
     /// Rename transactions prepared on this participant, awaiting a decision.
+    /// Durable: every entry has a matching WAL `TxnMarker::Prepared` record
+    /// (cleared by `TxnMarker::Resolved`), so a crash between prepare and
+    /// decision leaves an in-doubt transaction that recovery resolves by
+    /// re-querying the coordinator instead of silently dropping it.
     pub prepared_txns: FxHashMap<u64, crate::server::rename::PreparedTxn>,
+    /// Commit decisions this server made as a rename coordinator, rebuilt
+    /// from WAL `TxnMarker::Decided` records; answers recovery-time decision
+    /// queries (absent = presumed abort).
+    pub decided_txns: FxHashMap<u64, bool>,
+    /// Transactions this server currently coordinates whose outcome is not
+    /// yet decided: a decision query for one of these gets "undecided, ask
+    /// again" rather than a premature presumed-abort.
+    pub active_txns: FxHashSet<u64>,
+    /// Prepared transactions currently being resolved by a decision query
+    /// (recovery or the background sweep); prevents duplicate resolutions.
+    pub resolving_txns: FxHashSet<u64>,
+    /// WAL-append slow-down multiplier (chaos disk-latency spikes; 1 = no
+    /// spike).
+    pub disk_slowdown: u64,
     /// Coordinator-side routing of transaction votes to waiting tokens,
     /// keyed by `(txn_id, participant)` so a duplicated vote from one
     /// participant cannot be credited to another (§5.4.1).
@@ -257,6 +281,10 @@ impl ServerInner {
             pending_aggs: FxHashMap::default(),
             pending_agg_acks: FxHashMap::default(),
             prepared_txns: FxHashMap::default(),
+            decided_txns: FxHashMap::default(),
+            active_txns: FxHashSet::default(),
+            resolving_txns: FxHashSet::default(),
+            disk_slowdown: 1,
             txn_vote_tokens: FxHashMap::default(),
             txn_ack_tokens: FxHashMap::default(),
             committed_txns: FxHashSet::default(),
@@ -386,6 +414,18 @@ impl Server {
         self.inner.borrow().inodes.len()
     }
 
+    /// Number of prepared-but-undecided transactions staged on this server
+    /// (test/chaos observability).
+    pub fn prepared_txn_count(&self) -> usize {
+        self.inner.borrow().prepared_txns.len()
+    }
+
+    /// Sets the WAL-append slow-down multiplier (chaos disk-latency spikes;
+    /// 1 restores normal speed).
+    pub fn set_disk_slowdown(&self, mult: u64) {
+        self.inner.borrow_mut().disk_slowdown = mult.max(1);
+    }
+
     /// Looks up an inode directly (test/verification helper; does not charge
     /// simulated cost).
     pub fn peek_inode(&self, key: &MetaKey) -> Option<InodeAttrs> {
@@ -463,16 +503,23 @@ impl Server {
             self.send_plain(client_node, Body::Response(resp));
             return;
         }
+        if self.inner.borrow().in_flight_ops.contains(&req.op_id) {
+            // Already executing (a retransmission raced a slow operation,
+            // e.g. the rename 2PC): drop it; the client keeps re-asking and
+            // gets the cached response once the first execution replies.
+            // Checked BEFORE the availability gate: a stop-the-world window
+            // (switch-reboot re-aggregation, §5.5) does not kill in-flight
+            // handlers, and answering their retransmissions with
+            // `Unavailable` would tell the client "nothing happened" about
+            // an operation that is still happening (the chaos checker flags
+            // the resulting phantom mutation).
+            return;
+        }
         if self.inner.borrow().unavailable {
             self.reply(client_node, req.op_id, OpResult::Err(FsError::Unavailable));
             return;
         }
-        if !self.inner.borrow_mut().in_flight_ops.insert(req.op_id) {
-            // Already executing (a retransmission raced a slow operation,
-            // e.g. the rename 2PC): drop it; the client keeps re-asking and
-            // gets the cached response once the first execution replies.
-            return;
-        }
+        self.inner.borrow_mut().in_flight_ops.insert(req.op_id);
         // The rarely-taken handlers with huge state machines (rename's 2PC,
         // rmdir's aggregation) are boxed so the per-packet dispatch future —
         // whose size is the MAX over these branches and which is copied into
@@ -485,7 +532,7 @@ impl Server {
             MetaOp::Statdir { .. } | MetaOp::Readdir { .. } => {
                 Some(Box::pin(self.handle_dir_read(&req, dirty_ret)).await)
             }
-            MetaOp::Rename { .. } => Some(Box::pin(self.handle_rename(&req)).await),
+            MetaOp::Rename { .. } => Box::pin(self.handle_rename(client_node, &req)).await,
             _ => Some(self.handle_single_inode(&req).await),
         };
         self.inner.borrow_mut().in_flight_ops.remove(&req.op_id);
@@ -612,6 +659,24 @@ impl Server {
                         from: self.cfg.id,
                     }),
                 );
+            }
+            ServerMsg::TxnDecisionQuery {
+                req_id,
+                txn_id,
+                from,
+            } => {
+                self.handle_txn_decision_query(req_id, txn_id, from).await;
+            }
+            ServerMsg::TxnDecisionReply { req_id, commit } => {
+                self.complete_token(req_id, TokenReply::Decision(commit));
+            }
+            ServerMsg::ForwardedRequest { client_node, req } => {
+                // A rename re-routed by the source's per-file-hash owner:
+                // handle it as if the client had sent it here, replying to
+                // the client directly. Duplicate suppression keys on the
+                // unchanged op id, so client retransmissions (which are
+                // forwarded again) collapse onto one execution.
+                Box::pin(self.handle_client_request(NodeId(client_node), req, dirty_ret)).await;
             }
             ServerMsg::RecoveryCloneInvalidation { from } => {
                 let list: Vec<(DirId, MetaKey)> = self
@@ -872,12 +937,13 @@ impl Server {
     ) -> u64 {
         let costs = self.cfg.costs;
         let kv_cost = costs.kv_put * effects.len().max(1) as u64;
-        self.cpu.run(costs.wal_append + kv_cost).await;
+        self.cpu.run(self.wal_append_cost() + kv_cost).await;
         let record = WalOp {
             op_id,
             effects,
             pending_entry,
             applied_entry_ids,
+            txn_marker: None,
         };
         let size = record.wire_size();
         // Apply to the volatile stores from the borrowed record, then move
@@ -893,6 +959,21 @@ impl Server {
                 inner.applied_entry_ids.insert(*id);
             }
         }
+        self.durable.borrow_mut().wal.append_sized(record, size)
+    }
+
+    /// The effective cost of one WAL append, including any chaos-injected
+    /// disk-latency spike.
+    pub(crate) fn wal_append_cost(&self) -> switchfs_simnet::SimDuration {
+        self.cfg.costs.wal_append * self.inner.borrow().disk_slowdown
+    }
+
+    /// Durably logs a 2PC state transition (§5.4.2) and charges one WAL
+    /// append.
+    pub(crate) async fn log_txn_marker(&self, marker: crate::wal::TxnMarker) -> u64 {
+        self.cpu.run(self.wal_append_cost()).await;
+        let record = WalOp::txn(marker);
+        let size = record.wire_size();
         self.durable.borrow_mut().wal.append_sized(record, size)
     }
 

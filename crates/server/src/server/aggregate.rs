@@ -1,7 +1,11 @@
 //! Directory reads, metadata aggregation, change-log compaction and the
 //! proactive push / aggregation machinery (§5.2.2, §5.3).
-
-use std::collections::HashSet;
+//!
+//! Every set/map on this path uses the deterministic FxHash hasher: the
+//! aggregation schedule is part of the replayable simulation, so no
+//! std-`RandomState` structure — even a lookup-only one — is allowed here
+//! (cross-process same-seed runs must be bit-identical; asserted by
+//! `tests/conformance.rs`).
 
 use switchfs_simnet::FxHashSet;
 
@@ -111,7 +115,22 @@ impl Server {
         };
 
         // Collect remote change-logs, retrying lost requests (§5.4.1).
+        // Entries are *accumulated* across attempts (deduplicated by entry
+        // id): a server that responded to attempt 1 is acknowledged below,
+        // so its attempt-1 entries must survive even if a later attempt's
+        // partial collection no longer contains them (the responder may lose
+        // its re-sent copy to the same faults that forced the retry).
         let mut remote_entries: Vec<ChangeLogEntry> = Vec::new();
+        let mut collected_ids: FxHashSet<OpId> = FxHashSet::default();
+        let collect = |remote_entries: &mut Vec<ChangeLogEntry>,
+                       collected_ids: &mut FxHashSet<OpId>,
+                       entries: Vec<ChangeLogEntry>| {
+            for e in entries {
+                if collected_ids.insert(e.entry_id) {
+                    remote_entries.push(e);
+                }
+            }
+        };
         // Iterated below to send acknowledgments: must have a
         // process-independent iteration order, or the ack packet order (and
         // with it the whole downstream schedule) varies run to run.
@@ -142,17 +161,21 @@ impl Server {
                     Some(Ok(entries)) => {
                         self.inner.borrow_mut().pending_aggs.remove(&agg_id);
                         responders = others.iter().copied().collect();
-                        remote_entries = entries;
+                        collect(&mut remote_entries, &mut collected_ids, entries);
                         break;
                     }
                     _ => {
                         // Timeout: collect whatever arrived so far, then
                         // retry with a fresh multicast.
                         let collector = self.inner.borrow_mut().pending_aggs.remove(&agg_id);
-                        if let Some(c) = collector {
+                        if let Some(mut c) = collector {
                             responders
                                 .extend(others.iter().copied().filter(|s| !c.expected.contains(s)));
-                            remote_entries = c.entries;
+                            collect(
+                                &mut remote_entries,
+                                &mut collected_ids,
+                                std::mem::take(&mut c.entries),
+                            );
                         }
                         attempt += 1;
                         self.inner.borrow_mut().stats.retransmissions += 1;
@@ -186,7 +209,7 @@ impl Server {
             );
         }
         // The owner's own deferred entries for this group are now applied.
-        let own_ids: HashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
+        let own_ids: FxHashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
         {
             let mut inner = self.inner.borrow_mut();
             inner.changelogs.discard_applied_in_group(fp, &own_ids);
@@ -396,7 +419,7 @@ impl Server {
             let inner = self.inner.borrow();
             inner.changelogs.snapshot_group(agg.fp)
         };
-        let sent_ids: HashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
+        let sent_ids: FxHashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
         let owner_node = self.cfg.node_of(agg.owner);
         self.send_plain(
             owner_node,
@@ -407,18 +430,26 @@ impl Server {
             }),
         );
         // Wait for the owner's ack (bounded), then mark the entries applied.
+        // Only a real ack counts: when a retried aggregation request spawns a
+        // second handler for the same agg id, its sender registration drops
+        // ours — `recv` then completes with `Err(RecvError)`, which must NOT
+        // be mistaken for an acknowledgment (discarding un-applied entries
+        // here silently loses deferred directory updates; found by the chaos
+        // checker as a listing/inode divergence).
         let (tx, rx) = switchfs_simnet::sync::oneshot::channel();
         self.inner
             .borrow_mut()
             .pending_agg_acks
             .insert(agg.agg_id, tx);
-        let acked = timeout(
-            &self.handle,
-            costs.request_timeout * (costs.max_retries as u64 + 2),
-            rx.recv(),
-        )
-        .await
-        .is_some();
+        let acked = matches!(
+            timeout(
+                &self.handle,
+                costs.request_timeout * (costs.max_retries as u64 + 2),
+                rx.recv(),
+            )
+            .await,
+            Some(Ok(()))
+        );
         self.inner.borrow_mut().pending_agg_acks.remove(&agg.agg_id);
         if acked && !sent_ids.is_empty() {
             {
@@ -507,7 +538,7 @@ impl Server {
 
     /// Pusher side: the owner applied our pushed entries.
     pub(crate) fn handle_push_ack(&self, _dir_key: MetaKey, applied: Vec<OpId>) {
-        let ids: HashSet<OpId> = applied.into_iter().collect();
+        let ids: FxHashSet<OpId> = applied.into_iter().collect();
         {
             let mut inner = self.inner.borrow_mut();
             let dirty: Vec<(DirId, Fingerprint)> = inner.changelogs.dirty_dirs();
@@ -529,17 +560,22 @@ impl Server {
         let cfg = self.cfg.proactive;
         loop {
             self.handle.sleep(cfg.scan_interval).await;
-            {
-                let inner = self.inner.borrow();
-                if inner.crashed {
-                    continue;
-                }
-            }
+            // Shutdown first: a *crashed* server's loop must still terminate
+            // when the harness quiesces the simulation, or a run with an
+            // unrecovered server never reaches quiescence (the crashed
+            // `continue` would re-arm the timer forever).
             if self.shutdown_requested() {
                 return;
             }
+            if self.inner.borrow().crashed {
+                continue;
+            }
             self.proactive_push_round().await;
             self.proactive_aggregate_round().await;
+            // Resolve prepared transactions whose decision never arrived
+            // (§5.4.2): without this, a coordinator crash mid-broadcast
+            // would strand staged rename halves forever.
+            self.sweep_prepared_txns().await;
         }
     }
 

@@ -21,11 +21,12 @@
 use switchfs_proto::message::{Body, ServerMsg};
 use switchfs_proto::{Fingerprint, Placement};
 
+use crate::server::rename::PreparedTxn;
 use crate::server::Server;
-use crate::wal::CheckpointData;
+use crate::wal::{CheckpointData, TxnMarker};
 
 /// Summary of one recovery run, reported to the harness (used by the §7.7
-/// experiment).
+/// experiment and asserted by the chaos checker).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// WAL records replayed.
@@ -36,6 +37,16 @@ pub struct RecoveryReport {
     pub changelog_entries_recovered: usize,
     /// Directories re-aggregated after the replay.
     pub directories_aggregated: usize,
+    /// In-doubt prepared transactions found after the replay (crashed
+    /// between prepare and decision).
+    pub prepared_txns_recovered: usize,
+    /// In-doubt transactions the decision query resolved to commit.
+    pub txn_commits_recovered: usize,
+    /// In-doubt transactions the decision query resolved to abort.
+    pub txn_aborts_recovered: usize,
+    /// In-doubt transactions left unresolved (coordinator unreachable); the
+    /// background sweep keeps retrying them.
+    pub txn_unresolved: usize,
     /// Virtual time the recovery took, in nanoseconds.
     pub duration_ns: u64,
 }
@@ -66,6 +77,9 @@ impl Server {
             inner.pending_aggs.clear();
             inner.pending_agg_acks.clear();
             inner.prepared_txns.clear();
+            inner.decided_txns.clear();
+            inner.active_txns.clear();
+            inner.resolving_txns.clear();
             inner.txn_vote_tokens.clear();
             inner.txn_ack_tokens.clear();
             inner.committed_txns.clear();
@@ -124,9 +138,61 @@ impl Server {
                     report.changelog_entries_recovered += 1;
                 }
             }
+            if let Some(marker) = &op.txn_marker {
+                let now = self.handle.now();
+                let mut inner = self.inner.borrow_mut();
+                match marker {
+                    TxnMarker::Prepared {
+                        txn_id,
+                        coordinator,
+                        ops,
+                    } => {
+                        inner.prepared_txns.insert(
+                            *txn_id,
+                            PreparedTxn {
+                                ops: ops.clone(),
+                                coordinator: *coordinator,
+                                prepared_at: now,
+                            },
+                        );
+                    }
+                    TxnMarker::Decided { txn_id, commit } => {
+                        inner.decided_txns.insert(*txn_id, *commit);
+                    }
+                    TxnMarker::Resolved { txn_id } => {
+                        inner.prepared_txns.remove(txn_id);
+                    }
+                    TxnMarker::Forgotten { txn_id } => {
+                        inner.decided_txns.remove(txn_id);
+                    }
+                }
+            }
             report.wal_records_replayed += 1;
         }
         report.inodes_recovered = self.inner.borrow().inodes.len();
+
+        // Step 1b: resolve in-doubt transactions (§5.4.2) — prepared records
+        // with no durable decision. Self-coordinated ones (this server
+        // crashed mid-commit) resolve from the replayed decision table;
+        // everything else re-asks its coordinator. Runs before the
+        // re-aggregation so a committed rename's migrated content is in
+        // place when the owned directories aggregate.
+        let in_doubt: Vec<u64> = {
+            let inner = self.inner.borrow();
+            let mut ids: Vec<u64> = inner.prepared_txns.keys().copied().collect();
+            // Deterministic resolution order: the decision queries below are
+            // part of the replayable packet schedule.
+            ids.sort_unstable();
+            ids
+        };
+        report.prepared_txns_recovered = in_doubt.len();
+        for txn_id in in_doubt {
+            match self.resolve_prepared_txn(txn_id).await {
+                Some(true) => report.txn_commits_recovered += 1,
+                Some(false) => report.txn_aborts_recovered += 1,
+                None => report.txn_unresolved += 1,
+            }
+        }
 
         // Step 2: proactively aggregate every directory this server owns so
         // interrupted aggregations complete and the dirty set converges.
@@ -222,6 +288,12 @@ impl Server {
                     out
                 },
                 applied_entry_ids: inner.applied_entry_ids.iter().copied().collect(),
+                prepared_txns: inner
+                    .prepared_txns
+                    .iter()
+                    .map(|(id, p)| (*id, p.coordinator, p.ops.clone()))
+                    .collect(),
+                decided_txns: inner.decided_txns.iter().map(|(k, v)| (*k, *v)).collect(),
             }
         };
         let mut durable = self.durable.borrow_mut();
@@ -251,6 +323,19 @@ impl Server {
         for (dir, key, entry) in &data.pending {
             let fp = Fingerprint::of_dir(&key.pid, &key.name);
             inner.changelogs.append(*dir, key, fp, entry.clone(), now);
+        }
+        for (txn_id, coordinator, ops) in &data.prepared_txns {
+            inner.prepared_txns.insert(
+                *txn_id,
+                PreparedTxn {
+                    ops: ops.clone(),
+                    coordinator: *coordinator,
+                    prepared_at: now,
+                },
+            );
+        }
+        for (txn_id, commit) in &data.decided_txns {
+            inner.decided_txns.insert(*txn_id, *commit);
         }
     }
 }

@@ -14,26 +14,38 @@ use switchfs_proto::message::{Body, ClientRequest, MetaOp, ServerMsg, TxnOp};
 use switchfs_proto::{
     ChangeLogEntry, ChangeOp, FileType, Fingerprint, FsError, OpResult, Placement, ServerId,
 };
+use switchfs_simnet::SimTime;
 
 use crate::server::{Server, TokenReply};
-use crate::wal::KvEffect;
+use crate::wal::{KvEffect, TxnMarker};
 
-/// A prepared-but-undecided transaction on a participant.
+/// A prepared-but-undecided transaction on a participant. Mirrored by a WAL
+/// `TxnMarker::Prepared` record, so the staged state survives a crash; the
+/// `coordinator` field is what the recovery-time decision query (§5.4.2)
+/// asks.
 pub(crate) struct PreparedTxn {
     /// The staged mutations, applied when the commit decision arrives.
     pub ops: Vec<TxnOp>,
-    /// The coordinating server (kept for a crash-recovery decision query).
-    #[allow(dead_code)]
+    /// The coordinating server, queried when the decision is lost.
     pub coordinator: ServerId,
+    /// When the transaction was staged; drives the background sweep that
+    /// resolves transactions whose decision packets were all lost.
+    pub prepared_at: SimTime,
 }
 
 impl Server {
-    /// Handles a `rename` request as the transaction coordinator.
-    pub(crate) async fn handle_rename(&self, req: &ClientRequest) -> OpResult {
+    /// Handles a `rename` request as the transaction coordinator. Returns
+    /// `None` when the request was re-routed to the real coordinator (which
+    /// replies to the client directly); `Some(result)` otherwise.
+    pub(crate) async fn handle_rename(
+        &self,
+        client_node: switchfs_simnet::NodeId,
+        req: &std::rc::Rc<ClientRequest>,
+    ) -> Option<OpResult> {
         let costs = self.cfg.costs;
         self.cpu.run(costs.request_overhead()).await;
         if self.is_stale(&req.ancestors) {
-            return OpResult::Err(FsError::StaleCache);
+            return Some(OpResult::Err(FsError::StaleCache));
         }
         let MetaOp::Rename {
             src,
@@ -41,8 +53,34 @@ impl Server {
             dst_parent,
         } = &req.op
         else {
-            return OpResult::Err(FsError::NotFound);
+            return Some(OpResult::Err(FsError::NotFound));
         };
+        // Cold-cache routing fold (the client never probes the source's
+        // type): under per-file hashing a directory's inode lives with its
+        // fingerprint group, not at the per-file-hash owner the client
+        // defaults to. If the source is not stored here, hand the request to
+        // the group owner — it either coordinates the directory rename or
+        // authoritatively answers NotFound.
+        if matches!(
+            self.cfg.placement.policy(),
+            switchfs_proto::PartitionPolicy::PerFileHash
+        ) && !self.inner.borrow().inodes.contains(src)
+        {
+            let group_owner = self
+                .cfg
+                .placement
+                .dir_owner_by_fp(Fingerprint::of_dir(&src.pid, &src.name));
+            if group_owner != self.cfg.id {
+                self.send_plain(
+                    self.cfg.node_of(group_owner),
+                    Body::Server(ServerMsg::ForwardedRequest {
+                        client_node: client_node.0,
+                        req: req.clone(),
+                    }),
+                );
+                return None;
+            }
+        }
         // Destination conflict pre-check for the placements that scatter a
         // key's file and directory inodes across different servers
         // (per-file hashing): the 2PC participants only validate the stores
@@ -72,16 +110,16 @@ impl Server {
                 // dir-routed transaction never consults).
                 let file_owner = self.cfg.placement.file_owner(dst);
                 if self.probe_inode_type(file_owner, dst).await == Some(FileType::File) {
-                    return OpResult::RenameDstExists {
+                    return Some(OpResult::RenameDstExists {
                         dst_type: FileType::File,
-                    };
+                    });
                 }
             } else if self.probe_is_directory(dst).await {
                 // A file may not overwrite an existing directory (the
                 // directory inode lives with its fingerprint group).
-                return OpResult::RenameDstExists {
+                return Some(OpResult::RenameDstExists {
                     dst_type: FileType::Directory,
-                };
+                });
             }
         }
 
@@ -90,20 +128,20 @@ impl Server {
         let _src_guard = src_lock.write().await;
         self.cpu.run(costs.lock_op + costs.kv_get).await;
         let Some(mut src_attrs) = self.inner.borrow_mut().inodes.get(src) else {
-            return OpResult::Err(FsError::NotFound);
+            return Some(OpResult::Err(FsError::NotFound));
         };
         // POSIX: renaming a path onto itself is a successful no-op. Guarded
         // here too (not only in LibFs) because running the transaction with
         // src == dst would self-deadlock on the held source inode lock.
         if src == dst {
-            return OpResult::Done;
+            return Some(OpResult::Done);
         }
 
         if src_attrs.is_dir() {
             // Orphaned-loop prevention: the destination path must not pass
             // through the directory being moved (§5.2).
             if req.ancestors.contains(&src_attrs.id) {
-                return OpResult::Err(FsError::WouldOrphan);
+                return Some(OpResult::Err(FsError::WouldOrphan));
             }
             // Apply every delayed update to the source directory before the
             // transaction observes (and migrates) its content. Synchronous
@@ -285,15 +323,26 @@ impl Server {
         if dst_inode_owner == self.cfg.id {
             if let Some(existing) = self.inner.borrow().inodes.peek(dst) {
                 if existing.is_dir() || dst_attrs.is_dir() {
-                    return OpResult::RenameDstExists {
+                    return Some(OpResult::RenameDstExists {
                         dst_type: existing.file_type,
-                    };
+                    });
                 }
             }
         }
 
-        // Two-phase commit.
-        let txn_id = self.next_token();
+        // Two-phase commit. The transaction id embeds the coordinating
+        // server: txn ids must be unique *cluster-wide*, not just per
+        // coordinator — participants key prepared state by txn id, and two
+        // coordinators concurrently using the same local counter value would
+        // overwrite each other's staged ops on a shared participant (the
+        // commit then applies the wrong mutations; found by the chaos
+        // checker as rename updates vanishing under concurrent load).
+        let txn_id = (u64::from(self.cfg.id.0) << 48) | self.next_token();
+        // While the voting phase runs, decision queries for this transaction
+        // answer "undecided" instead of a premature presumed-abort (a
+        // crashed-and-quickly-recovered participant may ask before we
+        // decide).
+        self.inner.borrow_mut().active_txns.insert(txn_id);
         let mut vote_ok = true;
         let mut typed_reject: Option<switchfs_proto::FileType> = None;
         for (server, ops) in &per_server {
@@ -347,27 +396,65 @@ impl Server {
         }
 
         if !vote_ok {
+            // The abort is decided: presumed-abort needs no durable record,
+            // and decision queries may now answer `Some(false)`.
+            self.inner.borrow_mut().active_txns.remove(&txn_id);
             // Abort with acknowledgment so no participant is left holding a
             // prepared transaction after a lost abort packet.
-            self.broadcast_decision(txn_id, &per_server, false).await;
+            let _ = self.broadcast_decision(txn_id, &per_server, false).await;
             // A typed reject (destination occupied) is a definitive POSIX
             // error; anything else (timeout, crash) stays retryable.
-            return match typed_reject {
+            return Some(match typed_reject {
                 Some(dst_type) => OpResult::RenameDstExists { dst_type },
                 None => OpResult::Err(FsError::Unavailable),
-            };
+            });
         }
 
-        // Commit: apply the local mutations, then tell every participant and
-        // wait for its acknowledgment (retransmitting the decision over the
+        // Commit point (§5.4.2): stage the local half durably, then log the
+        // decision — once the `Decided` record is in the WAL the rename is
+        // committed, whatever crashes next. A coordinator crash before this
+        // record is a presumed abort; after it, recovery re-applies the
+        // staged local half and participants learn the outcome from the
+        // decision query.
+        let local_ops = per_server.get(&self.cfg.id).cloned();
+        if let Some(ops) = &local_ops {
+            self.log_txn_marker(TxnMarker::Prepared {
+                txn_id,
+                coordinator: self.cfg.id,
+                ops: ops.clone(),
+            })
+            .await;
+        }
+        self.log_txn_marker(TxnMarker::Decided {
+            txn_id,
+            commit: true,
+        })
+        .await;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.decided_txns.insert(txn_id, true);
+            inner.active_txns.remove(&txn_id);
+        }
+
+        // Apply the local mutations, then tell every participant and wait
+        // for its acknowledgment (retransmitting the decision over the
         // unreliable fabric), so the rename is visible everywhere — a
         // following `statdir` must observe it — before the client sees
         // `Done` (§5.2: rename is fully synchronous).
-        if let Some(local_ops) = per_server.get(&self.cfg.id) {
-            self.apply_txn_ops(local_ops).await;
+        if let Some(ops) = &local_ops {
+            self.apply_txn_ops(ops).await;
+            self.log_txn_marker(TxnMarker::Resolved { txn_id }).await;
         }
-        self.broadcast_decision(txn_id, &per_server, true).await;
-        OpResult::Done
+        if self.broadcast_decision(txn_id, &per_server, true).await {
+            // Every participant applied and acknowledged the commit: nobody
+            // can query this decision again, so drop it from the decision
+            // table (and durably, so checkpoints/replay drop it too). A
+            // participant that never acked keeps the entry alive forever —
+            // it may still recover and ask.
+            self.inner.borrow_mut().decided_txns.remove(&txn_id);
+            self.log_txn_marker(TxnMarker::Forgotten { txn_id }).await;
+        }
+        Some(OpResult::Done)
     }
 
     /// Applies a participant's transaction mutations locally.
@@ -489,9 +576,22 @@ impl Server {
         coordinator: ServerId,
         ops: Vec<TxnOp>,
     ) {
-        self.cpu
-            .run(self.cfg.costs.software_path + self.cfg.costs.wal_append)
-            .await;
+        self.cpu.run(self.cfg.costs.software_path).await;
+        // A network-duplicated prepare arriving after this participant
+        // already committed the transaction must not re-stage it (the
+        // re-staged copy would be stranded forever); just re-vote yes.
+        if self.inner.borrow().committed_txns.contains(&txn_id) {
+            self.send_plain(
+                self.cfg.node_of(coordinator),
+                Body::Server(ServerMsg::TxnVote {
+                    txn_id,
+                    from: self.cfg.id,
+                    ok: true,
+                    dst_type: None,
+                }),
+            );
+            return;
+        }
         // Authoritative destination check: an inode overwrite is only legal
         // for file-over-file (POSIX rename). Overwriting a directory, or
         // landing a directory on an existing inode, votes the transaction
@@ -511,13 +611,26 @@ impl Server {
         }
         let ok = dst_type.is_none();
         if ok {
-            // Log the prepared transaction so a crash before the decision
-            // can be resolved by re-asking the coordinator (simplified
-            // presumed-abort).
-            self.inner
-                .borrow_mut()
-                .prepared_txns
-                .insert(txn_id, PreparedTxn { ops, coordinator });
+            // Durably stage the prepared transaction *before* voting yes: a
+            // crash between this vote and the coordinator's decision leaves
+            // an in-doubt transaction that recovery resolves by re-asking
+            // the coordinator (simplified presumed-abort), instead of
+            // silently losing the staged ops and diverging the namespace.
+            self.log_txn_marker(TxnMarker::Prepared {
+                txn_id,
+                coordinator,
+                ops: ops.clone(),
+            })
+            .await;
+            let now = self.handle.now();
+            self.inner.borrow_mut().prepared_txns.insert(
+                txn_id,
+                PreparedTxn {
+                    ops,
+                    coordinator,
+                    prepared_at: now,
+                },
+            );
         }
         self.send_plain(
             self.cfg.node_of(coordinator),
@@ -576,11 +689,19 @@ impl Server {
     pub(crate) async fn handle_txn_decision(&self, txn_id: u64, commit: bool) -> bool {
         let prepared = self.inner.borrow_mut().prepared_txns.remove(&txn_id);
         if !commit {
+            if prepared.is_some() {
+                // Clear the durable `Prepared` record so recovery does not
+                // re-resolve an already-aborted transaction.
+                self.log_txn_marker(TxnMarker::Resolved { txn_id }).await;
+            }
             return true;
         }
         match prepared {
             Some(prepared) => {
                 self.apply_txn_ops(&prepared.ops).await;
+                // The staged ops are fully applied (and their effects WAL-
+                // logged); mark the prepared record resolved.
+                self.log_txn_marker(TxnMarker::Resolved { txn_id }).await;
                 let mut inner = self.inner.borrow_mut();
                 if inner.committed_txns.insert(txn_id) {
                     inner.committed_txn_order.push_back(txn_id);
@@ -600,23 +721,141 @@ impl Server {
         }
     }
 
+    /// Coordinator side of the recovery-time decision query (§5.4.2): a
+    /// participant that lost the decision asks what became of `txn_id`.
+    /// Answers from the durable decision table; a transaction still in its
+    /// voting phase gets "undecided" (the participant keeps its prepared
+    /// state and asks again), anything else without a commit record is
+    /// presumed aborted.
+    pub(crate) async fn handle_txn_decision_query(&self, req_id: u64, txn_id: u64, from: ServerId) {
+        self.cpu.run(self.cfg.costs.software_path).await;
+        let commit = {
+            let inner = self.inner.borrow();
+            match inner.decided_txns.get(&txn_id) {
+                Some(c) => Some(*c),
+                None if inner.active_txns.contains(&txn_id) => None,
+                None => Some(false),
+            }
+        };
+        self.send_plain(
+            self.cfg.node_of(from),
+            Body::Server(ServerMsg::TxnDecisionReply { req_id, commit }),
+        );
+    }
+
+    /// Resolves one in-doubt prepared transaction: asks its coordinator for
+    /// the decision (answering locally for self-coordinated transactions)
+    /// and applies or drops the staged ops. Returns the decision, or `None`
+    /// when the transaction could not be resolved yet (coordinator
+    /// unreachable or still voting) — the prepared state is kept and the
+    /// background sweep retries later.
+    pub(crate) async fn resolve_prepared_txn(&self, txn_id: u64) -> Option<bool> {
+        let coordinator = {
+            let mut inner = self.inner.borrow_mut();
+            let coordinator = inner.prepared_txns.get(&txn_id).map(|p| p.coordinator)?;
+            if !inner.resolving_txns.insert(txn_id) {
+                // Another resolution (sweep vs. recovery) is already
+                // running.
+                return None;
+            }
+            coordinator
+        };
+        let decision = if coordinator == self.cfg.id {
+            // Self-coordinated (the coordinator crashed mid-commit): the
+            // durable decision table is authoritative, and an absent record
+            // means the crash preceded the commit point — presumed abort.
+            Some(
+                self.inner
+                    .borrow()
+                    .decided_txns
+                    .get(&txn_id)
+                    .copied()
+                    .unwrap_or(false),
+            )
+        } else {
+            let mut decision = None;
+            // "Undecided" replies are re-asked a few times; unreachable
+            // coordinators exhaust `send_with_ack`'s own retry budget.
+            for _ in 0..4 {
+                let token = self.next_token();
+                let body = Body::Server(ServerMsg::TxnDecisionQuery {
+                    req_id: token,
+                    txn_id,
+                    from: self.cfg.id,
+                });
+                match self
+                    .send_with_ack(self.cfg.node_of(coordinator), token, body)
+                    .await
+                {
+                    Some(TokenReply::Decision(Some(c))) => {
+                        decision = Some(c);
+                        break;
+                    }
+                    Some(TokenReply::Decision(None)) => {
+                        // Still voting: back off for one decision window.
+                        self.handle.sleep(self.cfg.costs.request_timeout * 4).await;
+                    }
+                    _ => break,
+                }
+            }
+            decision
+        };
+        if let Some(commit) = decision {
+            self.handle_txn_decision(txn_id, commit).await;
+        }
+        self.inner.borrow_mut().resolving_txns.remove(&txn_id);
+        decision
+    }
+
+    /// Background sweep run from the proactive loop: resolves prepared
+    /// transactions whose decision has been missing for much longer than the
+    /// whole decision-retransmission window (e.g. every decision packet was
+    /// lost, or the coordinator crashed mid-broadcast and the client gave
+    /// up).
+    pub(crate) async fn sweep_prepared_txns(&self) {
+        // Far beyond the worst-case voting phase (participants × 4 timeouts)
+        // so an in-flight transaction is never presumed aborted under its
+        // coordinator's feet.
+        let threshold = self.cfg.costs.request_timeout * 256;
+        let now = self.handle.now();
+        let stale: Vec<u64> = {
+            let inner = self.inner.borrow();
+            inner
+                .prepared_txns
+                .iter()
+                .filter(|(id, p)| {
+                    now.duration_since(p.prepared_at) >= threshold
+                        && !inner.resolving_txns.contains(*id)
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for txn_id in stale {
+            self.resolve_prepared_txn(txn_id).await;
+        }
+    }
+
     /// Sends a commit/abort decision to every remote participant and waits
     /// for each acknowledgment, retransmitting over the unreliable fabric.
+    /// Returns true when every participant acknowledged (nobody will ever
+    /// query this transaction's decision again).
     async fn broadcast_decision(
         &self,
         txn_id: u64,
         per_server: &BTreeMap<ServerId, Vec<TxnOp>>,
         commit: bool,
-    ) {
+    ) -> bool {
         let msg = if commit {
             ServerMsg::TxnCommit { txn_id }
         } else {
             ServerMsg::TxnAbort { txn_id }
         };
+        let mut all_acked = true;
         for server in per_server.keys() {
             if *server == self.cfg.id {
                 continue;
             }
+            let mut acked = false;
             for _attempt in 0..=self.cfg.costs.max_retries {
                 let token = self.next_token();
                 let rx = self.register_token(token);
@@ -632,12 +871,15 @@ impl Server {
                 )
                 .await;
                 if matches!(ack, Some(Ok(TokenReply::Ack))) {
+                    acked = true;
                     break;
                 }
                 let mut inner = self.inner.borrow_mut();
                 inner.txn_ack_tokens.remove(&(txn_id, *server));
                 inner.pending_tokens.remove(&token);
             }
+            all_acked &= acked;
         }
+        all_acked
     }
 }

@@ -8,7 +8,8 @@
 //! [`crate::server::Server::recover`].
 
 use switchfs_kvstore::{Checkpoint, Wal};
-use switchfs_proto::{ChangeLogEntry, DirEntry, DirId, InodeAttrs, MetaKey, OpId};
+use switchfs_proto::message::TxnOp;
+use switchfs_proto::{ChangeLogEntry, DirEntry, DirId, InodeAttrs, MetaKey, OpId, ServerId};
 
 /// One mutation against the volatile key-value stores, replayable during
 /// recovery.
@@ -30,6 +31,59 @@ pub enum KvEffect {
     Invalidate(DirId, MetaKey),
 }
 
+/// A durable two-phase-commit marker (§5.4.2): the record that makes a
+/// participant's prepared state and a coordinator's commit decision survive
+/// a crash, so recovery can resolve in-doubt transactions instead of
+/// silently dropping them (the volatile-prepare hole the chaos checker
+/// exposes as namespace divergence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnMarker {
+    /// This server staged a transaction's mutations: a participant logs it
+    /// before voting yes, and the coordinator logs its own local half just
+    /// before the commit decision. A `Prepared` with no later [`TxnMarker::Resolved`]
+    /// is an in-doubt transaction that recovery must resolve — by the
+    /// durable decision for self-coordinated transactions, or by a
+    /// [`switchfs_proto::message::ServerMsg::TxnDecisionQuery`] to the
+    /// coordinator otherwise.
+    Prepared {
+        /// Transaction id.
+        txn_id: u64,
+        /// The coordinating server to query after a crash.
+        coordinator: ServerId,
+        /// The staged mutations, replayed into the prepared-transaction
+        /// table.
+        ops: Vec<TxnOp>,
+    },
+    /// The coordinator's durable commit/abort decision, logged *before* the
+    /// local apply and the decision broadcast — the transaction's commit
+    /// point. Rebuilt into the decision table so the coordinator answers
+    /// recovery-time decision queries authoritatively (a transaction with no
+    /// `Decided { commit: true }` record is presumed aborted).
+    Decided {
+        /// Transaction id.
+        txn_id: u64,
+        /// True for commit.
+        commit: bool,
+    },
+    /// The staged mutations of `txn_id` were fully applied (commit) or
+    /// dropped (abort) on this server; clears the matching
+    /// [`TxnMarker::Prepared`] so recovery does not re-resolve it.
+    Resolved {
+        /// Transaction id.
+        txn_id: u64,
+    },
+    /// Every participant acknowledged the decision of `txn_id`: nobody can
+    /// ever query it again, so the coordinator drops its decision-table
+    /// entry (bounding the table — and with it checkpoint size — by the
+    /// in-flight window instead of the server's lifetime). A transaction
+    /// with an unacknowledged participant is retained forever: that
+    /// participant may still recover and ask.
+    Forgotten {
+        /// Transaction id.
+        txn_id: u64,
+    },
+}
+
 /// One WAL record: the committed effects of an operation plus, for
 /// double-inode operations, the change-log entry that still has to reach the
 /// parent directory's owner.
@@ -48,6 +102,8 @@ pub struct WalOp {
     /// push on the directory-owner side); used to rebuild the duplicate
     /// suppression set during recovery.
     pub applied_entry_ids: Vec<OpId>,
+    /// Durable 2PC state transition carried by this record, if any.
+    pub txn_marker: Option<TxnMarker>,
 }
 
 impl WalOp {
@@ -58,6 +114,18 @@ impl WalOp {
             effects,
             pending_entry: None,
             applied_entry_ids: Vec::new(),
+            txn_marker: None,
+        }
+    }
+
+    /// A record carrying only a 2PC marker.
+    pub fn txn(marker: TxnMarker) -> Self {
+        WalOp {
+            op_id: None,
+            effects: Vec::new(),
+            pending_entry: None,
+            applied_entry_ids: Vec::new(),
+            txn_marker: Some(marker),
         }
     }
 
@@ -70,6 +138,15 @@ impl WalOp {
                 .map(|(_, _, e)| e.wire_size() as u64)
                 .unwrap_or(0)
             + self.applied_entry_ids.len() as u64 * 12
+            + match &self.txn_marker {
+                Some(TxnMarker::Prepared { ops, .. }) => 24 + ops.len() as u64 * 96,
+                Some(
+                    TxnMarker::Decided { .. }
+                    | TxnMarker::Resolved { .. }
+                    | TxnMarker::Forgotten { .. },
+                ) => 16,
+                None => 0,
+            }
     }
 }
 
@@ -98,6 +175,12 @@ pub struct CheckpointData {
     pub pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
     /// Ids of remote entries already applied.
     pub applied_entry_ids: Vec<OpId>,
+    /// In-doubt prepared transactions (`txn_id`, coordinator, staged ops):
+    /// prepared state is durable (§5.4.2), so a checkpoint must carry it
+    /// across WAL truncation.
+    pub prepared_txns: Vec<(u64, ServerId, Vec<TxnOp>)>,
+    /// Durable commit decisions this server made as a rename coordinator.
+    pub decided_txns: Vec<(u64, bool)>,
 }
 
 impl DurableState {
@@ -142,6 +225,7 @@ mod tests {
             effects: vec![KvEffect::PutInode(key.clone(), attrs)],
             pending_entry: Some((DirId::ROOT, MetaKey::new(DirId::ROOT, ""), sample_entry())),
             applied_entry_ids: vec![],
+            txn_marker: None,
         });
         assert_eq!(durable.wal.unapplied().count(), 1);
         durable.wal.mark_applied(lsn);
@@ -156,8 +240,24 @@ mod tests {
             effects: vec![KvEffect::DeleteInode(MetaKey::new(DirId::ROOT, "x")); 4],
             pending_entry: Some((DirId::ROOT, MetaKey::new(DirId::ROOT, ""), sample_entry())),
             applied_entry_ids: vec![OpId::default(); 3],
+            txn_marker: None,
         };
         assert!(big.wire_size() > small.wire_size());
+        let prepared = WalOp::txn(TxnMarker::Prepared {
+            txn_id: 1,
+            coordinator: switchfs_proto::ServerId(0),
+            ops: vec![
+                switchfs_proto::message::TxnOp::DeleteInode {
+                    key: MetaKey::new(DirId::ROOT, "x")
+                };
+                2
+            ],
+        });
+        let decided = WalOp::txn(TxnMarker::Decided {
+            txn_id: 1,
+            commit: true,
+        });
+        assert!(prepared.wire_size() > decided.wire_size());
     }
 
     #[test]

@@ -197,6 +197,8 @@ pub struct NetStats {
     pub dropped_node_down: u64,
     /// Packets dropped by switch programs (e.g. no forwarding action).
     pub dropped_by_switch: u64,
+    /// Packets dropped because a network partition separated the endpoints.
+    pub dropped_partition: u64,
 }
 
 /// Picks which spine switch a packet traverses in a leaf–spine topology,
@@ -207,6 +209,10 @@ struct NetworkInner<M> {
     handle: SimHandle,
     mailboxes: FxHashMap<NodeId, mpsc::Sender<Packet<M>>>,
     node_down: FxHashMap<NodeId, bool>,
+    /// Partition group of each node; packets between different groups are
+    /// dropped. Nodes absent from the map belong to group 0. `None` means no
+    /// partition is active (the common case — checked with one branch).
+    partition: Option<FxHashMap<NodeId, u32>>,
     switches: FxHashMap<SwitchId, Box<dyn SwitchLogic<M>>>,
     topology: Topology,
     params: LinkParams,
@@ -241,6 +247,7 @@ impl<M: Clone + 'static> Network<M> {
                 handle,
                 mailboxes: FxHashMap::default(),
                 node_down: FxHashMap::default(),
+                partition: None,
                 switches,
                 topology: Topology::SingleRack,
                 params,
@@ -319,6 +326,31 @@ impl<M: Clone + 'static> Network<M> {
     /// simulate server crashes (§5.4.2).
     pub fn set_node_down(&self, node: NodeId, down: bool) {
         self.inner.borrow_mut().node_down.insert(node, down);
+    }
+
+    /// Installs a network partition: every node is assigned a group (nodes
+    /// not listed default to group 0) and packets whose endpoints sit in
+    /// different groups are dropped at delivery time — in-flight packets are
+    /// cut too, like a yanked cable. Replaces any previous partition.
+    pub fn set_partition(&self, groups: impl IntoIterator<Item = (NodeId, u32)>) {
+        let map: FxHashMap<NodeId, u32> = groups.into_iter().collect();
+        self.inner.borrow_mut().partition = Some(map);
+    }
+
+    /// Convenience: isolates `nodes` (group 1) from the rest of the cluster
+    /// (group 0).
+    pub fn isolate(&self, nodes: &[NodeId]) {
+        self.set_partition(nodes.iter().map(|n| (*n, 1)));
+    }
+
+    /// Heals any active partition.
+    pub fn heal_partition(&self) {
+        self.inner.borrow_mut().partition = None;
+    }
+
+    /// True if a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.inner.borrow().partition.is_some()
     }
 
     /// Returns the accumulated network statistics.
@@ -420,6 +452,14 @@ impl<M: Clone + 'static> Network<M> {
             if *inner.node_down.get(&p.dst).unwrap_or(&false) {
                 inner.stats.dropped_node_down += 1;
                 continue;
+            }
+            if let Some(groups) = &inner.partition {
+                let src_group = groups.get(&p.src).copied().unwrap_or(0);
+                let dst_group = groups.get(&p.dst).copied().unwrap_or(0);
+                if src_group != dst_group {
+                    inner.stats.dropped_partition += 1;
+                    continue;
+                }
             }
             let delivered = inner
                 .mailboxes
@@ -759,5 +799,53 @@ mod tests {
         let (_sim, net) = mk(1, NetFaults::reliable());
         let _a = net.register(NodeId(1));
         let _b = net.register(NodeId(1));
+    }
+
+    #[test]
+    fn partition_drops_cross_group_traffic_and_heals() {
+        let (sim, net) = mk(1, NetFaults::reliable());
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let c = net.register(NodeId(3));
+        net.isolate(&[NodeId(2)]);
+        assert!(net.is_partitioned());
+        sim.spawn(async move {
+            a.send(NodeId(2), 1); // crosses the partition: dropped
+            a.send(NodeId(3), 2); // same group: delivered
+        });
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(b.pending(), 0);
+        assert_eq!(c.pending(), 1);
+        assert_eq!(net.stats().dropped_partition, 1);
+        net.heal_partition();
+        assert!(!net.is_partitioned());
+        let b2 = Rc::new(Cell::new(0u32));
+        let b2c = b2.clone();
+        sim.spawn(async move {
+            c.send(NodeId(2), 9);
+            let p = b.recv().await.unwrap();
+            b2c.set(p.payload);
+        });
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(b2.get(), 9);
+    }
+
+    #[test]
+    fn partition_cuts_packets_already_in_flight() {
+        let (sim, net) = mk(1, NetFaults::reliable());
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let net2 = net.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            a.send(NodeId(2), 5);
+            // The partition lands while the packet is still traversing the
+            // fabric (one-way trip is 1.5 us).
+            h.sleep(SimDuration::nanos(100)).await;
+            net2.isolate(&[NodeId(2)]);
+        });
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(b.pending(), 0);
+        assert_eq!(net.stats().dropped_partition, 1);
     }
 }

@@ -15,7 +15,7 @@
 //!    notifications go to both the client and the origin server; aggregation
 //!    requests go to every other metadata server).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use switchfs_proto::message::{Body, NetMsg, UdpPorts};
 use switchfs_proto::{DirtyRet, DirtySetOp, DirtyState};
@@ -76,7 +76,7 @@ pub struct SwitchFsProgram {
     config: SwitchConfig,
     pipes: Vec<DirtySet>,
     /// Highest `remove` sequence number seen per sending server (§5.4.1).
-    remove_seq_high: HashMap<u32, u64>,
+    remove_seq_high: BTreeMap<u32, u64>,
     stats: SwitchStats,
 }
 
@@ -94,7 +94,7 @@ impl SwitchFsProgram {
         SwitchFsProgram {
             config,
             pipes,
-            remove_seq_high: HashMap::new(),
+            remove_seq_high: BTreeMap::new(),
             stats: SwitchStats::default(),
         }
     }

@@ -9,14 +9,16 @@
 //! and an extra network round trip, which is exactly the overhead Fig. 15 and
 //! Fig. 16 measure.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use switchfs_proto::{DirtyRet, DirtySetOp, DirtyState, Fingerprint};
 
-/// A hash-set based dirty set with an optional capacity bound.
+/// A set-based dirty set with an optional capacity bound. Ordered set, not a
+/// std `HashSet`: lookup-only today, but the aggregation path must be free
+/// of std-`RandomState` so cross-process same-seed runs stay bit-identical.
 #[derive(Debug, Clone, Default)]
 pub struct SoftwareDirtySet {
-    set: HashSet<u64>,
+    set: BTreeSet<u64>,
     capacity: Option<usize>,
     inserts: u64,
     queries: u64,

@@ -1,60 +1,72 @@
-//! Crash recovery walkthrough (§5.4.2, §7.7): create files, crash a metadata
-//! server, recover it from its WAL, then reboot the switch and watch every
-//! directory converge back to normal state.
+//! Crash recovery walkthrough (§5.4.2, §7.7), driven by the chaos
+//! subsystem: a seed-generated fault plan crashes and recovers metadata
+//! servers (and reboots the switch) underneath a live workload, the history
+//! checker verifies the namespace against a sequential model, and the same
+//! seed + plan replays bit-identically.
 //!
 //! Run with: `cargo run --example crash_recovery`
 
-use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+use switchfs::chaos::{verify_replay, ChaosConfig, PlanKind};
+use switchfs::core::SystemKind;
 
 fn main() {
-    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
-    cfg.servers = 4;
-    cfg.clients = 1;
-    let cluster = Cluster::new(cfg);
-
-    let client = cluster.client(0);
-    cluster.block_on(async move {
-        client.mkdir("/wal-demo").await.unwrap();
-        for i in 0..200 {
-            client.create(&format!("/wal-demo/f{i}")).await.unwrap();
-        }
-    });
+    let cfg = ChaosConfig::new(SystemKind::SwitchFs, PlanKind::Crash, 42);
     println!(
-        "before crash: {} inodes on server 0, {} pending change-log entries cluster-wide",
-        cluster.servers()[0].inode_count(),
-        cluster
-            .servers()
-            .iter()
-            .map(|s| s.pending_changelog_entries())
-            .sum::<usize>()
+        "chaos run: {} / {} plan / seed {}, {} servers, {} clients x {} ops",
+        cfg.system,
+        cfg.kind.label(),
+        cfg.seed,
+        cfg.servers,
+        cfg.clients,
+        cfg.ops_per_client
     );
 
-    // Crash and recover metadata server 0.
-    cluster.crash_server(0);
-    println!("server 0 crashed (volatile state lost, WAL retained)");
-    let report = cluster.recover_server(0);
+    let (report, replay_ok) = verify_replay(cfg);
+
+    println!("\nfault plan (serializable, one-command reproducible):");
+    println!("  {}", report.plan.to_json());
+
+    println!("\nworkload under faults:");
     println!(
-        "server 0 recovered: {} WAL records replayed, {} inodes rebuilt, {} change-log entries rebuilt, {} directories re-aggregated, {:.2} ms of virtual time",
-        report.wal_records_replayed,
-        report.inodes_recovered,
-        report.changelog_entries_recovered,
-        report.directories_aggregated,
-        report.duration_ns as f64 / 1e6
+        "  {} ops recorded: {} succeeded, {} ambiguous (timed out mid-fault)",
+        report.history.events.len(),
+        report.history.ok(),
+        report.history.ambiguous()
     );
 
-    // Reboot the switch: all in-network state is lost; every server
-    // aggregates the directories it owns.
-    let took = cluster.crash_and_recover_switch();
-    println!("switch rebooted and dirty set reconciled in {took}");
-
-    // The namespace is intact.
-    let client = cluster.client(0);
-    cluster.block_on(async move {
-        let dir = client.statdir("/wal-demo").await.unwrap();
-        assert_eq!(dir.size, 200);
+    println!("\nrecoveries driven by the nemesis:");
+    for (server, r) in &report.recoveries {
         println!(
-            "/wal-demo still holds {} entries after both failures",
-            dir.size
+            "  server {server}: {} WAL records replayed, {} inodes rebuilt, {} change-log \
+             entries rebuilt, {} dirs re-aggregated, {} in-doubt txns ({} committed, {} aborted), \
+             {:.2} ms of virtual time",
+            r.wal_records_replayed,
+            r.inodes_recovered,
+            r.changelog_entries_recovered,
+            r.directories_aggregated,
+            r.prepared_txns_recovered,
+            r.txn_commits_recovered,
+            r.txn_aborts_recovered,
+            r.duration_ns as f64 / 1e6
         );
-    });
+    }
+    if report.switch_reboots > 0 {
+        println!(
+            "  plus {} switch reboot(s) reconciled",
+            report.switch_reboots
+        );
+    }
+
+    println!("\nconsistency checker:");
+    assert!(
+        report.passed(),
+        "violations found: {:#?}",
+        report.violations
+    );
+    println!("  no violations — the namespace converged after every fault");
+    assert!(replay_ok, "same seed + plan must replay bit-identically");
+    println!(
+        "  replay verified: digest {:016x} reproduced on a second run",
+        report.digest
+    );
 }

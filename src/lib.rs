@@ -37,6 +37,7 @@
 //! ```
 
 pub use switchfs_baselines as baselines;
+pub use switchfs_chaos as chaos;
 pub use switchfs_client as client;
 pub use switchfs_core as core;
 pub use switchfs_kvstore as kvstore;

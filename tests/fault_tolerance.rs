@@ -1,6 +1,14 @@
 //! Integration tests for crash recovery and switch failure (§5.4, §A.1).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use switchfs::core::{Cluster, ClusterConfig, SystemKind};
+use switchfs::proto::FsError;
+use switchfs::simnet::SimDuration;
+
+/// The shared slot a spawned rename reports its outcome into.
+type Outcome = Rc<RefCell<Option<Result<(), FsError>>>>;
 
 fn cluster() -> Cluster {
     let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
@@ -95,6 +103,126 @@ fn operations_issued_during_recovery_are_retried_and_succeed() {
         client.create("/busy/after").await.unwrap();
         let dir = client.statdir("/busy").await.unwrap();
         assert_eq!(dir.size, 2);
+    });
+}
+
+/// Regression for the volatile-prepare hole (ROADMAP, closed by the durable
+/// 2PC prepare + recovery decision re-query): a rename participant crashes
+/// after voting yes but before receiving the decision. The coordinator's
+/// decision retransmissions exhaust against the dead node and the client
+/// still sees `Done`; the recovered participant must find its in-doubt
+/// prepared transaction in the WAL, re-query the coordinator, apply the
+/// commit — and the namespace must converge with no divergence.
+#[test]
+fn participant_crash_between_prepare_and_decision_recovers_and_converges() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/t").await.unwrap();
+        client.mkdir("/t2").await.unwrap();
+        client.mkdir("/t3").await.unwrap();
+    });
+
+    // Drive renames until one leaves a prepared transaction on a remote
+    // participant mid-2PC (placement decides which destination does; the
+    // candidate sequence is deterministic, so the same one hits every run).
+    let mut crashed: Option<usize> = None;
+    let mut crashed_candidate = 0usize;
+    let mut outcome: Option<Outcome> = None;
+    'candidates: for (i, dst_dir) in ["/t2", "/t3"].iter().enumerate() {
+        let src = format!("/t/a{i}");
+        let dst = format!("{dst_dir}/b{i}");
+        let client = cluster.client(0);
+        let src2 = src.clone();
+        cluster.block_on(async move {
+            client.create(&src2).await.unwrap();
+        });
+        let done: Outcome = Rc::new(RefCell::new(None));
+        let done2 = done.clone();
+        let client = cluster.client(0);
+        cluster.sim.spawn(async move {
+            let r = client.rename(&src, &dst).await;
+            *done2.borrow_mut() = Some(r);
+        });
+        // Step the simulation in small increments until a participant holds
+        // a prepared-but-undecided transaction, then crash it immediately.
+        let mut t = cluster.sim.now();
+        let deadline = t + SimDuration::millis(50);
+        while cluster.sim.now() < deadline {
+            t += SimDuration::micros(5);
+            cluster.run_until(t);
+            if let Some(v) = (0..cluster.servers().len())
+                .find(|i| cluster.servers()[*i].prepared_txn_count() > 0)
+            {
+                cluster.crash_server(v);
+                crashed = Some(v);
+                crashed_candidate = i;
+                outcome = Some(done.clone());
+                break 'candidates;
+            }
+            if done.borrow().is_some() {
+                // This rename finished without a remote prepare window we
+                // could observe; try the next candidate destination.
+                continue 'candidates;
+            }
+        }
+    }
+    let victim = crashed.expect("no rename left an observable prepared transaction");
+    let outcome = outcome.unwrap();
+
+    // Step the simulation (the proactive background loops never quiesce, so
+    // a plain `run()` would spin forever) until the coordinator's decision
+    // retransmissions to the crashed participant exhaust and the client
+    // observes the outcome.
+    {
+        let deadline = cluster.sim.now() + SimDuration::millis(200);
+        while outcome.borrow().is_none() && cluster.sim.now() < deadline {
+            let t = cluster.sim.now() + SimDuration::millis(1);
+            cluster.run_until(t);
+        }
+    }
+    assert_eq!(
+        *outcome.borrow(),
+        Some(Ok(())),
+        "rename must commit even though a participant crashed after voting"
+    );
+    assert!(cluster.servers()[victim].is_crashed());
+
+    // Recovery finds the in-doubt transaction and resolves it by re-asking
+    // the coordinator.
+    let report = cluster.recover_server(victim);
+    assert!(
+        report.prepared_txns_recovered >= 1,
+        "recovery must find the in-doubt prepared transaction: {report:?}"
+    );
+    assert_eq!(
+        report.txn_commits_recovered, report.prepared_txns_recovered,
+        "every in-doubt transaction must resolve to the coordinator's commit: {report:?}"
+    );
+    assert_eq!(report.txn_unresolved, 0, "{report:?}");
+
+    // The namespace converged: every rename that ran committed — the file
+    // is visible at its destination (and only there), and the listings
+    // agree with the inode probes.
+    let dirs = ["/t2", "/t3"];
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        for (i, dst_dir) in dirs.iter().enumerate().take(crashed_candidate + 1) {
+            let src = format!("/t/a{i}");
+            let dst = format!("{dst_dir}/b{i}");
+            let src_stat = client.stat(&src).await;
+            let dst_stat = client.stat(&dst).await;
+            match (src_stat, dst_stat) {
+                (Err(FsError::NotFound), Ok(_)) => {}
+                (s, d) => panic!("diverged namespace for {src} -> {dst}: {s:?} / {d:?}"),
+            }
+            let (t_attrs, t_entries) = client.readdir("/t").await.unwrap();
+            assert_eq!(t_attrs.size, t_entries.len() as u64);
+            assert!(!t_entries.iter().any(|e| e.name == format!("a{i}")));
+            let (d_attrs, d_entries) = client.readdir(dst_dir).await.unwrap();
+            assert_eq!(d_attrs.size, d_entries.len() as u64);
+            assert!(d_entries.iter().any(|e| e.name == format!("b{i}")));
+        }
     });
 }
 
