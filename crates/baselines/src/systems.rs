@@ -3,7 +3,7 @@
 use std::rc::Rc;
 
 use switchfs_client::{BaselineRouter, RequestRouter, SwitchFsRouter};
-use switchfs_proto::PartitionPolicy;
+use switchfs_proto::{PartitionPolicy, ShardMap};
 use switchfs_server::{CostModel, UpdateMode};
 
 /// One of the systems evaluated in §7.
@@ -79,23 +79,34 @@ impl SystemKind {
         matches!(self, SystemKind::SwitchFs)
     }
 
-    /// Builds the client-side request router for this system.
+    /// Builds a client-side request router for this system over a private
+    /// shard-map snapshot (each client caches its own copy and refreshes it
+    /// from `WrongOwner` rejections).
     ///
     /// `dirty_query_in_packet` only matters for SwitchFS: it is true under
     /// in-network tracking and false when a dedicated coordinator or the
     /// owner server tracks directory state (§7.3.3 variants).
-    pub fn make_router(
+    pub fn make_router(&self, map: ShardMap, dirty_query_in_packet: bool) -> Rc<dyn RequestRouter> {
+        match self {
+            SystemKind::SwitchFs => Rc::new(SwitchFsRouter::new(map, dirty_query_in_packet)),
+            SystemKind::EmulatedCfs => Rc::new(SwitchFsRouter::new(map, false)),
+            SystemKind::EmulatedInfiniFs | SystemKind::CephFsLike | SystemKind::IndexFsLike => {
+                Rc::new(BaselineRouter::new(map))
+            }
+        }
+    }
+
+    /// Convenience for tests: a router over the epoch-0 map of `servers`
+    /// servers.
+    pub fn make_router_for(
         &self,
         servers: usize,
         dirty_query_in_packet: bool,
     ) -> Rc<dyn RequestRouter> {
-        match self {
-            SystemKind::SwitchFs => Rc::new(SwitchFsRouter::new(servers, dirty_query_in_packet)),
-            SystemKind::EmulatedCfs => Rc::new(SwitchFsRouter::new(servers, false)),
-            SystemKind::EmulatedInfiniFs | SystemKind::CephFsLike | SystemKind::IndexFsLike => {
-                Rc::new(BaselineRouter::new(self.partition_policy(), servers))
-            }
-        }
+        self.make_router(
+            ShardMap::initial(self.partition_policy(), servers),
+            dirty_query_in_packet,
+        )
     }
 }
 
@@ -149,7 +160,7 @@ mod tests {
     #[test]
     fn routers_have_expected_fanout() {
         for s in SystemKind::all() {
-            let r = s.make_router(8, true);
+            let r = s.make_router_for(8, true);
             assert_eq!(r.num_servers(), 8);
         }
     }

@@ -55,7 +55,7 @@ fn print_rows(title: &str, rows: &[Row], json: bool) {
     }
 }
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "tab2",
     "fig2",
     "fig12a",
@@ -71,6 +71,7 @@ const EXPERIMENTS: [&str; 15] = [
     "fig19",
     "recovery",
     "availability",
+    "rebalance",
 ];
 
 fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row>)> {
@@ -125,6 +126,10 @@ fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row
         "availability" => Some((
             "§7.7: availability under a server crash (healthy / degraded / recovered)",
             experiments::availability(scale),
+        )),
+        "rebalance" => Some((
+            "Elastic scale-out: live shard migration onto a newly added server",
+            experiments::rebalance(scale),
         )),
         _ => None,
     }

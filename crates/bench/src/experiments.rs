@@ -492,6 +492,71 @@ pub fn availability(scale: ExperimentScale) -> Vec<Row> {
     ]
 }
 
+/// Elastic scale-out: throughput while a loaded cluster absorbs a new
+/// server through live shard migration (epoch-versioned placement). The
+/// shards-moved column demonstrates bounded movement: only ~1/(N+1) of the
+/// virtual shards migrate, where the old modulo placement would have
+/// reshuffled nearly every key.
+pub fn rebalance(scale: ExperimentScale) -> Vec<Row> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 8;
+    cfg.clients = 4;
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(64, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    cluster.checkpoint_all();
+    let mut builder = WorkloadBuilder::new(ns, 37);
+    let window_ops = scale.ops() / 2;
+
+    let healthy = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+
+    // Provision the ninth server and rebalance onto it *while* the next
+    // workload window runs: the migration and the load interleave inside
+    // one simulation run.
+    let before_shards = cluster.placement().num_shards();
+    cluster.add_server();
+    let moved: Rc<RefCell<Option<usize>>> = Rc::new(RefCell::new(None));
+    {
+        let placement = cluster.placement();
+        let servers = cluster.servers().to_vec();
+        let moved = moved.clone();
+        cluster.sim.spawn(async move {
+            let n = switchfs_core::run_rebalance(&placement, &servers).await;
+            *moved.borrow_mut() = Some(n);
+        });
+    }
+    let degraded = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+    // Let a migration that outlived the window finish before measuring the
+    // settled cluster.
+    while moved.borrow().is_none() {
+        cluster.settle(SimDuration::millis(5));
+    }
+    let shards_moved = moved.borrow().expect("rebalance completed");
+    let absorbed = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+
+    vec![
+        Row::new("healthy (8 servers)")
+            .col("create Kops/s", healthy.kops)
+            .col("errors", healthy.errors as f64),
+        Row::new("during rebalance (+1 server)")
+            .col("create Kops/s", degraded.kops)
+            .col("errors", degraded.errors as f64),
+        Row::new("after rebalance (9 servers)")
+            .col("create Kops/s", absorbed.kops)
+            .col("errors", absorbed.errors as f64),
+        Row::new("shard movement")
+            .col("shards moved", shards_moved as f64)
+            .col("total shards", before_shards as f64)
+            .col("moved fraction", shards_moved as f64 / before_shards as f64)
+            .col("map epoch", cluster.placement().epoch() as f64),
+    ]
+}
+
 /// §7.7: crash-recovery time after a server failure and a switch failure.
 pub fn recovery(scale: ExperimentScale) -> Vec<Row> {
     let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);

@@ -158,6 +158,7 @@ fn main() {
             "crash" => PlanKind::Crash,
             "partition" => PlanKind::Partition,
             "loss" => PlanKind::Loss,
+            "membership" => PlanKind::Membership,
             _ => PlanKind::Combined,
         };
         let system = match doc.system.as_str() {

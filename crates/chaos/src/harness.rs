@@ -73,6 +73,9 @@ pub struct ChaosReport {
     /// Prepared transactions still unresolved after the final settle (must
     /// be zero; also surfaced as a violation).
     pub stranded_prepared: usize,
+    /// Shards live-migrated by membership-change faults (zero for the other
+    /// plan kinds).
+    pub shards_moved: usize,
     /// Virtual time at the end of the run, ns.
     pub final_now_ns: u64,
     /// FNV-1a digest over the plan, history, final namespace and cluster
@@ -300,6 +303,17 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
     }
     cluster.checkpoint_all();
 
+    // Membership plans provision the standby server up front (it owns no
+    // shards until the scheduled rebalance migrates a fair share to it,
+    // live, mid-faults).
+    if plan
+        .events
+        .iter()
+        .any(|e| matches!(e.fault, crate::plan::Fault::RebalanceOntoNewServer))
+    {
+        cluster.add_server();
+    }
+
     let handles = NemesisHandles::capture(&cluster);
     let clients: Vec<Rc<LibFs>> = cluster.clients().to_vec();
     let history = Rc::new(RefCell::new(History::default()));
@@ -439,6 +453,7 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         recoveries: log.recoveries.clone(),
         switch_reboots: log.switch_reboots,
         stranded_prepared,
+        shards_moved: log.shards_moved,
         final_now_ns,
         digest,
     }

@@ -11,8 +11,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use switchfs_core::Cluster;
+use switchfs_core::{run_rebalance, Cluster};
 use switchfs_proto::message::NetMsg;
+use switchfs_proto::SharedPlacement;
 use switchfs_server::server::recovery::RecoveryReport;
 use switchfs_server::Server;
 use switchfs_simnet::{NetFaults, Network, NodeId, SimDuration, SimHandle, SimTime};
@@ -34,6 +35,9 @@ pub struct NemesisHandles {
     pub server_nodes: Vec<NodeId>,
     /// The switch program, if the deployment has one (reboot hook).
     pub switch: Option<SwitchHook>,
+    /// The cluster's shared shard map (membership-change fault: the nemesis
+    /// drives a live rebalance against it).
+    pub placement: SharedPlacement,
 }
 
 /// Reboot hook for the programmable switch.
@@ -56,6 +60,7 @@ impl NemesisHandles {
             servers,
             server_nodes,
             switch,
+            placement: cluster.placement(),
         }
     }
 }
@@ -69,6 +74,8 @@ pub struct NemesisLog {
     pub switch_reboots: usize,
     /// Number of events applied in total.
     pub events_applied: usize,
+    /// Shards migrated by membership-change faults.
+    pub shards_moved: usize,
 }
 
 /// Runs the plan to completion. The future resolves once the last event has
@@ -158,6 +165,13 @@ async fn apply_fault(handles: &NemesisHandles, fault: &Fault, log: &Rc<RefCell<N
         }
         Fault::ClearDiskSpike { server } => {
             handles.servers[*server].set_disk_slowdown(1);
+        }
+        Fault::RebalanceOntoNewServer => {
+            // The harness provisioned the standby server (it is the last
+            // entry of `servers` and owns no shards yet); ownership moves
+            // now, live, while the workload keeps running.
+            let moved = run_rebalance(&handles.placement, &handles.servers).await;
+            log.borrow_mut().shards_moved += moved;
         }
     }
 }

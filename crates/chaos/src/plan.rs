@@ -33,16 +33,22 @@ pub enum PlanKind {
     Loss,
     /// Everything at once, plus disk-latency spikes.
     Combined,
+    /// Membership change mid-faults: a new server joins and a live shard
+    /// rebalance migrates ~1/N of the key space to it while a loss window
+    /// (and occasionally a crash/recover cycle) is active. The checker is
+    /// unchanged — elastic placement must be invisible to consistency.
+    Membership,
 }
 
 impl PlanKind {
     /// All plan kinds, in sweep order.
-    pub fn all() -> [PlanKind; 4] {
+    pub fn all() -> [PlanKind; 5] {
         [
             PlanKind::Crash,
             PlanKind::Partition,
             PlanKind::Loss,
             PlanKind::Combined,
+            PlanKind::Membership,
         ]
     }
 
@@ -53,6 +59,7 @@ impl PlanKind {
             PlanKind::Partition => "partition",
             PlanKind::Loss => "loss",
             PlanKind::Combined => "combined",
+            PlanKind::Membership => "membership",
         }
     }
 
@@ -62,6 +69,7 @@ impl PlanKind {
             PlanKind::Partition => 0x7061_7274,
             PlanKind::Loss => 0x6c6f_7373,
             PlanKind::Combined => 0x636f_6d62,
+            PlanKind::Membership => 0x6d65_6d62,
         }
     }
 }
@@ -114,6 +122,10 @@ pub enum Fault {
         /// Index of the server.
         server: usize,
     },
+    /// Rebalance shards onto a server added to the cluster before the run
+    /// (the harness provisions the standby node at setup; ownership moves
+    /// live, at this scheduled time, while the workload keeps running).
+    RebalanceOntoNewServer,
 }
 
 /// A fault scheduled at a virtual-time offset from the start of the run.
@@ -179,6 +191,21 @@ impl FaultPlan {
                 events.push(FaultEvent {
                     at_us: end,
                     fault: Fault::ClearDiskSpike { server: victim },
+                });
+            }
+            PlanKind::Membership => {
+                // The rebalance lands mid-horizon so both pre- and post-move
+                // traffic is exercised; a loss window overlaps it, and half
+                // the seeds add a crash/recover cycle of an original member
+                // in the first half (never concurrent with the migration
+                // itself — the single-failure assumption of §5.4.2).
+                Self::gen_loss(&mut rng, &mut events, active);
+                if rng.gen_bool(0.5) {
+                    Self::gen_crashes(&mut rng, &mut events, servers, active * 2 / 5);
+                }
+                events.push(FaultEvent {
+                    at_us: rng.gen_range(active / 2..active * 4 / 5),
+                    fault: Fault::RebalanceOntoNewServer,
                 });
             }
         }
@@ -325,6 +352,17 @@ mod tests {
                             assert_eq!(spiked.pop(), Some(*server));
                         }
                         Fault::RebootSwitch => {}
+                        Fault::RebalanceOntoNewServer => {
+                            assert_eq!(
+                                kind,
+                                PlanKind::Membership,
+                                "membership changes only appear in membership plans"
+                            );
+                            assert!(
+                                down.is_empty(),
+                                "{kind:?}/{seed}: rebalance while a server is down"
+                            );
+                        }
                     }
                 }
                 assert!(down.is_empty(), "{kind:?}/{seed}: unrecovered crash");

@@ -57,6 +57,9 @@ pub struct ClientStats {
     pub stale_retries: u64,
     /// Lookup RPCs issued during path resolution.
     pub lookups: u64,
+    /// Shard-map refreshes triggered by `WrongOwner` rejections (live
+    /// migration moved a shard this client had cached).
+    pub map_refreshes: u64,
 }
 
 /// Result of path resolution.
@@ -73,11 +76,21 @@ pub struct LibFs {
     handle: SimHandle,
     endpoint: Rc<Endpoint<NetMsg>>,
     router: Rc<dyn RequestRouter>,
-    server_nodes: Rc<Vec<NodeId>>,
+    server_nodes: Rc<RefCell<Vec<NodeId>>>,
     cfg: LibFsConfig,
     cache: RefCell<MetaCache>,
     pending: Rc<RefCell<FxHashMap<u64, oneshot::Sender<ClientResponse>>>>,
     next_seq: Cell<u64>,
+    /// Packet-sequence counter, distinct from the operation counter: every
+    /// transmitted copy (including retransmissions) gets a unique value, so
+    /// receivers can tell a *network-duplicated* packet (same sequence)
+    /// from a deliberate retransmission (fresh sequence) — §5.4.1.
+    next_pkt: Cell<u64>,
+    /// Sequence numbers of operations still inside their retransmission
+    /// loop. Everything below the minimum can never be retransmitted again;
+    /// that bound is piggybacked on each request as the `acked_below`
+    /// watermark so servers can prune their dedup caches.
+    outstanding: RefCell<std::collections::BTreeSet<u64>>,
     stats: RefCell<ClientStats>,
 }
 
@@ -88,7 +101,7 @@ impl LibFs {
         handle: SimHandle,
         endpoint: Endpoint<NetMsg>,
         router: Rc<dyn RequestRouter>,
-        server_nodes: Rc<Vec<NodeId>>,
+        server_nodes: Rc<RefCell<Vec<NodeId>>>,
         cfg: LibFsConfig,
     ) -> Rc<Self> {
         Rc::new(LibFs {
@@ -100,6 +113,8 @@ impl LibFs {
             cache: RefCell::new(MetaCache::new()),
             pending: Rc::new(RefCell::new(FxHashMap::default())),
             next_seq: Cell::new(1),
+            next_pkt: Cell::new(1),
+            outstanding: RefCell::new(std::collections::BTreeSet::new()),
             stats: RefCell::new(ClientStats::default()),
         })
     }
@@ -476,7 +491,9 @@ impl LibFs {
     }
 
     /// Sends one request (with retransmission) and returns the server's
-    /// result.
+    /// result. A `WrongOwner` rejection — the cached shard map went stale
+    /// across a live migration — installs the server's current map and
+    /// retries against the new owner within the same retry budget.
     async fn issue(
         &self,
         op: MetaOp,
@@ -486,14 +503,26 @@ impl LibFs {
     ) -> FsResult<OpResult> {
         let seq = self.next_seq.get();
         self.next_seq.set(seq + 1);
+        self.outstanding.borrow_mut().insert(seq);
+        let result = self
+            .issue_tracked(seq, op, parent, ancestors, target_attrs)
+            .await;
+        self.outstanding.borrow_mut().remove(&seq);
+        result
+    }
+
+    async fn issue_tracked(
+        &self,
+        seq: u64,
+        op: MetaOp,
+        parent: Option<ParentRef>,
+        ancestors: Vec<DirId>,
+        target_attrs: Option<InodeAttrs>,
+    ) -> FsResult<OpResult> {
         let op_id = OpId {
             client: self.cfg.id,
             seq,
         };
-        let dst_server = self
-            .router
-            .destination(&op, parent.as_ref(), target_attrs.as_ref());
-        let dst_node = self.node_of(dst_server);
         let attach_query = self.router.attach_dirty_query(&op);
         // Only directory reads carry a dirty-set query header; compute the
         // fingerprint lazily so every other operation skips the hash.
@@ -501,14 +530,35 @@ impl LibFs {
             let key = op.primary_key();
             Fingerprint::of_dir(&key.pid, &key.name)
         });
+        // Everything this client issued below its oldest outstanding
+        // operation has been answered and abandoned-or-consumed: the server
+        // may prune those cached responses.
+        let acked_below = self
+            .outstanding
+            .borrow()
+            .first()
+            .copied()
+            .unwrap_or(seq)
+            .min(seq);
         // Built once, shared (`Rc`) across retransmission attempts and with
-        // every in-flight packet copy.
-        let request = Rc::new(ClientRequest {
+        // every in-flight packet copy. Rebuilt only on a map refresh (the
+        // epoch stamp must match the routing).
+        let mut request = Rc::new(ClientRequest {
             op_id,
             op,
             ancestors,
             parent,
+            epoch: self.router.epoch(),
+            acked_below,
         });
+        let mut dst_node = {
+            let dst_server = self.router.destination(
+                &request.op,
+                request.parent.as_ref(),
+                target_attrs.as_ref(),
+            );
+            self.node_of(dst_server)
+        };
         // Exponential backoff between retransmissions: a queued-but-alive
         // server answers when it answers regardless of duplicates (they are
         // suppressed), so pacing the retries only sheds useless packets —
@@ -522,9 +572,11 @@ impl LibFs {
             }
             let (tx, rx) = oneshot::channel();
             self.pending.borrow_mut().insert(seq, tx);
+            let pkt = self.next_pkt.get();
+            self.next_pkt.set(pkt + 1);
             let pkt_seq = PacketSeq {
                 sender: self.endpoint.node().0,
-                seq: self.next_seq.get() + attempt as u64,
+                seq: pkt,
             };
             let msg = match fp {
                 Some(fp) => NetMsg::with_dirty(
@@ -536,7 +588,25 @@ impl LibFs {
             };
             self.endpoint.send(dst_node, msg);
             match timeout(&self.handle, wait, rx.recv()).await {
-                Some(Ok(resp)) => return Ok(resp.result),
+                Some(Ok(resp)) => match resp.result {
+                    OpResult::WrongOwner { map } => {
+                        // Refresh-and-retry: install the newer map, restamp
+                        // the request's epoch and re-route. No backoff — the
+                        // new owner is live and this is not congestion.
+                        self.stats.borrow_mut().map_refreshes += 1;
+                        self.router.install_map(&map);
+                        let mut rebuilt = (*request).clone();
+                        rebuilt.epoch = self.router.epoch();
+                        request = Rc::new(rebuilt);
+                        let dst_server = self.router.destination(
+                            &request.op,
+                            request.parent.as_ref(),
+                            target_attrs.as_ref(),
+                        );
+                        dst_node = self.node_of(dst_server);
+                    }
+                    result => return Ok(result),
+                },
                 _ => {
                     self.pending.borrow_mut().remove(&seq);
                     wait = (wait * 2).min(max_wait);
@@ -547,6 +617,6 @@ impl LibFs {
     }
 
     fn node_of(&self, server: ServerId) -> NodeId {
-        self.server_nodes[server.0 as usize]
+        self.server_nodes.borrow()[server.0 as usize]
     }
 }

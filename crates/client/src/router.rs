@@ -5,9 +5,11 @@
 //! the baselines route according to their partitioning policy (§2.1). The
 //! router is the only client-side difference between the systems.
 
+use std::cell::RefCell;
+
 use switchfs_proto::message::{MetaOp, ParentRef};
 use switchfs_proto::{
-    DirId, Fingerprint, HashPlacement, InodeAttrs, PartitionPolicy, Placement, ServerId,
+    DirId, Fingerprint, InodeAttrs, PartitionPolicy, Placement, ServerId, ShardMap,
 };
 
 /// Decides the destination server of a request.
@@ -34,12 +36,53 @@ pub trait RequestRouter {
 
     /// Number of metadata servers.
     fn num_servers(&self) -> usize;
+
+    /// The epoch of the cached shard map, stamped on every request so a
+    /// server with a newer map can reject the routing.
+    fn epoch(&self) -> u64;
+
+    /// Installs a newer shard map (carried by a `WrongOwner` rejection).
+    /// Older or same-epoch maps are ignored.
+    fn install_map(&self, map: &ShardMap);
+}
+
+/// A client's cached shard map with the epoch-guarded refresh shared by
+/// every router: only strictly newer maps (carried by `WrongOwner`
+/// rejections) replace the cache.
+#[derive(Debug)]
+struct CachedMap(RefCell<ShardMap>);
+
+impl CachedMap {
+    fn new(map: ShardMap) -> Self {
+        CachedMap(RefCell::new(map))
+    }
+
+    fn borrow(&self) -> std::cell::Ref<'_, ShardMap> {
+        self.0.borrow()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.0.borrow().epoch()
+    }
+
+    fn num_servers(&self) -> usize {
+        self.0.borrow().num_servers()
+    }
+
+    fn install(&self, map: &ShardMap) {
+        let mut cached = self.0.borrow_mut();
+        if map.epoch() > cached.epoch() {
+            *cached = map.clone();
+        }
+    }
 }
 
 /// Router for SwitchFS clusters.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SwitchFsRouter {
-    placement: HashPlacement,
+    /// The client's cached shard map; refreshed from `WrongOwner`
+    /// rejections after a live migration moved a shard.
+    placement: CachedMap,
     /// Whether directory reads should carry a dirty-set query header (true
     /// for in-network tracking; false when a dedicated coordinator or the
     /// owner server tracks dirty state).
@@ -47,12 +90,20 @@ pub struct SwitchFsRouter {
 }
 
 impl SwitchFsRouter {
-    /// Creates a router over `servers` metadata servers.
-    pub fn new(servers: usize, dirty_query_in_packet: bool) -> Self {
+    /// Creates a router over an initial shard-map snapshot.
+    pub fn new(map: ShardMap, dirty_query_in_packet: bool) -> Self {
         SwitchFsRouter {
-            placement: HashPlacement::new(PartitionPolicy::PerFileHash, servers),
+            placement: CachedMap::new(map),
             dirty_query_in_packet,
         }
+    }
+
+    /// Convenience: a router over the epoch-0 map of `servers` servers.
+    pub fn with_servers(servers: usize, dirty_query_in_packet: bool) -> Self {
+        Self::new(
+            ShardMap::initial(PartitionPolicy::PerFileHash, servers),
+            dirty_query_in_packet,
+        )
     }
 }
 
@@ -63,6 +114,7 @@ impl RequestRouter for SwitchFsRouter {
         _parent: Option<&ParentRef>,
         target: Option<&InodeAttrs>,
     ) -> ServerId {
+        let placement = self.placement.borrow();
         let key = op.primary_key();
         match op {
             // Directory-target operations go to the fingerprint group owner.
@@ -72,7 +124,7 @@ impl RequestRouter for SwitchFsRouter {
             | MetaOp::Readdir { .. }
             | MetaOp::Lookup { .. } => {
                 let fp = Fingerprint::of_dir(&key.pid, &key.name);
-                self.placement.dir_owner_by_fp(fp)
+                placement.dir_owner_by_fp(fp)
             }
             // Rename is coordinated by the source inode's owner: the
             // fingerprint-group owner when the source is a directory
@@ -84,10 +136,10 @@ impl RequestRouter for SwitchFsRouter {
             // server-side — the client never probes.
             MetaOp::Rename { src, .. } if target.is_some_and(InodeAttrs::is_dir) => {
                 let fp = Fingerprint::of_dir(&src.pid, &src.name);
-                self.placement.dir_owner_by_fp(fp)
+                placement.dir_owner_by_fp(fp)
             }
             // Everything else is addressed by the file's own key.
-            _ => self.placement.file_owner(key),
+            _ => placement.file_owner(key),
         }
     }
 
@@ -105,6 +157,14 @@ impl RequestRouter for SwitchFsRouter {
     fn num_servers(&self) -> usize {
         self.placement.num_servers()
     }
+
+    fn epoch(&self) -> u64 {
+        self.placement.epoch()
+    }
+
+    fn install_map(&self, map: &ShardMap) {
+        self.placement.install(map);
+    }
 }
 
 /// Router for the emulated baseline systems.
@@ -116,33 +176,40 @@ impl RequestRouter for SwitchFsRouter {
 /// * `PerFileHash` (E-CFS): file inodes are spread by their own key; the
 ///   parent's content inode lives on the server selected by hashing the
 ///   parent's key, so double-inode operations need a cross-server update.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BaselineRouter {
-    placement: HashPlacement,
+    placement: CachedMap,
 }
 
 impl BaselineRouter {
-    /// Creates a router with the given partitioning policy.
-    pub fn new(policy: PartitionPolicy, servers: usize) -> Self {
+    /// Creates a router over an initial shard-map snapshot.
+    pub fn new(map: ShardMap) -> Self {
         BaselineRouter {
-            placement: HashPlacement::new(policy, servers),
+            placement: CachedMap::new(map),
         }
     }
 
-    /// The underlying placement (shared with the baseline servers).
-    pub fn placement(&self) -> HashPlacement {
-        self.placement
+    /// Convenience: a router over the epoch-0 map of `servers` servers.
+    pub fn with_servers(policy: PartitionPolicy, servers: usize) -> Self {
+        Self::new(ShardMap::initial(policy, servers))
+    }
+
+    /// A snapshot of the cached placement (shared with the baseline
+    /// servers).
+    pub fn placement(&self) -> ShardMap {
+        self.placement.borrow().clone()
     }
 
     /// Owner of a directory's content inode.
     pub fn dir_content_owner(&self, dir_id: &DirId, dir_key: &switchfs_proto::MetaKey) -> ServerId {
-        match self.placement.policy() {
+        let placement = self.placement.borrow();
+        match placement.policy() {
             PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => {
-                self.placement.dir_owner_by_id(dir_id)
+                placement.dir_owner_by_id(dir_id)
             }
             PartitionPolicy::PerFileHash => {
                 let fp = Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
-                self.placement.dir_owner_by_fp(fp)
+                placement.dir_owner_by_fp(fp)
             }
         }
     }
@@ -167,11 +234,11 @@ impl RequestRouter for BaselineRouter {
             MetaOp::Lookup { .. } => {
                 // Lookups read the child inode, which is colocated with the
                 // parent's children.
-                self.placement.file_owner(key)
+                self.placement.borrow().file_owner(key)
             }
             _ => {
                 let _ = parent;
-                self.placement.file_owner(key)
+                self.placement.borrow().file_owner(key)
             }
         }
     }
@@ -182,7 +249,7 @@ impl RequestRouter for BaselineRouter {
 
     fn needs_target_resolution(&self, op: &MetaOp) -> bool {
         matches!(
-            self.placement.policy(),
+            self.placement.borrow().policy(),
             PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree
         ) && matches!(
             op,
@@ -192,6 +259,14 @@ impl RequestRouter for BaselineRouter {
 
     fn num_servers(&self) -> usize {
         self.placement.num_servers()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.placement.epoch()
+    }
+
+    fn install_map(&self, map: &ShardMap) {
+        self.placement.install(map);
     }
 }
 
@@ -209,7 +284,7 @@ mod tests {
 
     #[test]
     fn switchfs_spreads_files_and_pins_fingerprint_groups() {
-        let r = SwitchFsRouter::new(8, true);
+        let r = SwitchFsRouter::with_servers(8, true);
         let owners: std::collections::HashSet<ServerId> = (0..200)
             .map(|i| r.destination(&create_op(&format!("f{i}")), None, None))
             .collect();
@@ -232,7 +307,7 @@ mod tests {
 
     #[test]
     fn grouping_baseline_colocates_siblings() {
-        let r = BaselineRouter::new(PartitionPolicy::PerDirectoryHash, 8);
+        let r = BaselineRouter::with_servers(PartitionPolicy::PerDirectoryHash, 8);
         let owners: std::collections::HashSet<ServerId> = (0..200)
             .map(|i| r.destination(&create_op(&format!("f{i}")), None, None))
             .collect();
@@ -244,7 +319,7 @@ mod tests {
 
     #[test]
     fn separation_baseline_spreads_siblings() {
-        let r = BaselineRouter::new(PartitionPolicy::PerFileHash, 8);
+        let r = BaselineRouter::with_servers(PartitionPolicy::PerFileHash, 8);
         let owners: std::collections::HashSet<ServerId> = (0..200)
             .map(|i| r.destination(&create_op(&format!("f{i}")), None, None))
             .collect();
@@ -256,7 +331,7 @@ mod tests {
 
     #[test]
     fn grouping_baseline_needs_target_resolution_for_dir_reads() {
-        let r = BaselineRouter::new(PartitionPolicy::PerDirectoryHash, 4);
+        let r = BaselineRouter::with_servers(PartitionPolicy::PerDirectoryHash, 4);
         assert!(r.needs_target_resolution(&MetaOp::Statdir {
             key: MetaKey::new(DirId::ROOT, "d")
         }));

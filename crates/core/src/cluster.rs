@@ -7,8 +7,8 @@ use std::rc::Rc;
 use switchfs_client::{LibFs, LibFsConfig};
 use switchfs_proto::message::NetMsg;
 use switchfs_proto::{
-    ClientId, DirEntry, DirId, FileType, Fingerprint, HashPlacement, MetaKey, PartitionPolicy,
-    Placement, ServerId,
+    ClientId, DirEntry, DirId, FileType, Fingerprint, MetaKey, PartitionPolicy, ServerId,
+    SharedPlacement,
 };
 use switchfs_server::server::recovery::RecoveryReport;
 use switchfs_server::{DurableState, Server, ServerConfig, TrackingMode};
@@ -39,7 +39,9 @@ pub struct Cluster {
     clients: Vec<Rc<LibFs>>,
     switch: Option<Rc<RefCell<SwitchFsProgram>>>,
     coordinator: Option<Rc<Coordinator>>,
-    placement: Rc<HashPlacement>,
+    placement: SharedPlacement,
+    server_nodes: Rc<RefCell<Vec<NodeId>>>,
+    tracking_mode: TrackingMode,
     /// Directories installed by preloading: path → (key, id).
     pub preloaded_dirs: HashMap<String, (MetaKey, DirId)>,
     preload_counter: u64,
@@ -57,11 +59,9 @@ impl Cluster {
             cfg.seed ^ 0xbeef,
         );
 
-        let placement = Rc::new(HashPlacement::new(
-            cfg.system.partition_policy(),
-            cfg.servers,
-        ));
-        let server_nodes: Rc<Vec<NodeId>> = Rc::new((0..cfg.servers).map(server_node).collect());
+        let placement = SharedPlacement::initial(cfg.system.partition_policy(), cfg.servers);
+        let server_nodes: Rc<RefCell<Vec<NodeId>>> =
+            Rc::new(RefCell::new((0..cfg.servers).map(server_node).collect()));
 
         // Programmable switch (only SwitchFS with in-network tracking).
         let mut switch = None;
@@ -150,19 +150,22 @@ impl Cluster {
             durables.push(durable);
         }
 
-        // Clients.
-        let router = cfg
-            .system
-            .make_router(cfg.servers, cfg.tracking == TrackingChoice::InNetwork);
+        // Clients. Each gets a *private* shard-map snapshot: after a live
+        // migration flips shards in the shared map, a client keeps routing
+        // with its stale copy until a `WrongOwner` rejection refreshes it.
         let mut clients = Vec::with_capacity(cfg.clients);
         for i in 0..cfg.clients {
+            let router = cfg.system.make_router(
+                placement.snapshot(),
+                cfg.tracking == TrackingChoice::InNetwork,
+            );
             let endpoint = network.register(client_node(i));
             let mut lib_cfg = LibFsConfig::new(ClientId(i as u32));
             lib_cfg.request_timeout = cfg.effective_client_timeout();
             let client = LibFs::new(
                 handle.clone(),
                 endpoint,
-                router.clone(),
+                router,
                 server_nodes.clone(),
                 lib_cfg,
             );
@@ -180,6 +183,8 @@ impl Cluster {
             switch,
             coordinator,
             placement,
+            server_nodes,
+            tracking_mode,
             preloaded_dirs: HashMap::new(),
             preload_counter: 0,
         };
@@ -218,9 +223,10 @@ impl Cluster {
         self.network.clone()
     }
 
-    /// The cluster's placement, shared with servers and routers; lets tests
-    /// and the chaos harness reason about which server owns a key.
-    pub fn placement(&self) -> Rc<HashPlacement> {
+    /// The cluster's epoch-versioned shard map, shared with every server;
+    /// lets tests and the chaos harness reason about which server owns a
+    /// key (clients hold private snapshots refreshed via `WrongOwner`).
+    pub fn placement(&self) -> SharedPlacement {
         self.placement.clone()
     }
 
@@ -408,6 +414,61 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Elastic membership: server addition and live shard rebalancing.
+    // ------------------------------------------------------------------
+
+    /// Registers one more metadata server: a new node joins the network,
+    /// the shared membership list and the switch's multicast group, and
+    /// starts serving — but owns no shards until [`Cluster::rebalance`]
+    /// migrates a fair share to it. Returns the new server's index.
+    pub fn add_server(&mut self) -> usize {
+        let i = self.servers.len();
+        let node = server_node(i);
+        let endpoint = self.network.register(node);
+        let durable = Rc::new(RefCell::new(DurableState::new()));
+        let new_id = self.placement.add_server();
+        debug_assert_eq!(new_id, ServerId(i as u32));
+        self.server_nodes.borrow_mut().push(node);
+        if let Some(program) = &self.switch {
+            program.borrow_mut().add_server_node(node.0);
+        }
+        let server = Server::new(
+            self.sim.handle(),
+            endpoint,
+            ServerConfig {
+                id: new_id,
+                node,
+                cores: self.cfg.cores_per_server,
+                costs: self.cfg.cost_model(),
+                update_mode: self.cfg.update_mode(),
+                tracking: self.tracking_mode,
+                proactive: self.cfg.proactive,
+                placement: self.placement.clone(),
+                server_nodes: self.server_nodes.clone(),
+            },
+            durable.clone(),
+        );
+        // Setup-time state seeding (like preloading): the newcomer needs the
+        // cluster's invalidation list before it serves stale-cache checks.
+        server.seed_invalidation_from(&self.servers[0]);
+        server.start();
+        self.servers.push(server);
+        self.durables.push(durable);
+        i
+    }
+
+    /// Live-migrates shards until ownership is balanced across the current
+    /// membership (after [`Cluster::add_server`], ~1/N of all shards move to
+    /// the newcomer). Runs on the simulation; client traffic keeps flowing
+    /// and refreshes its maps via `WrongOwner`. Returns the number of shards
+    /// migrated.
+    pub fn rebalance(&self) -> usize {
+        let placement = self.placement.clone();
+        let servers = self.servers.clone();
+        self.block_on(async move { run_rebalance(&placement, &servers).await })
+    }
+
+    // ------------------------------------------------------------------
     // Fault orchestration (§5.4, §7.7).
     // ------------------------------------------------------------------
 
@@ -481,7 +542,42 @@ impl Cluster {
             total.remote_updates += st.remote_updates;
             total.retransmissions += st.retransmissions;
             total.recoveries += st.recoveries;
+            total.shards_migrated_out += st.shards_migrated_out;
+            total.shards_migrated_in += st.shards_migrated_in;
+            total.wrong_owner_rejects += st.wrong_owner_rejects;
         }
         total
     }
+}
+
+/// Drives a full rebalance against a live deployment: plans the moves from
+/// the shared map, then migrates each shard (freeze → stream → flip) from
+/// its owner, skipping servers that are currently down. Usable both from
+/// [`Cluster::rebalance`] and from inside an already-running simulation
+/// (the chaos nemesis' membership-change fault). Returns the number of
+/// shards successfully migrated.
+pub async fn run_rebalance(placement: &SharedPlacement, servers: &[Server]) -> usize {
+    let mut moved = 0;
+    // Two passes: a shard whose transfer failed (e.g. the target crashed
+    // mid-stream) is retried once after the rest of the plan completed.
+    for _pass in 0..2 {
+        let plan = placement.plan_rebalance();
+        if plan.is_empty() {
+            break;
+        }
+        for (shard, from, to) in plan {
+            let source = &servers[from.0 as usize];
+            if source.is_crashed() || servers[to.0 as usize].is_crashed() {
+                continue;
+            }
+            let placement = placement.clone();
+            if source
+                .migrate_shard(shard, to, move || placement.assign(shard, to))
+                .await
+            {
+                moved += 1;
+            }
+        }
+    }
+    moved
 }

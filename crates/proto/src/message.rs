@@ -203,6 +203,16 @@ pub struct ClientRequest {
     /// Parent-directory reference for double-inode operations; `None` for
     /// operations whose target is the root directory itself.
     pub parent: Option<ParentRef>,
+    /// Epoch of the shard map the client routed this request with. A server
+    /// whose map is newer re-checks ownership and answers
+    /// [`OpResult::WrongOwner`] if the target shard moved away.
+    pub epoch: u64,
+    /// Duplicate-suppression watermark: the client has received responses
+    /// for every one of its operations with `seq < acked_below` and will
+    /// never retransmit them, so the server may prune their cached
+    /// responses (bounding the per-client dedup state by the in-flight
+    /// window instead of the connection's lifetime).
+    pub acked_below: u64,
 }
 
 /// The result of a metadata operation.
@@ -232,6 +242,14 @@ pub enum OpResult {
         /// Type of the inode occupying the destination key.
         dst_type: FileType,
     },
+    /// The request was routed with a stale shard map: the target shard is no
+    /// longer owned by the addressed server. Carries the server's current
+    /// map so the client can refresh its cache and retry against the new
+    /// owner without a separate map-fetch round trip.
+    WrongOwner {
+        /// The addressed server's current shard map.
+        map: crate::placement::ShardMap,
+    },
     /// The operation failed.
     Err(FsError),
 }
@@ -239,11 +257,16 @@ pub enum OpResult {
 impl OpResult {
     /// True unless the result is an error.
     pub fn is_ok(&self) -> bool {
-        !matches!(self, OpResult::Err(_) | OpResult::RenameDstExists { .. })
+        !matches!(
+            self,
+            OpResult::Err(_) | OpResult::RenameDstExists { .. } | OpResult::WrongOwner { .. }
+        )
     }
 
     /// The error, if any. A typed rename reject maps to the POSIX error a
-    /// destination probe would have produced.
+    /// destination probe would have produced; a `WrongOwner` reject maps to
+    /// the retryable `Unavailable` for callers that do not refresh the map
+    /// themselves (LibFs intercepts it before this mapping applies).
     pub fn err(&self) -> Option<FsError> {
         match self {
             OpResult::Err(e) => Some(*e),
@@ -251,6 +274,7 @@ impl OpResult {
                 FileType::Directory => FsError::IsADirectory,
                 FileType::File => FsError::NotADirectory,
             }),
+            OpResult::WrongOwner { .. } => Some(FsError::Unavailable),
             _ => None,
         }
     }
@@ -551,6 +575,39 @@ pub enum ServerMsg {
         /// Type of the inode stored under the probed key, if any.
         file_type: Option<FileType>,
     },
+    /// Live shard migration (scale-out): the stream of one frozen shard's
+    /// state from its current owner to the new owner. The source retransmits
+    /// until [`ServerMsg::ShardInstallAck`] arrives; installation is
+    /// idempotent, so duplicates are harmless. Only after the ack does the
+    /// cluster flip the shard in the epoch-versioned map and the source
+    /// delete its copy.
+    ShardInstall {
+        /// Request token for matching the acknowledgment.
+        req_id: u64,
+        /// The shard being migrated.
+        shard: u32,
+        /// Inodes stored under the shard.
+        inodes: Vec<(MetaKey, InodeAttrs)>,
+        /// Directory entry lists of directories owned by the shard.
+        entries: Vec<(DirId, DirEntry)>,
+        /// Owner-index entries (directory id → key) moving with the shard.
+        dir_index: Vec<(DirId, MetaKey)>,
+        /// Change-log entries pending for directories in the shard, with
+        /// their directory ids and keys.
+        pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
+        /// Duplicate-suppression set of already-applied remote change-log
+        /// entries (copied, not moved: a superset is always safe).
+        applied_entry_ids: Vec<OpId>,
+        /// Cached client responses (copied so a retransmission that lands on
+        /// the new owner after the flip still gets the original answer).
+        completed: Vec<ClientResponse>,
+    },
+    /// Acknowledgment of a [`ServerMsg::ShardInstall`]: the target applied
+    /// and durably logged the shard's state.
+    ShardInstallAck {
+        /// Token copied from the install.
+        req_id: u64,
+    },
 }
 
 /// A single mutation inside a two-phase-commit transaction.
@@ -744,6 +801,8 @@ mod tests {
             },
             ancestors: vec![DirId::ROOT],
             parent: None,
+            epoch: 3,
+            acked_below: 8,
         };
         let json = serde_json::to_string(&req).unwrap();
         let back: ClientRequest = serde_json::from_str(&json).unwrap();

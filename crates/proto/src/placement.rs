@@ -12,6 +12,9 @@
 //!   (static) approximation of CephFS's subtree partitioning used by the
 //!   CephFS-like baseline.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::ids::{DirId, Fingerprint, ServerId};
 use crate::schema::MetaKey;
 use serde::{Deserialize, Serialize};
@@ -102,6 +105,272 @@ impl Placement for HashPlacement {
     }
 }
 
+/// Baseline number of virtual shards a map aims for. The actual count is
+/// rounded up to the nearest multiple of the initial server count so the
+/// epoch-0 assignment `shard s → server (s mod n)` reproduces the historic
+/// `hash % n` placement bit for bit.
+pub const BASE_SHARDS: usize = 256;
+
+/// An epoch-versioned map of virtual shards to servers.
+///
+/// The hash space is split into a fixed number of virtual shards
+/// (`shard = hash % num_shards`), each owned by one server. Epoch 0 is
+/// extensionally equal to [`HashPlacement`] over the initial server count;
+/// every later reassignment (live shard migration, server addition) bumps
+/// the epoch, and clients holding a stale epoch are rejected with
+/// [`crate::message::OpResult::WrongOwner`] carrying the current map.
+///
+/// Because only reassigned shards change owners, growing the cluster from
+/// `n` to `n+1` servers moves ~`1/(n+1)` of the key space — unlike the old
+/// modulo placement, which would have reshuffled nearly every key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    policy: PartitionPolicy,
+    epoch: u64,
+    servers: usize,
+    shards: Vec<ServerId>,
+}
+
+impl ShardMap {
+    /// The epoch-0 map over `servers` servers: `num_shards` is the smallest
+    /// multiple of `servers` that is at least [`BASE_SHARDS`], and shard `s`
+    /// is owned by server `s % servers` — bit-identical to
+    /// `HashPlacement`'s `hash % servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn initial(policy: PartitionPolicy, servers: usize) -> Self {
+        assert!(servers > 0, "placement needs at least one server");
+        let per_server = BASE_SHARDS.div_ceil(servers).max(1);
+        let num_shards = servers * per_server;
+        let shards = (0..num_shards)
+            .map(|s| ServerId((s % servers) as u32))
+            .collect();
+        ShardMap {
+            policy,
+            epoch: 0,
+            servers,
+            shards,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// The current map version; bumped by every shard reassignment.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of virtual shards (fixed for the lifetime of the cluster).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a placement hash falls into.
+    pub fn shard_of_hash(&self, hash: u64) -> u32 {
+        (hash % self.shards.len() as u64) as u32
+    }
+
+    /// The server owning shard `shard`.
+    pub fn owner_of_shard(&self, shard: u32) -> ServerId {
+        self.shards[shard as usize]
+    }
+
+    /// Number of shards currently owned by `server`.
+    pub fn shards_owned(&self, server: ServerId) -> usize {
+        self.shards.iter().filter(|s| **s == server).count()
+    }
+
+    /// Registers one more server without moving any shards (it owns nothing
+    /// until a rebalance assigns shards to it). Returns the new server's id.
+    pub fn add_server(&mut self) -> ServerId {
+        let id = ServerId(self.servers as u32);
+        self.servers += 1;
+        id
+    }
+
+    /// Reassigns one shard, bumping the epoch. Used by live migration: the
+    /// flip happens only after the shard's state is installed at the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a registered server.
+    pub fn assign(&mut self, shard: u32, to: ServerId) {
+        assert!((to.0 as usize) < self.servers, "unknown server {to}");
+        if self.shards[shard as usize] != to {
+            self.shards[shard as usize] = to;
+            self.epoch += 1;
+        }
+    }
+
+    /// Plans the moves that balance shard ownership across all registered
+    /// servers (fair share ±1), without mutating the map. Deterministic:
+    /// repeatedly moves the lowest-index shard of the most-loaded server to
+    /// the least-loaded one. After [`ShardMap::add_server`] this moves
+    /// ~`num_shards / servers` shards — ~1/N of the key space.
+    pub fn plan_rebalance(&self) -> Vec<(u32, ServerId, ServerId)> {
+        let mut owners = self.shards.clone();
+        let mut counts = vec![0usize; self.servers];
+        for s in &owners {
+            counts[s.0 as usize] += 1;
+        }
+        let mut moves = Vec::new();
+        loop {
+            let (max_i, &max_c) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, c)| (**c, usize::MAX - *i))
+                .expect("at least one server");
+            let (min_i, &min_c) = counts
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (**c, *i))
+                .expect("at least one server");
+            if max_c - min_c <= 1 {
+                return moves;
+            }
+            let shard = owners
+                .iter()
+                .position(|o| o.0 as usize == max_i)
+                .expect("owner has a shard") as u32;
+            owners[shard as usize] = ServerId(min_i as u32);
+            counts[max_i] -= 1;
+            counts[min_i] += 1;
+            moves.push((shard, ServerId(max_i as u32), ServerId(min_i as u32)));
+        }
+    }
+}
+
+impl Placement for ShardMap {
+    fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    fn file_owner(&self, key: &MetaKey) -> ServerId {
+        match self.policy {
+            PartitionPolicy::PerFileHash => self.owner_of_hash(key.hash64()),
+            PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => {
+                self.dir_owner_by_id(&key.pid)
+            }
+        }
+    }
+
+    fn dir_owner_by_fp(&self, fp: Fingerprint) -> ServerId {
+        self.owner_of_hash(crate::ids::splitmix64(fp.raw()))
+    }
+
+    fn dir_owner_by_id(&self, id: &DirId) -> ServerId {
+        self.owner_of_hash(id.hash64())
+    }
+
+    fn owner_of_hash(&self, hash: u64) -> ServerId {
+        self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+}
+
+/// A cluster-wide shared, mutable [`ShardMap`] handle.
+///
+/// Servers (and the cluster harness) share one instance: a migration flip
+/// through [`SharedPlacement::assign`] is immediately visible to every
+/// server. Clients hold private *snapshots* instead and refresh them from
+/// `WrongOwner` rejections, which is what the epoch field models.
+#[derive(Debug, Clone)]
+pub struct SharedPlacement(Rc<RefCell<ShardMap>>);
+
+impl SharedPlacement {
+    /// Wraps a map into a shared handle.
+    pub fn new(map: ShardMap) -> Self {
+        SharedPlacement(Rc::new(RefCell::new(map)))
+    }
+
+    /// The epoch-0 shared map over `servers` servers.
+    pub fn initial(policy: PartitionPolicy, servers: usize) -> Self {
+        Self::new(ShardMap::initial(policy, servers))
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.0.borrow().policy()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.0.borrow().epoch()
+    }
+
+    /// Number of virtual shards.
+    pub fn num_shards(&self) -> usize {
+        self.0.borrow().num_shards()
+    }
+
+    /// A point-in-time copy of the map (client caches, `WrongOwner` bodies).
+    pub fn snapshot(&self) -> ShardMap {
+        self.0.borrow().clone()
+    }
+
+    /// See [`ShardMap::shard_of_hash`].
+    pub fn shard_of_hash(&self, hash: u64) -> u32 {
+        self.0.borrow().shard_of_hash(hash)
+    }
+
+    /// See [`ShardMap::owner_of_shard`].
+    pub fn owner_of_shard(&self, shard: u32) -> ServerId {
+        self.0.borrow().owner_of_shard(shard)
+    }
+
+    /// See [`ShardMap::shards_owned`].
+    pub fn shards_owned(&self, server: ServerId) -> usize {
+        self.0.borrow().shards_owned(server)
+    }
+
+    /// See [`ShardMap::add_server`].
+    pub fn add_server(&self) -> ServerId {
+        self.0.borrow_mut().add_server()
+    }
+
+    /// See [`ShardMap::assign`].
+    pub fn assign(&self, shard: u32, to: ServerId) {
+        self.0.borrow_mut().assign(shard, to);
+    }
+
+    /// See [`ShardMap::plan_rebalance`].
+    pub fn plan_rebalance(&self) -> Vec<(u32, ServerId, ServerId)> {
+        self.0.borrow().plan_rebalance()
+    }
+
+    /// Number of metadata servers.
+    pub fn num_servers(&self) -> usize {
+        self.0.borrow().num_servers()
+    }
+
+    /// Owner of a file inode (see [`Placement::file_owner`]).
+    pub fn file_owner(&self, key: &MetaKey) -> ServerId {
+        self.0.borrow().file_owner(key)
+    }
+
+    /// Owner of a directory's fingerprint group (see
+    /// [`Placement::dir_owner_by_fp`]).
+    pub fn dir_owner_by_fp(&self, fp: Fingerprint) -> ServerId {
+        self.0.borrow().dir_owner_by_fp(fp)
+    }
+
+    /// Owner of a directory's children under P/C grouping (see
+    /// [`Placement::dir_owner_by_id`]).
+    pub fn dir_owner_by_id(&self, id: &DirId) -> ServerId {
+        self.0.borrow().dir_owner_by_id(id)
+    }
+
+    /// Owner of an arbitrary placement hash (see
+    /// [`Placement::owner_of_hash`]).
+    pub fn owner_of_hash(&self, hash: u64) -> ServerId {
+        self.0.borrow().owner_of_hash(hash)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +417,74 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
         let _ = HashPlacement::new(PartitionPolicy::PerFileHash, 0);
+    }
+
+    #[test]
+    fn epoch0_shard_map_matches_modulo_placement() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 300] {
+            let map = ShardMap::initial(PartitionPolicy::PerFileHash, n);
+            assert_eq!(map.epoch(), 0);
+            assert_eq!(map.num_shards() % n, 0);
+            assert!(map.num_shards() >= BASE_SHARDS.min(n * BASE_SHARDS));
+            let old = HashPlacement::new(PartitionPolicy::PerFileHash, n);
+            for h in [0u64, 1, 255, 256, 12345678901234567, u64::MAX] {
+                assert_eq!(map.owner_of_hash(h), old.owner_of_hash(h), "n={n} h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_server_then_rebalance_moves_a_fair_share() {
+        let mut map = ShardMap::initial(PartitionPolicy::PerFileHash, 4);
+        let new = map.add_server();
+        assert_eq!(new, ServerId(4));
+        assert_eq!(map.shards_owned(new), 0);
+        let moves = map.plan_rebalance();
+        // 256 shards over 5 servers: the new server ends with 51±1 shards
+        // and nothing else moves.
+        assert!(moves.len() >= map.num_shards() / 5 - 1);
+        assert!(moves.len() <= map.num_shards() / 4);
+        assert!(moves.iter().all(|(_, _, to)| *to == new));
+        let before = map.clone();
+        for (shard, from, to) in &moves {
+            assert_eq!(map.owner_of_shard(*shard), *from);
+            map.assign(*shard, *to);
+        }
+        assert_eq!(map.epoch(), moves.len() as u64);
+        for s in 0..5u32 {
+            let owned = map.shards_owned(ServerId(s));
+            assert!(
+                owned >= map.num_shards() / 5 && owned <= map.num_shards() / 5 + 1,
+                "server {s} owns {owned}"
+            );
+        }
+        // Unmoved shards keep their owner (bounded movement).
+        let moved: std::collections::HashSet<u32> = moves.iter().map(|m| m.0).collect();
+        for shard in 0..map.num_shards() as u32 {
+            if !moved.contains(&shard) {
+                assert_eq!(map.owner_of_shard(shard), before.owner_of_shard(shard));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_placement_flip_is_visible_through_every_handle() {
+        let shared = SharedPlacement::initial(PartitionPolicy::PerFileHash, 2);
+        let other = shared.clone();
+        let new = shared.add_server();
+        shared.assign(0, new);
+        assert_eq!(other.owner_of_shard(0), new);
+        assert_eq!(other.epoch(), 1);
+        // Snapshots are decoupled: a later flip does not change them.
+        let snap = other.snapshot();
+        shared.assign(1, new);
+        assert_eq!(snap.owner_of_shard(1), ServerId(1));
+        assert_eq!(other.owner_of_shard(1), new);
+    }
+
+    #[test]
+    fn rebalance_of_a_balanced_map_is_empty() {
+        let map = ShardMap::initial(PartitionPolicy::Subtree, 8);
+        assert!(map.plan_rebalance().is_empty());
     }
 }

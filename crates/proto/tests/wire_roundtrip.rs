@@ -131,14 +131,18 @@ fn arb_request() -> impl Strategy<Value = ClientRequest> {
         arb_op_id(),
         arb_meta_op(),
         prop::collection::vec(arb_dir_id(), 0..4),
-        arb_parent_opt(),
+        (arb_parent_opt(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|(op_id, op, ancestors, parent)| ClientRequest {
-            op_id,
-            op,
-            ancestors,
-            parent,
-        })
+        .prop_map(
+            |(op_id, op, ancestors, (parent, epoch, acked_below))| ClientRequest {
+                op_id,
+                op,
+                ancestors,
+                parent,
+                epoch,
+                acked_below,
+            },
+        )
 }
 
 fn arb_fs_error() -> impl Strategy<Value = FsError> {
@@ -206,7 +210,26 @@ fn arb_result() -> impl Strategy<Value = OpResult> {
             },
         }),
         arb_fs_error().prop_map(OpResult::Err),
+        arb_shard_map().prop_map(|map| OpResult::WrongOwner { map }),
     ]
+}
+
+fn arb_shard_map() -> impl Strategy<Value = switchfs_proto::ShardMap> {
+    // Epoch-0 maps plus a few deterministic reassignments: exercises both
+    // the initial layout and post-migration maps on the wire.
+    (1usize..6, 0u32..8).prop_map(|(servers, flips)| {
+        let mut map = switchfs_proto::ShardMap::initial(
+            switchfs_proto::PartitionPolicy::PerFileHash,
+            servers,
+        );
+        if flips > 0 {
+            let newcomer = map.add_server();
+            for shard in 0..flips.min(map.num_shards() as u32) {
+                map.assign(shard, newcomer);
+            }
+        }
+        map
+    })
 }
 
 fn arb_response() -> impl Strategy<Value = ClientResponse> {
@@ -262,6 +285,33 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMsg> {
         }),
         (arb_key(), prop::collection::vec(arb_op_id(), 0..3))
             .prop_map(|(dir_key, applied)| { ServerMsg::ChangeLogPushAck { dir_key, applied } }),
+        // Live-migration stream: the messages the elastic-placement
+        // protocol depends on must round-trip with full payloads.
+        (
+            (any::<u64>(), any::<u32>()),
+            prop::collection::vec((arb_key(), arb_attrs()), 0..3),
+            prop::collection::vec((arb_dir_id(), arb_key()), 0..3),
+            (
+                prop::collection::vec((arb_dir_id(), arb_key(), arb_changelog_entry()), 0..3,),
+                prop::collection::vec(arb_op_id(), 0..3),
+                prop::collection::vec(arb_response(), 0..3),
+            ),
+        )
+            .prop_map(
+                |((req_id, shard), inodes, dir_index, (pending, applied_entry_ids, completed))| {
+                    ServerMsg::ShardInstall {
+                        req_id,
+                        shard,
+                        inodes,
+                        entries: Vec::new(),
+                        dir_index,
+                        pending,
+                        applied_entry_ids,
+                        completed,
+                    }
+                },
+            ),
+        any::<u64>().prop_map(|req_id| ServerMsg::ShardInstallAck { req_id }),
     ]
 }
 

@@ -200,6 +200,21 @@ impl ChangeLogStore {
         self.logs.is_empty()
     }
 
+    /// Drops one directory's log entirely (its pending entries migrated to
+    /// another server with their shard). Returns the dropped entry count.
+    pub fn remove(&mut self, dir: &DirId) -> usize {
+        let Some(log) = self.logs.remove(dir) else {
+            return 0;
+        };
+        if let Some(set) = self.by_fp.get_mut(&log.fp.raw()) {
+            set.remove(dir);
+            if set.is_empty() {
+                self.by_fp.remove(&log.fp.raw());
+            }
+        }
+        log.len()
+    }
+
     /// Drops every log (volatile state lost in a crash).
     pub fn clear(&mut self) {
         self.logs.clear();

@@ -1,9 +1,10 @@
 //! Server configuration: identity, placement, update protocol and
 //! directory-state tracking modes.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
-use switchfs_proto::{HashPlacement, ServerId};
+use switchfs_proto::{ServerId, SharedPlacement};
 use switchfs_simnet::{NodeId, SimDuration};
 
 use crate::costs::CostModel;
@@ -91,21 +92,26 @@ pub struct ServerConfig {
     pub tracking: TrackingMode,
     /// Proactive push / aggregation configuration.
     pub proactive: ProactiveConfig,
-    /// Placement policy shared by the whole cluster.
-    pub placement: Rc<HashPlacement>,
+    /// Epoch-versioned shard map shared by the whole cluster. Live shard
+    /// migration flips entries in place; every server sees the new owner the
+    /// moment a shard is flipped.
+    pub placement: SharedPlacement,
     /// Network node of every metadata server, indexed by `ServerId.0`.
-    pub server_nodes: Rc<Vec<NodeId>>,
+    /// Shared and growable: `Cluster::add_server` appends to it, so fan-out
+    /// paths (aggregation, invalidation broadcast) include new members
+    /// immediately.
+    pub server_nodes: Rc<RefCell<Vec<NodeId>>>,
 }
 
 impl ServerConfig {
     /// The network node hosting `server`.
     pub fn node_of(&self, server: ServerId) -> NodeId {
-        self.server_nodes[server.0 as usize]
+        self.server_nodes.borrow()[server.0 as usize]
     }
 
     /// Number of metadata servers in the cluster.
     pub fn num_servers(&self) -> usize {
-        self.server_nodes.len()
+        self.server_nodes.borrow().len()
     }
 
     /// All server ids other than this one (the aggregation fan-out set).
@@ -131,8 +137,10 @@ mod tests {
             update_mode: UpdateMode::AsyncCompacted,
             tracking: TrackingMode::InNetwork,
             proactive: ProactiveConfig::default(),
-            placement: Rc::new(HashPlacement::new(PartitionPolicy::PerFileHash, n)),
-            server_nodes: Rc::new((0..n as u32).map(|i| NodeId(100 + i)).collect()),
+            placement: SharedPlacement::initial(PartitionPolicy::PerFileHash, n),
+            server_nodes: Rc::new(RefCell::new(
+                (0..n as u32).map(|i| NodeId(100 + i)).collect(),
+            )),
         }
     }
 

@@ -12,6 +12,7 @@
 //! handler on this server would need in conflicting mode before replying.
 
 pub mod aggregate;
+pub mod migrate;
 pub mod ops;
 pub mod recovery;
 pub mod rename;
@@ -26,8 +27,8 @@ use switchfs_proto::message::{
     Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, NetMsg, OpResult, PacketSeq, ServerMsg,
 };
 use switchfs_proto::{
-    ChangeLogEntry, DirEntry, DirId, DirtyRet, DirtySetOp, DirtyState, FileType, Fingerprint,
-    FsError, InodeAttrs, MetaKey, OpId, ServerId, Timestamps,
+    ChangeLogEntry, ClientId, DirEntry, DirId, DirtyRet, DirtySetOp, DirtyState, FileType,
+    Fingerprint, FsError, InodeAttrs, MetaKey, OpId, ServerId, Timestamps,
 };
 use switchfs_simnet::sync::oneshot;
 use switchfs_simnet::{timeout, CpuPool, Endpoint, NodeId, SimHandle, SimTime};
@@ -66,6 +67,18 @@ pub struct ServerStats {
     pub retransmissions: u64,
     /// Crash recoveries completed.
     pub recoveries: u64,
+    /// Shards this server migrated away (live scale-out): completed
+    /// freeze→stream→flip cycles.
+    pub shards_migrated_out: u64,
+    /// Shard installs this server applied. Counts install *events*: a
+    /// migration retried after a lost acknowledgment (the source never saw
+    /// the ack, re-streamed under a fresh token, and the target purged the
+    /// stale first copy) applies — and counts — twice, so under faults
+    /// this can exceed `shards_migrated_out`.
+    pub shards_migrated_in: u64,
+    /// Requests rejected because the client routed them with a stale shard
+    /// map (answered with the current map for refresh-and-retry).
+    pub wrong_owner_rejects: u64,
 }
 
 /// Reply delivered to a waiting double-inode handler when its asynchronous
@@ -165,10 +178,17 @@ impl DirContent {
 /// std-`RandomState` may influence (even only potentially) the replayable
 /// schedule.
 pub(crate) struct AggCollector {
+    pub fp: Fingerprint,
     pub expected: FxHashSet<ServerId>,
     pub entries: Vec<ChangeLogEntry>,
     pub done: Option<oneshot::Sender<Vec<ChangeLogEntry>>>,
 }
+
+/// Cap on cached responses kept per client when the piggybacked acked
+/// watermark lags (e.g. a client that stops talking to this server): the
+/// fallback eviction drops the oldest (lowest-sequence) entries first, which
+/// are exactly the ones the client can no longer retransmit.
+pub(crate) const COMPLETED_OPS_PER_CLIENT_CAP: usize = 512;
 
 /// The volatile state of a metadata server. Rebuilt from the WAL after a
 /// crash.
@@ -189,12 +209,40 @@ pub(crate) struct ServerInner {
     /// Remote change-log entries already applied (duplicate suppression).
     pub applied_entry_ids: FxHashSet<OpId>,
     /// Responses already sent, re-sent verbatim on duplicate requests.
-    pub completed_ops: FxHashMap<OpId, ClientResponse>,
+    /// Keyed per client and ordered by sequence so the piggybacked acked
+    /// watermark can prune everything the client will never retransmit —
+    /// the map is bounded by each client's in-flight window (plus the
+    /// [`COMPLETED_OPS_PER_CLIENT_CAP`] fallback), not by uptime.
+    pub completed_ops: FxHashMap<ClientId, std::collections::BTreeMap<u64, ClientResponse>>,
     /// Requests currently executing; retransmissions of these are dropped
     /// (the client's timer re-asks until the cached response exists). This
     /// keeps slow multi-round operations like the rename 2PC from running
-    /// twice concurrently for one op id.
+    /// twice concurrently for one op id, and gives shard migration a
+    /// drain-barrier: the freeze waits until every op in flight at freeze
+    /// time has finished (new ones are gated per-shard).
     pub in_flight_ops: FxHashSet<OpId>,
+    /// Per-sender window of recently seen request packet sequences.
+    /// Detects *network-duplicated* request packets (same `PacketSeq`;
+    /// deliberate retransmissions carry fresh ones, §5.4.1): a delayed
+    /// duplicate of an operation the client already acknowledged would
+    /// otherwise re-execute, because its cached response was legitimately
+    /// pruned by the acked watermark. Bounded: duplicates only arrive
+    /// within the network's reorder window, so a short per-sender FIFO
+    /// suffices.
+    pub seen_request_pkts: FxHashMap<u32, (FxHashSet<u64>, std::collections::VecDeque<u64>)>,
+    /// Shards currently frozen by an outbound live migration: requests
+    /// touching them are dropped (clients retransmit; after the flip the
+    /// retry is re-routed to the new owner).
+    pub migrating_shards: std::collections::BTreeSet<u32>,
+    /// `(source node, token)` of shard installs already applied, so a
+    /// retransmitted install is acked without double-appending the shard's
+    /// pending change-log entries.
+    pub applied_installs: FxHashSet<(u32, u64)>,
+    /// Shard installs currently being applied; a retransmission racing the
+    /// still-running first copy is dropped (the source's retransmission
+    /// timer re-asks until the apply finished), exactly like in-flight
+    /// client requests.
+    pub in_progress_installs: FxHashSet<(u32, u64)>,
     /// Local software dirty set, used in [`TrackingMode::OwnerServer`].
     pub local_dirty: SoftwareDirtySet,
     /// Per-fingerprint time of the last received proactive push, driving
@@ -212,6 +260,10 @@ pub(crate) struct ServerInner {
     pub pending_tokens: FxHashMap<u64, oneshot::Sender<TokenReply>>,
     /// Aggregations in flight, keyed by aggregation id.
     pub pending_aggs: FxHashMap<u64, AggCollector>,
+    /// Owner-side aggregations currently executing (collection *and* apply
+    /// phase), counted per raw fingerprint; a shard migration's drain
+    /// barrier waits on these.
+    pub active_aggs: FxHashMap<u64, usize>,
     /// Remote-side aggregation lock holders waiting for the owner's ack.
     pub pending_agg_acks: FxHashMap<u64, oneshot::Sender<()>>,
     /// Rename transactions prepared on this participant, awaiting a decision.
@@ -271,6 +323,10 @@ impl ServerInner {
             applied_entry_ids: FxHashSet::default(),
             completed_ops: FxHashMap::default(),
             in_flight_ops: FxHashSet::default(),
+            seen_request_pkts: FxHashMap::default(),
+            migrating_shards: std::collections::BTreeSet::new(),
+            applied_installs: FxHashSet::default(),
+            in_progress_installs: FxHashSet::default(),
             local_dirty: SoftwareDirtySet::new(),
             push_timers: FxHashMap::default(),
             dir_counter: 0,
@@ -279,6 +335,7 @@ impl ServerInner {
             pending_commits: FxHashMap::default(),
             pending_tokens: FxHashMap::default(),
             pending_aggs: FxHashMap::default(),
+            active_aggs: FxHashMap::default(),
             pending_agg_acks: FxHashMap::default(),
             prepared_txns: FxHashMap::default(),
             decided_txns: FxHashMap::default(),
@@ -354,6 +411,68 @@ impl ServerInner {
     pub fn entry_exists(&self, dir: &DirId, name: &str) -> bool {
         self.entries.peek(dir).is_some_and(|c| c.contains(name))
     }
+
+    /// The cached response of a completed operation, if still retained.
+    pub fn cached_response(&self, op_id: &OpId) -> Option<&ClientResponse> {
+        self.completed_ops.get(&op_id.client)?.get(&op_id.seq)
+    }
+
+    /// Caches a response for duplicate suppression, evicting the oldest
+    /// entries past the per-client cap (op ids are per-client sequences, so
+    /// the lowest sequence is the least likely to be retransmitted).
+    pub fn cache_response(&mut self, response: ClientResponse) {
+        let per = self.completed_ops.entry(response.op_id.client).or_default();
+        per.insert(response.op_id.seq, response);
+        while per.len() > COMPLETED_OPS_PER_CLIENT_CAP {
+            let oldest = *per.keys().next().expect("cap overflow implies entries");
+            per.remove(&oldest);
+        }
+    }
+
+    /// Prunes every cached response of `client` below its piggybacked acked
+    /// watermark: the client confirmed receipt of those responses and will
+    /// never retransmit the operations.
+    pub fn prune_completed(&mut self, client: ClientId, acked_below: u64) {
+        if acked_below == 0 {
+            return;
+        }
+        if let Some(per) = self.completed_ops.get_mut(&client) {
+            // Only rebuild the map when there is actually something to
+            // drop — this runs on every request.
+            if per
+                .first_key_value()
+                .is_some_and(|(seq, _)| *seq < acked_below)
+            {
+                *per = per.split_off(&acked_below);
+                if per.is_empty() {
+                    self.completed_ops.remove(&client);
+                }
+            }
+        }
+    }
+
+    /// Total cached responses across all clients (test observability).
+    pub fn completed_ops_len(&self) -> usize {
+        self.completed_ops.values().map(|m| m.len()).sum()
+    }
+
+    /// Records a request packet's sequence number; returns false when this
+    /// exact packet was already seen (a network duplicate to drop). The
+    /// per-sender window is FIFO-bounded: duplicates arrive within the
+    /// fabric's reorder window, far shorter than 128 packets.
+    pub fn note_request_pkt(&mut self, sender: u32, seq: u64) -> bool {
+        const PKT_WINDOW: usize = 128;
+        let (set, order) = self.seen_request_pkts.entry(sender).or_default();
+        if !set.insert(seq) {
+            return false;
+        }
+        order.push_back(seq);
+        while order.len() > PKT_WINDOW {
+            let old = order.pop_front().expect("window overflow implies entries");
+            set.remove(&old);
+        }
+        true
+    }
 }
 
 /// One SwitchFS metadata server, bound to a simulated network endpoint.
@@ -420,6 +539,17 @@ impl Server {
         self.inner.borrow().prepared_txns.len()
     }
 
+    /// Total duplicate-suppression cache entries across all clients
+    /// (test observability for the bounded-dedup guarantee).
+    pub fn completed_op_count(&self) -> usize {
+        self.inner.borrow().completed_ops_len()
+    }
+
+    /// Number of shards currently frozen by outbound migrations.
+    pub fn migrating_shard_count(&self) -> usize {
+        self.inner.borrow().migrating_shards.len()
+    }
+
     /// Sets the WAL-append slow-down multiplier (chaos disk-latency spikes;
     /// 1 restores normal speed).
     pub fn set_disk_slowdown(&self, mult: u64) {
@@ -473,11 +603,26 @@ impl Server {
             return;
         }
         let dirty_ret = msg.dirty.map(|h| h.ret);
+        let pkt_seq = msg.pkt_seq;
         match msg.body {
             // Boxed: the packet-loop spawns one dispatch future per packet;
             // keeping it at pointer size makes that copy cheap and pays for
             // the handler box only when a request/server message arrives.
-            Body::Request(req) => Box::pin(self.handle_client_request(src, req, dirty_ret)).await,
+            Body::Request(req) => {
+                // Network-duplicate suppression below the op-level cache:
+                // a delayed duplicate of an already-acknowledged operation
+                // must not re-execute after the acked watermark pruned its
+                // cached response. Retransmissions carry fresh packet
+                // sequences and pass through.
+                if !self
+                    .inner
+                    .borrow_mut()
+                    .note_request_pkt(pkt_seq.sender, pkt_seq.seq)
+                {
+                    return;
+                }
+                Box::pin(self.handle_client_request(src, req, dirty_ret)).await
+            }
             Body::Server(smsg) => Box::pin(self.handle_server_msg(src, smsg, dirty_ret)).await,
             Body::Coord(CoordMsg::Reply { token, ret }) => {
                 self.complete_token(token, TokenReply::Dirty(ret));
@@ -498,11 +643,16 @@ impl Server {
         // Duplicate suppression: a retransmitted request gets the cached
         // response back without re-executing. (Bind the lookup first so the
         // RefCell borrow is released before sending.)
-        let cached = self.inner.borrow().completed_ops.get(&req.op_id).cloned();
+        let cached = self.inner.borrow().cached_response(&req.op_id).cloned();
         if let Some(resp) = cached {
             self.send_plain(client_node, Body::Response(resp));
             return;
         }
+        // The piggybacked watermark bounds the dedup cache: everything this
+        // client acknowledged receiving can never be retransmitted again.
+        self.inner
+            .borrow_mut()
+            .prune_completed(req.op_id.client, req.acked_below);
         if self.inner.borrow().in_flight_ops.contains(&req.op_id) {
             // Already executing (a retransmission raced a slow operation,
             // e.g. the rename 2PC): drop it; the client keeps re-asking and
@@ -517,6 +667,36 @@ impl Server {
         }
         if self.inner.borrow().unavailable {
             self.reply(client_node, req.op_id, OpResult::Err(FsError::Unavailable));
+            return;
+        }
+        // Both checks below are off the hot path: shard classification runs
+        // only while an outbound migration is active, and the ownership
+        // re-check only when the client's map epoch is stale.
+        if !self.inner.borrow().migrating_shards.is_empty() {
+            let shards = self.request_shards(&req.op);
+            let inner = self.inner.borrow();
+            if shards.iter().any(|s| inner.migrating_shards.contains(s)) {
+                // The target shard is frozen by an outbound migration: drop
+                // the request; the client's retransmission lands after the
+                // flip and is either served here (shard kept) or rejected
+                // with the new map (shard moved).
+                return;
+            }
+        }
+        if req.epoch != self.cfg.placement.epoch() && !self.may_own(&req.op) {
+            // Routed with a stale shard map after the target shard moved
+            // away: hand back the current map for refresh-and-retry.
+            self.inner.borrow_mut().stats.wrong_owner_rejects += 1;
+            self.send_plain(
+                client_node,
+                Body::Response(ClientResponse {
+                    op_id: req.op_id,
+                    result: OpResult::WrongOwner {
+                        map: self.cfg.placement.snapshot(),
+                    },
+                    server: self.cfg.id,
+                }),
+            );
             return;
         }
         self.inner.borrow_mut().in_flight_ops.insert(req.op_id);
@@ -539,8 +719,89 @@ impl Server {
         // `None` means the operation replies through the switch multicast
         // (asynchronous commit); anything else is replied here.
         if let Some(result) = result {
-            self.reply(client_node, req.op_id, result);
+            let response = self.reply(client_node, req.op_id, result);
+            self.persist_completion(&req.op, &response);
         }
+    }
+
+    /// The placement-hash shards a request's primary key may legitimately
+    /// map to under the current policy (its per-file hash, its fingerprint
+    /// and its parent-directory hash, plus a locally-known directory id for
+    /// grouping policies). Used by the migration freeze gate; computed only
+    /// while a migration is active, never on the hot path.
+    fn request_shards(&self, op: &MetaOp) -> Vec<u32> {
+        let key = op.primary_key();
+        let fp = Fingerprint::of_dir(&key.pid, &key.name);
+        let placement = &self.cfg.placement;
+        let mut shards = vec![
+            placement.shard_of_hash(key.hash64()),
+            placement.shard_of_hash(switchfs_proto::ids::splitmix64(fp.raw())),
+            placement.shard_of_hash(key.pid.hash64()),
+        ];
+        let dir_id = self.inner.borrow().inodes.peek(key).map(|a| a.id);
+        if let Some(id) = dir_id {
+            shards.push(placement.shard_of_hash(id.hash64()));
+        }
+        shards.dedup();
+        shards
+    }
+
+    /// Ownership check for stale-epoch requests, mirroring the client
+    /// router's per-op routing under the *current* map. The check must be
+    /// exactly as strict as the router: accepting a non-owner (e.g. the
+    /// per-file-hash server for a fingerprint-routed `mkdir`) would let a
+    /// stale-routed create materialize state on the wrong server.
+    fn may_own(&self, op: &MetaOp) -> bool {
+        let key = op.primary_key();
+        let placement = &self.cfg.placement;
+        let me = self.cfg.id;
+        match placement.policy() {
+            switchfs_proto::PartitionPolicy::PerFileHash => match op {
+                // Fingerprint-routed directory-target operations.
+                MetaOp::Mkdir { .. }
+                | MetaOp::Rmdir { .. }
+                | MetaOp::Statdir { .. }
+                | MetaOp::Readdir { .. }
+                | MetaOp::Lookup { .. } => {
+                    placement.dir_owner_by_fp(Fingerprint::of_dir(&key.pid, &key.name)) == me
+                }
+                // Rename is legitimately addressed to either the source's
+                // fingerprint owner (directory source) or its per-file-hash
+                // owner (file source / cold cache, re-routed server-side).
+                MetaOp::Rename { src, .. } => {
+                    placement.owner_of_hash(src.hash64()) == me
+                        || placement.dir_owner_by_fp(Fingerprint::of_dir(&src.pid, &src.name)) == me
+                }
+                _ => placement.owner_of_hash(key.hash64()) == me,
+            },
+            // Grouping policies: most operations target the parent's
+            // children server; directory reads / rmdir target the content
+            // owner, addressed by an id only the client resolved — accept
+            // when the replica is locally stored.
+            _ => {
+                placement.dir_owner_by_id(&key.pid) == me
+                    || self.inner.borrow().inodes.contains(key)
+            }
+        }
+    }
+
+    /// Durably records a completed mutating operation's response (piggybacked
+    /// on the operation's WAL append, so it costs no extra simulated
+    /// latency): a retransmission that spans a crash must get the original
+    /// result, not a re-execution.
+    pub(crate) fn persist_completion(
+        &self,
+        op: &MetaOp,
+        response: &switchfs_proto::message::ClientResponse,
+    ) {
+        let mutates =
+            op.is_double_inode() || matches!(op, MetaOp::Chmod { .. } | MetaOp::Rename { .. });
+        if !mutates {
+            return;
+        }
+        let record = WalOp::completion(response.clone());
+        let size = record.wire_size();
+        self.durable.borrow_mut().wal.append_sized(record, size);
     }
 
     // Handlers with large state machines are boxed: the per-packet dispatch
@@ -752,6 +1013,32 @@ impl Server {
             ServerMsg::TypeProbeAck { req_id, file_type } => {
                 self.complete_token(req_id, TokenReply::Type(file_type));
             }
+            ServerMsg::ShardInstall {
+                req_id,
+                shard,
+                inodes,
+                entries,
+                dir_index,
+                pending,
+                applied_entry_ids,
+                completed,
+            } => {
+                Box::pin(self.handle_shard_install(
+                    src,
+                    req_id,
+                    shard,
+                    inodes,
+                    entries,
+                    dir_index,
+                    pending,
+                    applied_entry_ids,
+                    completed,
+                ))
+                .await;
+            }
+            ServerMsg::ShardInstallAck { req_id } => {
+                self.complete_token(req_id, TokenReply::Ack);
+            }
         }
     }
 
@@ -849,8 +1136,14 @@ impl Server {
         self.endpoint.send(dst, msg);
     }
 
-    /// Sends a response to a client and records it for duplicate suppression.
-    pub(crate) fn reply(&self, client_node: NodeId, op_id: OpId, result: OpResult) {
+    /// Sends a response to a client and records it for duplicate
+    /// suppression; returns the response so callers can persist it.
+    pub(crate) fn reply(
+        &self,
+        client_node: NodeId,
+        op_id: OpId,
+        result: OpResult,
+    ) -> ClientResponse {
         let response = ClientResponse {
             op_id,
             result,
@@ -862,9 +1155,10 @@ impl Server {
             if !response.result.is_ok() {
                 inner.stats.ops_failed += 1;
             }
-            inner.completed_ops.insert(op_id, response.clone());
+            inner.cache_response(response.clone());
         }
-        self.send_plain(client_node, Body::Response(response));
+        self.send_plain(client_node, Body::Response(response.clone()));
+        response
     }
 
     /// Builds the response object without sending it (the asynchronous commit
@@ -877,7 +1171,7 @@ impl Server {
         };
         let mut inner = self.inner.borrow_mut();
         inner.stats.ops_completed += 1;
-        inner.completed_ops.insert(op_id, response.clone());
+        inner.cache_response(response.clone());
         response
     }
 
@@ -944,6 +1238,8 @@ impl Server {
             pending_entry,
             applied_entry_ids,
             txn_marker: None,
+            completed: None,
+            migration: None,
         };
         let size = record.wire_size();
         // Apply to the volatile stores from the borrowed record, then move
@@ -1227,6 +1523,23 @@ impl Server {
     /// Whether this server currently owns (stores the inode of) `key`.
     pub fn owns_inode(&self, key: &MetaKey) -> bool {
         self.inner.borrow().inodes.contains(key)
+    }
+
+    /// Setup-time seeding for a newly added server: copies another server's
+    /// invalidation list directly, like preloading does for namespaces (the
+    /// newcomer has served no traffic yet, so no protocol run is needed).
+    pub fn seed_invalidation_from(&self, other: &Server) {
+        let list: Vec<(DirId, MetaKey)> = other
+            .inner
+            .borrow()
+            .invalidation
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let mut inner = self.inner.borrow_mut();
+        for (id, key) in list {
+            inner.invalidation.insert(id, key);
+        }
     }
 
     /// The cost model in effect (shared with benches).

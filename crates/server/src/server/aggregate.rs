@@ -14,7 +14,7 @@ use switchfs_proto::message::{CoordMsg, MetaOp};
 use switchfs_proto::{
     changelog::CompactedChanges, ChangeLogEntry, ChangeOp, DirEntry, DirId, DirtyRet,
     DirtySetHeader, DirtySetOp, DirtyState, Fingerprint, FsError, MetaKey, OpId, OpResult,
-    Placement, ServerId, Timestamps,
+    ServerId, Timestamps,
 };
 use switchfs_simnet::timeout;
 
@@ -98,6 +98,32 @@ impl Server {
         fp: Fingerprint,
         invalidate: Option<(DirId, MetaKey)>,
     ) -> usize {
+        // Counted for the whole call — including the apply phase after the
+        // collection completes — so a shard migration's drain barrier can
+        // wait for every in-progress aggregation of the shard, not just
+        // the ones still collecting (`pending_aggs` empties earlier).
+        {
+            let mut inner = self.inner.borrow_mut();
+            *inner.active_aggs.entry(fp.raw()).or_insert(0) += 1;
+        }
+        let applied = self.aggregate_group_counted(fp, invalidate).await;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(c) = inner.active_aggs.get_mut(&fp.raw()) {
+                *c -= 1;
+                if *c == 0 {
+                    inner.active_aggs.remove(&fp.raw());
+                }
+            }
+        }
+        applied
+    }
+
+    async fn aggregate_group_counted(
+        &self,
+        fp: Fingerprint,
+        invalidate: Option<(DirId, MetaKey)>,
+    ) -> usize {
         let costs = self.cfg.costs;
         let others = self.cfg.other_servers();
         let agg_id = self.next_token();
@@ -144,6 +170,7 @@ impl Server {
                     inner.pending_aggs.insert(
                         agg_id,
                         AggCollector {
+                            fp,
                             expected: others.iter().copied().collect(),
                             entries: Vec::new(),
                             done: Some(tx),
@@ -510,6 +537,15 @@ impl Server {
     ) {
         let costs = self.cfg.costs;
         self.cpu.run(costs.software_path).await;
+        if let Some(first) = entries.first() {
+            if self.dir_update_frozen(fp, &first.dir) {
+                // The target directory's shard is frozen by an outbound
+                // migration: applying now would strand the entries at the
+                // old owner after the flip. No ack — the pusher retries,
+                // and its placement lookup then routes to the new owner.
+                return;
+            }
+        }
         let fpg = self.locks.fp_group(fp);
         let _w = fpg.write().await;
         let applied_ids: Vec<OpId> = entries.iter().map(|e| e.entry_id).collect();
@@ -625,6 +661,18 @@ impl Server {
         };
         for raw in due {
             let fp = Fingerprint::from_raw(raw);
+            // Never start an owner-side aggregation for a group in a shard
+            // that is mid-migration: entries pulled and applied after the
+            // shard snapshot would be stranded at the old owner when the
+            // shard flips. The new owner aggregates after the flip. The
+            // fingerprint covers the per-file-hash policy; the group's
+            // directory ids cover the (id-hashed) grouping policies.
+            let dirs = self.inner.borrow().changelogs.dirs_in_group(fp);
+            if self.dir_update_frozen(fp, &DirId::ROOT)
+                || dirs.iter().any(|d| self.dir_update_frozen(fp, d))
+            {
+                continue;
+            }
             let fpg = self.locks.fp_group(fp);
             let _w = fpg.write().await;
             self.aggregate_group(fp, None).await;

@@ -1,0 +1,487 @@
+//! Live shard migration: the mechanism behind elastic scale-out.
+//!
+//! The cluster's placement is an epoch-versioned map of virtual shards to
+//! servers ([`switchfs_proto::ShardMap`]). Moving one shard from its owner
+//! (the *source*) to a *target* runs the freeze → stream → ack → flip
+//! protocol:
+//!
+//! 1. the source durably logs a `MigrationMarker::Started` and freezes the
+//!    shard (requests touching it are dropped; the clients' retransmission
+//!    timers carry them across the window);
+//! 2. the source waits for in-flight work on the shard to drain (client
+//!    handlers, owner-side aggregations, prepared transactions);
+//! 3. the source extracts the shard's slice of its stores — inodes, entry
+//!    lists, the owner index, pending change-log entries — plus copies of
+//!    the duplicate-suppression state, and streams it to the target with
+//!    ack + retransmission ([`switchfs_proto::message::ServerMsg::ShardInstall`]);
+//! 4. the target applies and durably logs the state, then acks;
+//! 5. the source flips the shard in the shared map (bumping the epoch),
+//!    deletes its now-stale copy (logged, so recovery agrees), logs
+//!    `MigrationMarker::Completed`, and unfreezes.
+//!
+//! Clients keep routing with their cached map until a server rejects them
+//! with `WrongOwner { map }`, at which point they refresh and retry — one
+//! extra round trip per client per epoch bump, only on moved shards.
+//!
+//! A crash between steps leaves a durable `Started` with no `Completed`;
+//! recovery resolves it against the shared map (see
+//! [`crate::server::recovery`]): if the shard already flipped, the replayed
+//! local copy is stale and is dropped; otherwise the source still owns the
+//! shard and the cluster re-drives the migration.
+
+use switchfs_proto::message::{Body, ClientResponse, ServerMsg};
+use switchfs_proto::{
+    ids::splitmix64, ChangeLogEntry, DirId, FileType, Fingerprint, InodeAttrs, MetaKey, OpId,
+    PartitionPolicy, ServerId,
+};
+
+use crate::server::{Server, TokenReply};
+use crate::wal::{KvEffect, MigrationMarker, WalOp};
+
+/// The extracted slice of one shard's server-side state.
+pub(crate) struct ShardExtract {
+    pub inodes: Vec<(MetaKey, InodeAttrs)>,
+    pub entries: Vec<(DirId, switchfs_proto::DirEntry)>,
+    pub dir_index: Vec<(DirId, MetaKey)>,
+    pub pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
+}
+
+/// The placement hashes under which an inode may be stored on its owner:
+/// its routing roles under the given policy. A directory under grouping
+/// policies has two (access replica with the parent's children, content
+/// replica with its own).
+fn inode_role_hashes(policy: PartitionPolicy, key: &MetaKey, attrs: &InodeAttrs) -> Vec<u64> {
+    match policy {
+        PartitionPolicy::PerFileHash => {
+            if attrs.file_type == FileType::Directory {
+                vec![splitmix64(Fingerprint::of_dir(&key.pid, &key.name).raw())]
+            } else {
+                vec![key.hash64()]
+            }
+        }
+        PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => {
+            let mut v = vec![key.pid.hash64()];
+            if attrs.file_type == FileType::Directory {
+                v.push(attrs.id.hash64());
+            }
+            v
+        }
+    }
+}
+
+/// The placement hash that owns a directory's entry list (and its owner-
+/// index record): the fingerprint hash under per-file hashing, the
+/// directory-id hash under the grouping policies.
+fn dir_content_hash(policy: PartitionPolicy, dir: &DirId, dir_key: Option<&MetaKey>) -> u64 {
+    match policy {
+        PartitionPolicy::PerFileHash => match dir_key {
+            Some(key) => splitmix64(Fingerprint::of_dir(&key.pid, &key.name).raw()),
+            // Without an index entry the fingerprint is unknown; fall back
+            // to the id hash, which never matches a foreign shard under
+            // per-file hashing — the list simply stays put.
+            None => dir.hash64(),
+        },
+        PartitionPolicy::PerDirectoryHash | PartitionPolicy::Subtree => dir.hash64(),
+    }
+}
+
+impl Server {
+    /// Extracts everything stored on this server that shard `shard` owns.
+    pub(crate) fn collect_shard(&self, shard: u32) -> ShardExtract {
+        let placement = &self.cfg.placement;
+        let policy = placement.policy();
+        let inner = self.inner.borrow();
+        let mut out = ShardExtract {
+            inodes: Vec::new(),
+            entries: Vec::new(),
+            dir_index: Vec::new(),
+            pending: Vec::new(),
+        };
+        for (key, attrs) in inner.inodes.iter() {
+            let hit = inode_role_hashes(policy, key, attrs)
+                .iter()
+                .any(|h| placement.shard_of_hash(*h) == shard);
+            if hit {
+                out.inodes.push((key.clone(), attrs.clone()));
+            }
+        }
+        for (dir, content) in inner.entries.iter() {
+            let h = dir_content_hash(policy, dir, inner.dir_index.get(dir));
+            if placement.shard_of_hash(h) == shard {
+                for e in content.iter() {
+                    out.entries.push((*dir, e.clone()));
+                }
+            }
+        }
+        for (dir, key) in inner.dir_index.iter() {
+            let h = dir_content_hash(policy, dir, Some(key));
+            if placement.shard_of_hash(h) == shard {
+                out.dir_index.push((*dir, key.clone()));
+            }
+        }
+        for (dir, fp) in inner.changelogs.dirty_dirs() {
+            let dir_key = inner.changelogs.get(&dir).map(|l| l.dir_key.clone());
+            let h = match policy {
+                PartitionPolicy::PerFileHash => splitmix64(fp.raw()),
+                _ => dir.hash64(),
+            };
+            if placement.shard_of_hash(h) == shard {
+                if let (Some(log), Some(key)) = (inner.changelogs.get(&dir), dir_key) {
+                    for e in log.entries() {
+                        out.pending.push((dir, key.clone(), e.clone()));
+                    }
+                }
+            }
+        }
+        // Deterministic stream order regardless of hash-map iteration.
+        out.inodes.sort_by(|a, b| a.0.cmp(&b.0));
+        out.entries
+            .sort_by(|a, b| (a.0, &a.1.name).cmp(&(b.0, &b.1.name)));
+        out.dir_index.sort_by_key(|e| e.0);
+        out.pending.sort_by_key(|e| (e.0, e.2.entry_id));
+        out
+    }
+
+    /// Copies of the duplicate-suppression state shipped with every shard.
+    /// Deliberately re-snapshotted per migration rather than once per
+    /// rebalance: under live traffic, responses cached between two shards'
+    /// freezes exist only in the later snapshot, and the later shard's flip
+    /// redirects exactly those clients' retransmissions to the target — a
+    /// stale snapshot would let them re-execute. A superset is always safe,
+    /// and the acked watermark keeps each snapshot within the in-flight
+    /// window, so the per-shard payload stays small by construction.
+    pub(crate) fn dedup_snapshot(&self) -> (Vec<OpId>, Vec<ClientResponse>) {
+        let inner = self.inner.borrow();
+        let mut applied: Vec<OpId> = inner.applied_entry_ids.iter().copied().collect();
+        applied.sort_unstable();
+        let mut completed: Vec<ClientResponse> = inner
+            .completed_ops
+            .values()
+            .flat_map(|m| m.values().cloned())
+            .collect();
+        completed.sort_by_key(|r| r.op_id);
+        (applied, completed)
+    }
+
+    /// True when the directory addressed by `fp`/`dir` lies in a shard this
+    /// server is currently migrating out. Server-to-server update paths
+    /// (change-log pushes, synchronous remote updates, overflow fallbacks)
+    /// must check this before applying: an entry applied at the source
+    /// after the shard was snapshotted would be stranded at the old owner
+    /// when the shard flips. Senders retry, and after the flip their
+    /// placement lookup routes the update to the new owner.
+    pub(crate) fn dir_update_frozen(&self, fp: Fingerprint, dir: &DirId) -> bool {
+        let inner = self.inner.borrow();
+        if inner.migrating_shards.is_empty() {
+            return false;
+        }
+        let placement = &self.cfg.placement;
+        let h = match placement.policy() {
+            PartitionPolicy::PerFileHash => splitmix64(fp.raw()),
+            _ => dir.hash64(),
+        };
+        inner.migrating_shards.contains(&placement.shard_of_hash(h))
+    }
+
+    /// True while work that predates the freeze may still touch `shard`:
+    /// any client handler from the freeze-time snapshot (new ones are gated
+    /// per-shard), any owner-side aggregation of a fingerprint in the
+    /// shard, any prepared transaction staging mutations in it.
+    fn shard_busy(&self, shard: u32, pre_freeze: &switchfs_simnet::FxHashSet<OpId>) -> bool {
+        let placement = &self.cfg.placement;
+        let inner = self.inner.borrow();
+        if inner.in_flight_ops.iter().any(|op| pre_freeze.contains(op)) {
+            return true;
+        }
+        if inner
+            .pending_aggs
+            .values()
+            .any(|agg| placement.shard_of_hash(splitmix64(agg.fp.raw())) == shard)
+        {
+            return true;
+        }
+        // Owner-side aggregations that finished collecting but are still
+        // applying entries (pending_aggs empties before the apply phase).
+        if inner
+            .active_aggs
+            .keys()
+            .any(|raw| placement.shard_of_hash(splitmix64(*raw)) == shard)
+        {
+            return true;
+        }
+        inner.prepared_txns.values().any(|txn| {
+            txn.ops
+                .iter()
+                .any(|op| self.txn_op_touches_shard(op, shard))
+        })
+    }
+
+    /// Conservative: true if a staged transaction mutation may land in
+    /// `shard` under any of its routing roles.
+    pub(crate) fn txn_op_touches_shard(
+        &self,
+        op: &switchfs_proto::message::TxnOp,
+        shard: u32,
+    ) -> bool {
+        use switchfs_proto::message::TxnOp;
+        let placement = &self.cfg.placement;
+        let key_hits = |key: &MetaKey| {
+            let fp = Fingerprint::of_dir(&key.pid, &key.name);
+            placement.shard_of_hash(key.hash64()) == shard
+                || placement.shard_of_hash(splitmix64(fp.raw())) == shard
+                || placement.shard_of_hash(key.pid.hash64()) == shard
+        };
+        match op {
+            TxnOp::PutInode { key, .. } | TxnOp::DeleteInode { key } => key_hits(key),
+            TxnOp::DirUpdate { dir_key, entry } => {
+                key_hits(dir_key) || placement.shard_of_hash(entry.dir.hash64()) == shard
+            }
+            TxnOp::PutDirContent { key, dir, .. } => {
+                key_hits(key) || placement.shard_of_hash(dir.hash64()) == shard
+            }
+            TxnOp::DeleteDirContent { dir, .. } => placement.shard_of_hash(dir.hash64()) == shard,
+        }
+    }
+
+    /// Waits until no in-flight work can touch the frozen shard. New work is
+    /// already gated by the freeze, so this drains in bounded time.
+    async fn wait_shard_quiesced(&self, shard: u32) {
+        let pre_freeze: switchfs_simnet::FxHashSet<OpId> =
+            self.inner.borrow().in_flight_ops.iter().copied().collect();
+        let step = self.cfg.costs.request_timeout / 4;
+        while self.shard_busy(shard, &pre_freeze) {
+            self.handle.sleep(step).await;
+        }
+    }
+
+    /// Durably logs a shard-migration state transition and charges one WAL
+    /// append.
+    pub(crate) async fn log_migration_marker(&self, marker: MigrationMarker) {
+        self.cpu.run(self.wal_append_cost()).await;
+        let record = WalOp::migration(marker);
+        let size = record.wire_size();
+        self.durable.borrow_mut().wal.append_sized(record, size);
+    }
+
+    /// Migrates `shard` to `target`: freeze → drain → stream (with ack +
+    /// retransmission) → `flip` (the caller reassigns the shard in the
+    /// shared map) → delete the local copy. Returns false — leaving
+    /// ownership unchanged and the shard unfrozen — if the target never
+    /// acked (e.g. it is down); the caller may retry later.
+    pub async fn migrate_shard(&self, shard: u32, target: ServerId, flip: impl FnOnce()) -> bool {
+        self.log_migration_marker(MigrationMarker::Started { shard, target })
+            .await;
+        self.inner.borrow_mut().migrating_shards.insert(shard);
+        self.wait_shard_quiesced(shard).await;
+
+        let extract = self.collect_shard(shard);
+        let (applied_entry_ids, completed) = self.dedup_snapshot();
+        // Stream cost: one KV read per extracted item.
+        let items = extract.inodes.len() + extract.entries.len() + extract.pending.len();
+        self.cpu
+            .run(self.cfg.costs.kv_get * items.max(1) as u64)
+            .await;
+
+        let token = self.next_token();
+        let body = Body::Server(ServerMsg::ShardInstall {
+            req_id: token,
+            shard,
+            inodes: extract.inodes.clone(),
+            entries: extract.entries.clone(),
+            dir_index: extract.dir_index.clone(),
+            pending: extract.pending.clone(),
+            applied_entry_ids,
+            completed,
+        });
+        let acked = matches!(
+            self.send_with_ack(self.cfg.node_of(target), token, body)
+                .await,
+            Some(TokenReply::Ack)
+        );
+        if !acked {
+            self.inner.borrow_mut().migrating_shards.remove(&shard);
+            return false;
+        }
+
+        // Commit point: the shard flips in the shared map; every server and
+        // every subsequently-refreshed client routes to the target.
+        flip();
+        self.delete_shard_local(&extract).await;
+        self.log_migration_marker(MigrationMarker::Completed { shard })
+            .await;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.migrating_shards.remove(&shard);
+            inner.stats.shards_migrated_out += 1;
+        }
+        true
+    }
+
+    /// Deletes an extracted slice of shard state, keeping any object that
+    /// still has a routing role mapping to this server (grouping policies
+    /// can place two replicas of one directory on one server with only one
+    /// of them migrating). All deletions are WAL-logged, so a replay
+    /// reconstructs the same purge. Used by the source after the flip, and
+    /// by the target to purge the stale leftovers of a lost-ack earlier
+    /// install attempt before applying a retried one.
+    async fn delete_shard_local(&self, extract: &ShardExtract) {
+        let placement = &self.cfg.placement;
+        let policy = placement.policy();
+        let mut effects = Vec::new();
+        for (key, attrs) in &extract.inodes {
+            let keep = inode_role_hashes(policy, key, attrs)
+                .iter()
+                .any(|h| placement.owner_of_hash(*h) == self.cfg.id);
+            if !keep {
+                effects.push(KvEffect::DeleteInode(key.clone()));
+            }
+        }
+        for (dir, entry) in &extract.entries {
+            effects.push(KvEffect::DeleteEntry(*dir, entry.name.clone()));
+        }
+        for (dir, key) in &extract.dir_index {
+            if placement.owner_of_hash(dir_content_hash(policy, dir, Some(key))) != self.cfg.id {
+                effects.push(KvEffect::UnindexDir(*dir));
+            }
+        }
+        self.apply_and_log(None, effects, None, Vec::new()).await;
+        // The moved pending change-log entries now live (durably) at the
+        // target; drop the volatile copies so this server stops pushing
+        // them. Their unapplied WAL records are harmless: a later recovery
+        // rebuilds and re-pushes them, and the target's copied
+        // duplicate-suppression set discards anything already applied.
+        let mut inner = self.inner.borrow_mut();
+        let dirs: std::collections::BTreeSet<DirId> =
+            extract.pending.iter().map(|(d, _, _)| *d).collect();
+        for dir in dirs {
+            inner.changelogs.remove(&dir);
+        }
+    }
+
+    /// Target side of the stream: applies and durably logs one shard's
+    /// state, then acks. Idempotent — a retransmitted install is re-acked
+    /// without re-appending the pending change-log entries.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) async fn handle_shard_install(
+        &self,
+        src: switchfs_simnet::NodeId,
+        req_id: u64,
+        shard: u32,
+        inodes: Vec<(MetaKey, InodeAttrs)>,
+        entries: Vec<(DirId, switchfs_proto::DirEntry)>,
+        dir_index: Vec<(DirId, MetaKey)>,
+        pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
+        applied_entry_ids: Vec<OpId>,
+        completed: Vec<ClientResponse>,
+    ) {
+        let install_key = (src.0, req_id);
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.applied_installs.contains(&install_key) {
+                drop(inner);
+                self.send_plain(src, Body::Server(ServerMsg::ShardInstallAck { req_id }));
+                return;
+            }
+            // A retransmission racing the still-running first copy must not
+            // apply concurrently (double-appended change-log entries,
+            // deletes interleaved with puts) nor be acked early (the source
+            // would flip before the apply finished): drop it; the source's
+            // retransmission timer re-asks until the first apply is done.
+            if !inner.in_progress_installs.insert(install_key) {
+                return;
+            }
+        }
+        // A *retried* migration (the previous attempt's ack was lost, the
+        // source kept serving and mutating the shard, and is now streaming
+        // a fresh copy under a new token) must not overlay the stale first
+        // copy: anything deleted at the source in between would be
+        // resurrected here. Purge local shard-s state first — a no-op on
+        // the common fresh-target path.
+        let stale = self.collect_shard(shard);
+        if !(stale.inodes.is_empty()
+            && stale.entries.is_empty()
+            && stale.dir_index.is_empty()
+            && stale.pending.is_empty())
+        {
+            self.delete_shard_local(&stale).await;
+        }
+        let items = inodes.len() + entries.len() + pending.len();
+        self.cpu
+            .run(self.cfg.costs.kv_put * items.max(1) as u64)
+            .await;
+        let mut effects: Vec<KvEffect> = Vec::with_capacity(items);
+        for (key, attrs) in inodes {
+            effects.push(KvEffect::PutInode(key, attrs));
+        }
+        for (dir, entry) in entries {
+            effects.push(KvEffect::PutEntry(dir, entry));
+        }
+        for (dir, key) in dir_index {
+            effects.push(KvEffect::IndexDir(dir, key));
+        }
+        self.apply_and_log(None, effects, None, applied_entry_ids)
+            .await;
+        for (dir, key, entry) in pending {
+            let fp = Fingerprint::of_dir(&key.pid, &key.name);
+            let now = self.handle.now();
+            self.inner
+                .borrow_mut()
+                .changelogs
+                .append(dir, &key, fp, entry.clone(), now);
+            self.apply_and_log(None, Vec::new(), Some((dir, key, entry)), Vec::new())
+                .await;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            let mut durable = self.durable.borrow_mut();
+            for response in completed {
+                // The crash-surviving-dedup guarantee must hold for
+                // migrated shards too: a retransmission that spans both
+                // the migration and a later target crash still gets the
+                // original result, so the cached responses are WAL-logged
+                // here exactly like locally-produced ones (piggybacked on
+                // the install's append, no extra simulated latency).
+                let record = WalOp::completion(response.clone());
+                let size = record.wire_size();
+                durable.wal.append_sized(record, size);
+                inner.cache_response(response);
+            }
+            inner.applied_installs.insert(install_key);
+            inner.in_progress_installs.remove(&install_key);
+            inner.stats.shards_migrated_in += 1;
+        }
+        let _ = shard;
+        self.send_plain(src, Body::Server(ServerMsg::ShardInstallAck { req_id }));
+    }
+
+    /// Drops every locally-stored object owned by `shard` (recovery of an
+    /// interrupted migration whose flip already happened: the WAL replay
+    /// rebuilt state the target now owns). Objects with another routing
+    /// role still mapping here are kept, like the post-flip source delete.
+    pub(crate) fn drop_shard_state(&self, shard: u32) {
+        let placement = self.cfg.placement.clone();
+        let policy = placement.policy();
+        let extract = self.collect_shard(shard);
+        let mut inner = self.inner.borrow_mut();
+        for (key, attrs) in &extract.inodes {
+            let keep = inode_role_hashes(policy, key, attrs)
+                .iter()
+                .any(|h| placement.owner_of_hash(*h) == self.cfg.id);
+            if keep {
+                continue;
+            }
+            inner.inodes.delete(key);
+        }
+        for (dir, entry) in &extract.entries {
+            inner.remove_entry(*dir, &entry.name);
+        }
+        for (dir, _) in &extract.dir_index {
+            inner.dir_index.remove(dir);
+        }
+        let dirs: std::collections::BTreeSet<DirId> =
+            extract.pending.iter().map(|(d, _, _)| *d).collect();
+        for dir in dirs {
+            inner.changelogs.remove(&dir);
+        }
+    }
+}

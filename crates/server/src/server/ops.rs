@@ -14,7 +14,7 @@ use switchfs_proto::message::{
 };
 use switchfs_proto::{
     ChangeLogEntry, ChangeOp, DirtyRet, DirtySetHeader, DirtySetOp, FileType, Fingerprint, FsError,
-    InodeAttrs, OpId, OpResult, Placement,
+    InodeAttrs, OpId, OpResult,
 };
 use switchfs_simnet::{timeout, NodeId};
 
@@ -177,6 +177,7 @@ impl Server {
 
         // Dirty-set update, reply and unlocking (§5.2.1 step 6–7).
         let response = self.make_response(req.op_id, result);
+        self.persist_completion(&req.op, &response);
         match self
             .async_commit(client_node, response.clone(), parent, &entry)
             .await
@@ -411,6 +412,7 @@ impl Server {
                 .append(parent.id, &parent.key, parent.fp, entry.clone(), now_t);
         }
         let response = self.make_response(req.op_id, OpResult::Done);
+        self.persist_completion(&req.op, &response);
         match self
             .async_commit(client_node, response.clone(), parent, &entry)
             .await
@@ -652,6 +654,15 @@ impl Server {
         if dirty_ret == Some(DirtyRet::Overflowed) {
             // Address-rewriter fallback: apply the deferred update
             // synchronously, reply to the client, and notify the origin.
+            if self.dir_update_frozen(
+                switchfs_proto::Fingerprint::of_dir(&fallback.dir_key.pid, &fallback.dir_key.name),
+                &fallback.entry.dir,
+            ) {
+                // The parent directory's shard is frozen by an outbound
+                // migration: drop the fallback; the origin's commit wait
+                // times out and the operation retries after the flip.
+                return;
+            }
             let costs = self.cfg.costs;
             let already = self
                 .inner
@@ -709,6 +720,23 @@ impl Server {
     ) {
         let costs = self.cfg.costs;
         self.cpu.run(costs.software_path).await;
+        if self.dir_update_frozen(
+            switchfs_proto::Fingerprint::of_dir(&dir_key.pid, &dir_key.name),
+            &entry.dir,
+        ) {
+            // The directory's shard is frozen by an outbound migration:
+            // fail the update instead of stranding it at the old owner.
+            // The caller surfaces a retryable error; the retry routes to
+            // the new owner after the flip.
+            self.send_plain(
+                src,
+                Body::Server(ServerMsg::RemoteDirUpdateAck {
+                    req_id,
+                    result: Err(FsError::Unavailable),
+                }),
+            );
+            return;
+        }
         let already = self
             .inner
             .borrow()

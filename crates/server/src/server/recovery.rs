@@ -19,7 +19,7 @@
 //! empty dirty set.
 
 use switchfs_proto::message::{Body, ServerMsg};
-use switchfs_proto::{Fingerprint, Placement};
+use switchfs_proto::Fingerprint;
 
 use crate::server::rename::PreparedTxn;
 use crate::server::Server;
@@ -47,6 +47,12 @@ pub struct RecoveryReport {
     /// In-doubt transactions left unresolved (coordinator unreachable); the
     /// background sweep keeps retrying them.
     pub txn_unresolved: usize,
+    /// Cached responses rebuilt into the duplicate-suppression cache, so a
+    /// retransmission spanning the crash still gets its original result.
+    pub completed_ops_recovered: usize,
+    /// Interrupted shard migrations whose flip had already happened; the
+    /// replayed local copy was dropped in favor of the new owner's.
+    pub migrations_resolved: usize,
     /// Virtual time the recovery took, in nanoseconds.
     pub duration_ns: u64,
 }
@@ -75,6 +81,7 @@ impl Server {
             inner.pending_commits.clear();
             inner.pending_tokens.clear();
             inner.pending_aggs.clear();
+            inner.active_aggs.clear();
             inner.pending_agg_acks.clear();
             inner.prepared_txns.clear();
             inner.decided_txns.clear();
@@ -85,6 +92,10 @@ impl Server {
             inner.committed_txns.clear();
             inner.committed_txn_order.clear();
             inner.in_flight_ops.clear();
+            inner.seen_request_pkts.clear();
+            inner.migrating_shards.clear();
+            inner.applied_installs.clear();
+            inner.in_progress_installs.clear();
         }
         // Drop packets addressed to the previous incarnation.
         self.endpoint.drain();
@@ -108,6 +119,8 @@ impl Server {
             .filter(|r| r.lsn > replay_from)
             .map(|r| (r.lsn, r.payload.clone(), r.applied))
             .collect();
+        let mut started_migrations: std::collections::BTreeMap<u32, switchfs_proto::ServerId> =
+            std::collections::BTreeMap::new();
         for (_lsn, op, applied) in &records {
             // Each replayed record costs one KV write's worth of CPU; this is
             // what makes the §7.7 recovery time proportional to the number of
@@ -167,7 +180,33 @@ impl Server {
                     }
                 }
             }
+            if let Some(response) = &op.completed {
+                self.inner.borrow_mut().cache_response(response.clone());
+                report.completed_ops_recovered += 1;
+            }
+            if let Some(marker) = &op.migration {
+                match marker {
+                    crate::wal::MigrationMarker::Started { shard, target } => {
+                        started_migrations.insert(*shard, *target);
+                    }
+                    crate::wal::MigrationMarker::Completed { shard } => {
+                        started_migrations.remove(shard);
+                    }
+                }
+            }
             report.wal_records_replayed += 1;
+        }
+        // Resolve interrupted migrations against the shared shard map: a
+        // `Started` with no `Completed` whose shard no longer maps here means
+        // the flip happened before the crash — the replayed copy is stale
+        // and the new owner is authoritative, so drop it. A shard still
+        // mapping here never left this server's ownership; the cluster
+        // re-drives the migration.
+        for (shard, _target) in started_migrations {
+            if self.cfg.placement.owner_of_shard(shard) != self.cfg.id {
+                self.drop_shard_state(shard);
+                report.migrations_resolved += 1;
+            }
         }
         report.inodes_recovered = self.inner.borrow().inodes.len();
 
@@ -294,6 +333,15 @@ impl Server {
                     .map(|(id, p)| (*id, p.coordinator, p.ops.clone()))
                     .collect(),
                 decided_txns: inner.decided_txns.iter().map(|(k, v)| (*k, *v)).collect(),
+                completed_ops: {
+                    let mut v: Vec<_> = inner
+                        .completed_ops
+                        .values()
+                        .flat_map(|m| m.values().cloned())
+                        .collect();
+                    v.sort_by_key(|r| r.op_id);
+                    v
+                },
             }
         };
         let mut durable = self.durable.borrow_mut();
@@ -336,6 +384,9 @@ impl Server {
         }
         for (txn_id, commit) in &data.decided_txns {
             inner.decided_txns.insert(*txn_id, *commit);
+        }
+        for response in &data.completed_ops {
+            inner.cache_response(response.clone());
         }
     }
 }

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use switchfs_proto::message::{Body, ClientRequest, MetaOp, ServerMsg, TxnOp};
 use switchfs_proto::{
-    ChangeLogEntry, ChangeOp, FileType, Fingerprint, FsError, OpResult, Placement, ServerId,
+    ChangeLogEntry, ChangeOp, FileType, Fingerprint, FsError, OpResult, ServerId,
 };
 use switchfs_simnet::SimTime;
 
@@ -591,6 +591,36 @@ impl Server {
                 }),
             );
             return;
+        }
+        // Never stage mutations into a shard this server is migrating out:
+        // the drain barrier only covers transactions prepared before the
+        // freeze, so a prepare arriving during the stream window would
+        // commit into the already-extracted slice and be stranded at the
+        // old owner after the flip. Vote no — the coordinator aborts, the
+        // client retries, and the retry lands after the flip.
+        {
+            let frozen_shards: Vec<u32> = {
+                let inner = self.inner.borrow();
+                inner.migrating_shards.iter().copied().collect()
+            };
+            if !frozen_shards.is_empty()
+                && ops.iter().any(|op| {
+                    frozen_shards
+                        .iter()
+                        .any(|s| self.txn_op_touches_shard(op, *s))
+                })
+            {
+                self.send_plain(
+                    self.cfg.node_of(coordinator),
+                    Body::Server(ServerMsg::TxnVote {
+                        txn_id,
+                        from: self.cfg.id,
+                        ok: false,
+                        dst_type: None,
+                    }),
+                );
+                return;
+            }
         }
         // Authoritative destination check: an inode overwrite is only legal
         // for file-over-file (POSIX rename). Overwriting a directory, or

@@ -8,7 +8,7 @@
 //! [`crate::server::Server::recover`].
 
 use switchfs_kvstore::{Checkpoint, Wal};
-use switchfs_proto::message::TxnOp;
+use switchfs_proto::message::{ClientResponse, TxnOp};
 use switchfs_proto::{ChangeLogEntry, DirEntry, DirId, InodeAttrs, MetaKey, OpId, ServerId};
 
 /// One mutation against the volatile key-value stores, replayable during
@@ -84,6 +84,29 @@ pub enum TxnMarker {
     },
 }
 
+/// A durable shard-migration transition, following the [`TxnMarker`]
+/// pattern: a `Started` with no later `Completed` is an interrupted
+/// migration that recovery resolves against the cluster's current shard map
+/// — if the shard already flipped to the target, the replayed local copy is
+/// stale and must be dropped; if not, the source still owns the shard and
+/// the cluster re-drives the migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationMarker {
+    /// The source froze `shard` and began streaming it to `target`.
+    Started {
+        /// The migrating shard.
+        shard: u32,
+        /// The receiving server.
+        target: ServerId,
+    },
+    /// The shard's state was installed at the target, the map flipped, and
+    /// the source deleted its copy.
+    Completed {
+        /// The migrated shard.
+        shard: u32,
+    },
+}
+
 /// One WAL record: the committed effects of an operation plus, for
 /// double-inode operations, the change-log entry that still has to reach the
 /// parent directory's owner.
@@ -104,6 +127,15 @@ pub struct WalOp {
     pub applied_entry_ids: Vec<OpId>,
     /// Durable 2PC state transition carried by this record, if any.
     pub txn_marker: Option<TxnMarker>,
+    /// A mutating operation's response, persisted so the duplicate-
+    /// suppression cache survives a crash: a client that never received the
+    /// reply retransmits after recovery and must get the original result
+    /// back, not a re-execution (which would answer its own `create` with
+    /// `Exists`). Modeled as piggybacked on the operation's WAL append
+    /// (group commit), so it adds no extra simulated latency.
+    pub completed: Option<ClientResponse>,
+    /// Durable shard-migration transition carried by this record, if any.
+    pub migration: Option<MigrationMarker>,
 }
 
 impl WalOp {
@@ -115,6 +147,8 @@ impl WalOp {
             pending_entry: None,
             applied_entry_ids: Vec::new(),
             txn_marker: None,
+            completed: None,
+            migration: None,
         }
     }
 
@@ -126,6 +160,34 @@ impl WalOp {
             pending_entry: None,
             applied_entry_ids: Vec::new(),
             txn_marker: Some(marker),
+            completed: None,
+            migration: None,
+        }
+    }
+
+    /// A record carrying only a completed operation's cached response.
+    pub fn completion(response: ClientResponse) -> Self {
+        WalOp {
+            op_id: None,
+            effects: Vec::new(),
+            pending_entry: None,
+            applied_entry_ids: Vec::new(),
+            txn_marker: None,
+            completed: Some(response),
+            migration: None,
+        }
+    }
+
+    /// A record carrying only a shard-migration marker.
+    pub fn migration(marker: MigrationMarker) -> Self {
+        WalOp {
+            op_id: None,
+            effects: Vec::new(),
+            pending_entry: None,
+            applied_entry_ids: Vec::new(),
+            txn_marker: None,
+            completed: None,
+            migration: Some(marker),
         }
     }
 
@@ -147,6 +209,8 @@ impl WalOp {
                 ) => 16,
                 None => 0,
             }
+            + if self.completed.is_some() { 48 } else { 0 }
+            + if self.migration.is_some() { 16 } else { 0 }
     }
 }
 
@@ -181,6 +245,11 @@ pub struct CheckpointData {
     pub prepared_txns: Vec<(u64, ServerId, Vec<TxnOp>)>,
     /// Durable commit decisions this server made as a rename coordinator.
     pub decided_txns: Vec<(u64, bool)>,
+    /// Cached responses of completed mutating operations (the duplicate-
+    /// suppression cache): bounded by the per-client acked watermark, so the
+    /// snapshot stays small, and carried across WAL truncation so a
+    /// retransmission spanning a crash still gets the original result.
+    pub completed_ops: Vec<ClientResponse>,
 }
 
 impl DurableState {
@@ -226,6 +295,8 @@ mod tests {
             pending_entry: Some((DirId::ROOT, MetaKey::new(DirId::ROOT, ""), sample_entry())),
             applied_entry_ids: vec![],
             txn_marker: None,
+            completed: None,
+            migration: None,
         });
         assert_eq!(durable.wal.unapplied().count(), 1);
         durable.wal.mark_applied(lsn);
@@ -241,6 +312,8 @@ mod tests {
             pending_entry: Some((DirId::ROOT, MetaKey::new(DirId::ROOT, ""), sample_entry())),
             applied_entry_ids: vec![OpId::default(); 3],
             txn_marker: None,
+            completed: None,
+            migration: None,
         };
         assert!(big.wire_size() > small.wire_size());
         let prepared = WalOp::txn(TxnMarker::Prepared {

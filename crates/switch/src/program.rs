@@ -104,6 +104,14 @@ impl SwitchFsProgram {
         &self.config
     }
 
+    /// Control-plane update: registers one more metadata server in the
+    /// aggregation multicast group (cluster scale-out).
+    pub fn add_server_node(&mut self, node: u32) {
+        if !self.config.server_nodes.contains(&node) {
+            self.config.server_nodes.push(node);
+        }
+    }
+
     /// Enables or disables forced insert overflow (§7.3.2).
     pub fn set_force_overflow(&mut self, force: bool) {
         self.config.force_insert_overflow = force;

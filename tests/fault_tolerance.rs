@@ -260,3 +260,232 @@ fn checkpoint_bounds_wal_replay() {
         assert_eq!(dir.size, 50);
     });
 }
+
+// ---------------------------------------------------------------------------
+// Bounded duplicate-suppression state + crash-surviving dedup (PR 4)
+// ---------------------------------------------------------------------------
+
+/// Regression: `completed_ops` used to grow by one cached response per
+/// operation forever. With the piggybacked acked-watermark (plus the
+/// bounded-LRU fallback) the cache must stay within the in-flight window
+/// under sustained load, not within the server's lifetime.
+#[test]
+fn completed_ops_stay_bounded_under_sustained_load() {
+    use switchfs::workloads::{NamespaceSpec, OpKind, WorkloadBuilder};
+
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 4;
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(16, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    let mut builder = WorkloadBuilder::new(ns, 11);
+    let in_flight = 64usize;
+    let total_ops = 10_000usize;
+    let report = cluster.run_workload(builder.uniform(OpKind::Create, total_ops), in_flight, None);
+    assert_eq!(report.ops as usize, total_ops);
+
+    let cached: usize = cluster
+        .servers()
+        .iter()
+        .map(|s| s.completed_op_count())
+        .sum();
+    // Every (client, server) pair retains at most about one in-flight
+    // window of responses (the tail since that client's last watermark).
+    let bound = cluster.clients().len() * cluster.servers().len() * 2 * in_flight;
+    assert!(
+        cached <= bound,
+        "dedup cache grew to {cached} entries after {total_ops} ops (bound {bound})"
+    );
+    // And the bound is far below one-entry-per-op (the old behavior).
+    assert!(
+        cached < total_ops / 2,
+        "cache {cached} ~ op count {total_ops}"
+    );
+}
+
+/// Regression: crash recovery used to clear `completed_ops`, so a
+/// retransmission of an operation that completed *before* the crash
+/// re-executed after it — a recovered create answered its own originator
+/// with `AlreadyExists` instead of the original result. The responses of
+/// mutating operations are now WAL-durable (and carried by checkpoints):
+/// the retransmit must get the original answer back.
+#[test]
+fn retransmission_after_crash_gets_the_original_result() {
+    use switchfs::proto::message::{
+        Body, ClientRequest, MetaOp, NetMsg, PacketSeq, ParentRef, ServerMsg,
+    };
+    use switchfs::proto::{ClientId, DirId, Fingerprint, MetaKey, OpId, OpResult, Permissions};
+    use switchfs::simnet::NodeId;
+
+    let cluster = cluster();
+    let placement = cluster.placement();
+    let key = MetaKey::new(DirId::ROOT, "victim-file");
+    let owner = placement.file_owner(&key).0 as usize;
+    let owner_node = cluster.server_node_id(owner);
+
+    // A raw client endpoint lets the test model the exact failure window:
+    // the response is produced (and the reply sent) but the "client" acts
+    // as if it never consumed it, retransmitting the identical request
+    // after the server crashed and recovered.
+    let endpoint = Rc::new(cluster.network().register(NodeId(7777)));
+    let request = Rc::new(ClientRequest {
+        op_id: OpId {
+            client: ClientId(77),
+            seq: 1,
+        },
+        op: MetaOp::Create {
+            key,
+            perm: Permissions::default(),
+        },
+        ancestors: vec![DirId::ROOT],
+        parent: Some(ParentRef {
+            key: MetaKey::new(DirId::ROOT, ""),
+            id: DirId::ROOT,
+            fp: Fingerprint::of_dir(&DirId::ROOT, ""),
+        }),
+        epoch: 0,
+        acked_below: 0,
+    });
+
+    let send_and_wait = |pkt_seq: u64| {
+        let endpoint = endpoint.clone();
+        let request = request.clone();
+        cluster.block_on(async move {
+            endpoint.send(
+                owner_node,
+                NetMsg::plain(
+                    PacketSeq {
+                        sender: 7777,
+                        seq: pkt_seq,
+                    },
+                    Body::Request(request),
+                ),
+            );
+            loop {
+                let pkt = endpoint.recv().await.expect("network alive");
+                match pkt.payload.body {
+                    Body::Response(r) => return r,
+                    // Double-inode responses arrive through the switch's
+                    // commit multicast, like LibFs consumes them.
+                    Body::Server(ServerMsg::AsyncCommit { response, .. }) => return response,
+                    _ => {}
+                }
+            }
+        })
+    };
+
+    let first = send_and_wait(1);
+    assert!(
+        first.result.is_ok(),
+        "initial create failed: {:?}",
+        first.result
+    );
+
+    cluster.crash_server(owner);
+    let report = cluster.recover_server(owner);
+    assert!(
+        report.completed_ops_recovered > 0,
+        "recovery must rebuild the dedup cache from the WAL"
+    );
+
+    let second = send_and_wait(2);
+    assert_eq!(
+        second.result, first.result,
+        "retransmission across the crash must return the original result"
+    );
+    assert!(
+        !matches!(second.result, OpResult::Err(FsError::AlreadyExists)),
+        "recovered server re-executed a completed create"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Live shard migration / elastic membership (PR 4 tentpole)
+// ---------------------------------------------------------------------------
+
+/// `Cluster::add_server` + `rebalance` on a loaded cluster: only ~1/N of
+/// the shards move, every file survives, directory listings stay complete,
+/// and a client holding the stale map is transparently redirected via
+/// `WrongOwner` refresh-and-retry.
+#[test]
+fn add_server_rebalances_a_fair_share_and_preserves_the_namespace() {
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 2;
+    let mut cluster = Cluster::new(cfg);
+
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/elastic").await.unwrap();
+        for i in 0..120 {
+            client.create(&format!("/elastic/f{i}")).await.unwrap();
+        }
+    });
+
+    let num_shards = cluster.placement().num_shards();
+    let new_idx = cluster.add_server();
+    assert_eq!(new_idx, 4);
+    let moved = cluster.rebalance();
+
+    // Bounded movement: the newcomer's fair share, nothing more.
+    let fair = num_shards / 5;
+    assert!(
+        moved >= fair - 1 && moved <= num_shards / 4,
+        "moved {moved} shards of {num_shards} (fair share {fair})"
+    );
+    assert_eq!(
+        cluster
+            .placement()
+            .shards_owned(switchfs::proto::ServerId(4)),
+        moved,
+        "every migrated shard must now be owned by the new server"
+    );
+    assert!(
+        cluster.placement().epoch() > 0,
+        "the flip must bump the epoch"
+    );
+    let stats = cluster.total_server_stats();
+    assert_eq!(stats.shards_migrated_in as usize, moved);
+    assert_eq!(stats.shards_migrated_out as usize, moved);
+    assert_eq!(
+        cluster
+            .servers()
+            .iter()
+            .map(|s| s.migrating_shard_count())
+            .sum::<usize>(),
+        0,
+        "no shard may stay frozen after the rebalance"
+    );
+
+    // The new server actually took over state.
+    assert!(
+        cluster.servers()[4].inode_count() > 0,
+        "the new server should own migrated inodes"
+    );
+
+    // Clients still see the full namespace — including client 0, whose
+    // cached map is stale and must be refreshed by WrongOwner rejections.
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        let dir = client.statdir("/elastic").await.unwrap();
+        assert_eq!(dir.size, 120);
+        let (_, entries) = client.readdir("/elastic").await.unwrap();
+        assert_eq!(entries.len(), 120);
+        for i in 0..120 {
+            client.stat(&format!("/elastic/f{i}")).await.unwrap();
+        }
+    });
+
+    // And the cluster keeps accepting writes routed by the new map.
+    let client = cluster.client(1);
+    cluster.block_on(async move {
+        for i in 120..140 {
+            client.create(&format!("/elastic/f{i}")).await.unwrap();
+        }
+        let dir = client.statdir("/elastic").await.unwrap();
+        assert_eq!(dir.size, 140);
+    });
+}

@@ -194,3 +194,70 @@ proptest! {
         prop_assert_eq!(final_view, model_view);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Epoch-versioned shard map ≡ modulo placement at epoch 0 (PR 4)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The epoch-0 shard map must be extensionally equal to the historic
+    /// `hash % n` placement for every policy, every trait entry point and
+    /// every server count — this is what keeps all simulated results
+    /// bit-identical after the placement refactor.
+    #[test]
+    fn epoch0_shard_map_is_extensionally_equal_to_hash_placement(
+        servers in 1usize..24,
+        raw_hashes in proptest::collection::vec(any::<u64>(), 1..32),
+        names in proptest::collection::vec(any::<u16>(), 1..16),
+    ) {
+        use switchfs::proto::{HashPlacement, MetaKey, PartitionPolicy, Placement, ShardMap};
+
+        for policy in [
+            PartitionPolicy::PerFileHash,
+            PartitionPolicy::PerDirectoryHash,
+            PartitionPolicy::Subtree,
+        ] {
+            let old = HashPlacement::new(policy, servers);
+            let new = ShardMap::initial(policy, servers);
+            prop_assert_eq!(new.epoch(), 0);
+            prop_assert_eq!(new.num_servers(), old.num_servers());
+            for &h in &raw_hashes {
+                prop_assert_eq!(new.owner_of_hash(h), old.owner_of_hash(h));
+                let id = DirId::generate(ServerId((h % 7) as u32), h);
+                prop_assert_eq!(new.dir_owner_by_id(&id), old.dir_owner_by_id(&id));
+                let fp = Fingerprint::from_raw(h);
+                prop_assert_eq!(new.dir_owner_by_fp(fp), old.dir_owner_by_fp(fp));
+            }
+            for &n in &names {
+                let key = MetaKey::new(DirId::ROOT, format!("f{n}"));
+                prop_assert_eq!(new.file_owner(&key), old.file_owner(&key));
+                let nested = MetaKey::new(DirId::generate(ServerId(2), n as u64), format!("g{n}"));
+                prop_assert_eq!(new.file_owner(&nested), old.file_owner(&nested));
+            }
+        }
+    }
+
+    /// Rebalancing after a server addition moves at most the newcomer's
+    /// fair share (±1) and leaves the map balanced, for any starting size.
+    #[test]
+    fn rebalance_moves_only_a_fair_share(servers in 1usize..24) {
+        use switchfs::proto::{PartitionPolicy, ShardMap};
+
+        let mut map = ShardMap::initial(PartitionPolicy::PerFileHash, servers);
+        let newcomer = map.add_server();
+        let moves = map.plan_rebalance();
+        let shards = map.num_shards();
+        let fair = shards / (servers + 1);
+        prop_assert!(moves.len() <= fair + 1, "{} moves > fair share {}", moves.len(), fair);
+        prop_assert!(moves.iter().all(|(_, _, to)| *to == newcomer));
+        for (shard, from, to) in moves {
+            prop_assert_eq!(map.owner_of_shard(shard), from);
+            map.assign(shard, to);
+        }
+        for s in 0..=servers {
+            let owned = map.shards_owned(ServerId(s as u32));
+            prop_assert!(owned >= fair && owned <= fair + 1,
+                "server {} owns {} of {} (fair {})", s, owned, shards, fair);
+        }
+    }
+}
