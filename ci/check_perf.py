@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""CI perf guard for the Quick figures sweep.
+
+Checks the sweep JSON written by `figures all --json PATH` against the
+checked-in baseline:
+
+1. total wall clock must stay within 3x the baseline (catches an accidental
+   O(n^2) reintroduction, not CI-runner noise);
+2. the elastic-membership experiments (`rebalance`, `decommission`) must be
+   present and every row that reports an `errors` column must report 0 —
+   live shard migration and graceful shrink are required to be invisible to
+   clients (freeze-window drops are absorbed by retransmission, stale maps
+   refresh via WrongOwner).
+
+Usage: check_perf.py [SWEEP_JSON] [BASELINE_JSON]
+"""
+
+import json
+import sys
+
+ELASTIC_EXPERIMENTS = ("rebalance", "decommission")
+WALL_CLOCK_FACTOR = 3.0
+
+
+def main() -> int:
+    sweep_path = sys.argv[1] if len(sys.argv) > 1 else "bench-smoke.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR2.json"
+    with open(sweep_path) as f:
+        sweep = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    failures = []
+
+    measured = sweep["total_wall_clock_secs"]
+    reference = base["quick_sweep"]["post_change"]["reference_total_wall_clock_secs"]
+    budget = WALL_CLOCK_FACTOR * reference
+    print(f"sweep took {measured:.1f}s, budget {budget:.1f}s")
+    if measured > budget:
+        failures.append(f"wall clock {measured:.1f}s exceeds budget {budget:.1f}s")
+
+    experiments = {e.get("name"): e for e in sweep.get("experiments", [])}
+    for name in ELASTIC_EXPERIMENTS:
+        exp = experiments.get(name)
+        if exp is None:
+            failures.append(f"experiment '{name}' missing from the sweep")
+            continue
+        for row in exp.get("rows", []):
+            errors = row.get("errors")
+            if errors is None:
+                continue
+            label = row.get("label", "?")
+            print(f"{name} / {label}: errors={errors:g}")
+            if errors != 0:
+                failures.append(f"{name} / {label}: {errors:g} errors (must be 0)")
+
+    if failures:
+        for f_ in failures:
+            print(f"perf smoke FAILED: {f_}", file=sys.stderr)
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@
 //!
 //! where `<experiment>` is one of `tab2`, `fig2`, `fig12a`, `fig12b`,
 //! `fig13`, `fig14`, `overflow`, `fig15`, `fig16`, `fig17a`, `fig17b`,
-//! `fig18`, `fig19`, `recovery`, or `all`. `--full` uses the larger
+//! `fig18`, `fig19`, `recovery`, `availability`, `rebalance`,
+//! `decommission`, or `all`. `--full` uses the larger
 //! experiment scale; `--json` emits machine-readable output — one JSON
 //! document per experiment to stdout, or, when a `PATH` follows, a single
 //! document collecting every experiment plus per-experiment and total wall
@@ -55,7 +56,7 @@ fn print_rows(title: &str, rows: &[Row], json: bool) {
     }
 }
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "tab2",
     "fig2",
     "fig12a",
@@ -72,6 +73,7 @@ const EXPERIMENTS: [&str; 16] = [
     "recovery",
     "availability",
     "rebalance",
+    "decommission",
 ];
 
 fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row>)> {
@@ -130,6 +132,10 @@ fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row
         "rebalance" => Some((
             "Elastic scale-out: live shard migration onto a newly added server",
             experiments::rebalance(scale),
+        )),
+        "decommission" => Some((
+            "Elastic shrink: graceful decommission of a loaded server",
+            experiments::decommission(scale),
         )),
         _ => None,
     }

@@ -557,6 +557,79 @@ pub fn rebalance(scale: ExperimentScale) -> Vec<Row> {
     ]
 }
 
+/// Elastic shrink: throughput while a loaded cluster gracefully
+/// decommissions one of its servers — every shard the victim owns drains to
+/// the survivors in one bucketing scan, its change-logs flush, the map
+/// retires the id, and the victim becomes a WrongOwner redirect tombstone.
+/// The errors columns demonstrate that clients ride the shrink without a
+/// single failed operation (freeze-window drops are absorbed by
+/// retransmission; stale maps refresh via WrongOwner).
+pub fn decommission(scale: ExperimentScale) -> Vec<Row> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 8;
+    cfg.clients = 4;
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(64, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    cluster.checkpoint_all();
+    let mut builder = WorkloadBuilder::new(ns, 41);
+    let window_ops = scale.ops() / 2;
+
+    let healthy = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+
+    // Decommission server 0 *while* the next workload window runs: the
+    // drain and the load interleave inside one simulation run.
+    let victim = 0usize;
+    let victim_id = switchfs_proto::ServerId(victim as u32);
+    let total_shards = cluster.placement().num_shards();
+    let owned_before = cluster.placement().shards_owned(victim_id);
+    let outcome: Rc<RefCell<Option<switchfs_core::DecommissionReport>>> =
+        Rc::new(RefCell::new(None));
+    {
+        let placement = cluster.placement();
+        let servers = cluster.servers().to_vec();
+        let outcome = outcome.clone();
+        cluster.sim.spawn(async move {
+            let report = switchfs_core::run_decommission(&placement, &servers, victim).await;
+            *outcome.borrow_mut() = Some(report);
+        });
+    }
+    let during = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+    // Let a drain that outlived the window finish before measuring the
+    // settled (smaller) cluster.
+    while outcome.borrow().is_none() {
+        cluster.settle(SimDuration::millis(5));
+    }
+    let report = outcome.borrow().expect("decommission completed");
+    if report.completed {
+        cluster.finalize_decommission(victim);
+    }
+    let after = cluster.run_workload(builder.uniform(OpKind::Create, window_ops), 256, None);
+
+    vec![
+        Row::new("healthy (8 servers)")
+            .col("create Kops/s", healthy.kops)
+            .col("errors", healthy.errors as f64),
+        Row::new("during decommission (-1 server)")
+            .col("create Kops/s", during.kops)
+            .col("errors", during.errors as f64),
+        Row::new("after decommission (7 servers)")
+            .col("create Kops/s", after.kops)
+            .col("errors", after.errors as f64),
+        Row::new("drain")
+            .col("shards drained", report.shards_moved as f64)
+            .col("victim shards before", owned_before as f64)
+            .col("total shards", total_shards as f64)
+            .col("completed", f64::from(u8::from(report.completed)))
+            .col("map epoch", cluster.placement().epoch() as f64),
+    ]
+}
+
 /// §7.7: crash-recovery time after a server failure and a switch failure.
 pub fn recovery(scale: ExperimentScale) -> Vec<Row> {
     let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);

@@ -3,17 +3,23 @@
 //!
 //! ```text
 //! cargo run --release -p switchfs-chaos --bin chaos-sweep -- \
-//!     [--seeds N] [--ops N] [--all-systems] [--replay-every N] [--artifact PATH]
+//!     [--seeds N] [--ops N] [--all-systems] [--replay-every N] \
+//!     [--artifact PATH] [--summary PATH]
 //! ```
 //!
-//! Runs `N` seeds × every plan kind (crash / partition / loss / combined),
-//! each with the consistency checker on. On the first failure the seed and
-//! the serialized fault plan are written to `PATH` (default
-//! `chaos-failure.json`) so the red run is reproducible with:
+//! Runs `N` seeds × every plan kind (crash / partition / loss / combined /
+//! membership / decommission), each with the consistency checker on. On the
+//! first failure the seed and the serialized fault plan are written to
+//! `PATH` (default `chaos-failure.json`) so the red run is reproducible
+//! with:
 //!
 //! ```text
 //! cargo run --release -p switchfs-chaos --bin chaos-sweep -- --repro PATH
 //! ```
+//!
+//! `--summary PATH` additionally writes a machine-readable sweep summary
+//! (runs, failures, per-system×kind pass counts) whether the sweep passes
+//! or fails — so a green CI run leaves evidence too, not only a red one.
 
 use serde::Deserialize;
 use switchfs_chaos::{run_chaos, verify_replay, ChaosConfig, FaultPlan, PlanKind};
@@ -37,6 +43,7 @@ struct Args {
     all_systems: bool,
     replay_every: u64,
     artifact: String,
+    summary: Option<String>,
     repro: Option<String>,
 }
 
@@ -47,6 +54,7 @@ fn parse_args() -> Args {
         all_systems: false,
         replay_every: 5,
         artifact: "chaos-failure.json".to_string(),
+        summary: None,
         repro: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +77,10 @@ fn parse_args() -> Args {
             "--artifact" => {
                 i += 1;
                 args.artifact = argv[i].clone();
+            }
+            "--summary" => {
+                i += 1;
+                args.summary = Some(argv[i].clone());
             }
             "--repro" => {
                 i += 1;
@@ -159,6 +171,7 @@ fn main() {
             "partition" => PlanKind::Partition,
             "loss" => PlanKind::Loss,
             "membership" => PlanKind::Membership,
+            "decommission" => PlanKind::Decommission,
             _ => PlanKind::Combined,
         };
         let system = match doc.system.as_str() {
@@ -188,17 +201,29 @@ fn main() {
     };
     let mut failures = 0u64;
     let mut runs = 0u64;
+    let mut cells: Vec<serde_json::Value> = Vec::new();
     for system in &systems {
         for kind in PlanKind::all() {
+            let mut cell_passed = 0u64;
+            let mut cell_failed = 0u64;
             for seed in 0..args.seeds {
                 let mut cfg = ChaosConfig::new(*system, kind, seed);
                 cfg.ops_per_client = args.ops;
                 let check_replay = args.replay_every > 0 && seed % args.replay_every == 0;
                 runs += 1;
-                if !run_one(cfg, check_replay, &args.artifact) {
+                if run_one(cfg, check_replay, &args.artifact) {
+                    cell_passed += 1;
+                } else {
+                    cell_failed += 1;
                     failures += 1;
                 }
             }
+            cells.push(serde_json::json!({
+                "system": format!("{system}"),
+                "kind": kind.label(),
+                "passed": cell_passed,
+                "failed": cell_failed,
+            }));
         }
     }
     println!(
@@ -207,5 +232,23 @@ fn main() {
         PlanKind::all().len(),
         args.seeds
     );
+    // The summary is written on success AND failure: a green sweep should
+    // leave evidence of what it covered, not only a red one.
+    if let Some(path) = &args.summary {
+        let summary = serde_json::json!({
+            "runs": runs,
+            "failures": failures,
+            "seeds": args.seeds,
+            "ops_per_client": args.ops,
+            "replay_every": args.replay_every,
+            "systems": systems.iter().map(|s| format!("{s}")).collect::<Vec<_>>(),
+            "kinds": PlanKind::all().iter().map(|k| k.label()).collect::<Vec<_>>(),
+            "cells": cells,
+        });
+        match std::fs::write(path, format!("{summary}\n")) {
+            Ok(()) => eprintln!("wrote sweep summary to {path}"),
+            Err(e) => eprintln!("cannot write summary {path}: {e}"),
+        }
+    }
     std::process::exit(if failures == 0 { 0 } else { 1 });
 }

@@ -76,6 +76,9 @@ pub struct ChaosReport {
     /// Shards live-migrated by membership-change faults (zero for the other
     /// plan kinds).
     pub shards_moved: usize,
+    /// Graceful decommissions completed by the nemesis (decommission plans
+    /// only; zero when a fault window kept the drain from finishing).
+    pub decommissions: usize,
     /// Virtual time at the end of the run, ns.
     pub final_now_ns: u64,
     /// FNV-1a digest over the plan, history, final namespace and cluster
@@ -454,6 +457,7 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         switch_reboots: log.switch_reboots,
         stranded_prepared,
         shards_moved: log.shards_moved,
+        decommissions: log.decommissions,
         final_now_ns,
         digest,
     }

@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use switchfs_core::{run_rebalance, Cluster};
+use switchfs_core::{run_decommission, run_rebalance, Cluster};
 use switchfs_proto::message::NetMsg;
 use switchfs_proto::SharedPlacement;
 use switchfs_server::server::recovery::RecoveryReport;
@@ -35,6 +35,9 @@ pub struct NemesisHandles {
     pub server_nodes: Vec<NodeId>,
     /// The switch program, if the deployment has one (reboot hook).
     pub switch: Option<SwitchHook>,
+    /// Removes a node from the switch's aggregation multicast group
+    /// (decommission fault), if a switch is deployed.
+    pub switch_remove: Option<SwitchRemoveHook>,
     /// The cluster's shared shard map (membership-change fault: the nemesis
     /// drives a live rebalance against it).
     pub placement: SharedPlacement,
@@ -42,6 +45,9 @@ pub struct NemesisHandles {
 
 /// Reboot hook for the programmable switch.
 pub type SwitchHook = Rc<dyn Fn()>;
+
+/// Multicast-group removal hook for the programmable switch.
+pub type SwitchRemoveHook = Rc<dyn Fn(u32)>;
 
 impl NemesisHandles {
     /// Captures the handles from a built cluster.
@@ -54,12 +60,17 @@ impl NemesisHandles {
             let p = p.clone();
             Rc::new(move || p.borrow_mut().reboot()) as SwitchHook
         });
+        let switch_remove: Option<SwitchRemoveHook> = cluster.switch_program().map(|p| {
+            let p = p.clone();
+            Rc::new(move |node: u32| p.borrow_mut().remove_server_node(node)) as SwitchRemoveHook
+        });
         NemesisHandles {
             handle: cluster.sim.handle(),
             network: cluster.network(),
             servers,
             server_nodes,
             switch,
+            switch_remove,
             placement: cluster.placement(),
         }
     }
@@ -74,8 +85,11 @@ pub struct NemesisLog {
     pub switch_reboots: usize,
     /// Number of events applied in total.
     pub events_applied: usize,
-    /// Shards migrated by membership-change faults.
+    /// Shards migrated by membership-change faults (grow and shrink).
     pub shards_moved: usize,
+    /// Graceful decommissions completed (victim drained, retired and turned
+    /// into a redirect tombstone).
+    pub decommissions: usize,
 }
 
 /// Runs the plan to completion. The future resolves once the last event has
@@ -172,6 +186,22 @@ async fn apply_fault(handles: &NemesisHandles, fault: &Fault, log: &Rc<RefCell<N
             // now, live, while the workload keeps running.
             let moved = run_rebalance(&handles.placement, &handles.servers).await;
             log.borrow_mut().shards_moved += moved;
+        }
+        Fault::DecommissionServer { server } => {
+            // Drain the victim's shards to the survivors while the workload
+            // keeps running, then retire it. Only a completed drain shuts
+            // the server down (into the WrongOwner redirect tombstone); an
+            // incomplete one (a fault window ate the retry budget) leaves a
+            // consistent partially-drained cluster.
+            let report = run_decommission(&handles.placement, &handles.servers, *server).await;
+            if report.completed {
+                if let Some(remove) = &handles.switch_remove {
+                    remove(handles.server_nodes[*server].0);
+                }
+                handles.servers[*server].decommission();
+                log.borrow_mut().decommissions += 1;
+            }
+            log.borrow_mut().shards_moved += report.shards_moved;
         }
     }
 }

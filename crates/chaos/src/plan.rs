@@ -38,17 +38,24 @@ pub enum PlanKind {
     /// (and occasionally a crash/recover cycle) is active. The checker is
     /// unchanged — elastic placement must be invisible to consistency.
     Membership,
+    /// Elastic shrink mid-faults: one server is gracefully decommissioned
+    /// (drained, retired, turned into a WrongOwner redirect tombstone)
+    /// while a loss window — and occasionally an earlier crash/recover
+    /// cycle — is active. The checker is unchanged: a shrinking cluster
+    /// must be invisible to consistency.
+    Decommission,
 }
 
 impl PlanKind {
     /// All plan kinds, in sweep order.
-    pub fn all() -> [PlanKind; 5] {
+    pub fn all() -> [PlanKind; 6] {
         [
             PlanKind::Crash,
             PlanKind::Partition,
             PlanKind::Loss,
             PlanKind::Combined,
             PlanKind::Membership,
+            PlanKind::Decommission,
         ]
     }
 
@@ -60,6 +67,7 @@ impl PlanKind {
             PlanKind::Loss => "loss",
             PlanKind::Combined => "combined",
             PlanKind::Membership => "membership",
+            PlanKind::Decommission => "decommission",
         }
     }
 
@@ -70,6 +78,7 @@ impl PlanKind {
             PlanKind::Loss => 0x6c6f_7373,
             PlanKind::Combined => 0x636f_6d62,
             PlanKind::Membership => 0x6d65_6d62,
+            PlanKind::Decommission => 0x6465_636f,
         }
     }
 }
@@ -126,6 +135,15 @@ pub enum Fault {
     /// (the harness provisions the standby node at setup; ownership moves
     /// live, at this scheduled time, while the workload keeps running).
     RebalanceOntoNewServer,
+    /// Gracefully decommission metadata server `server` while the workload
+    /// keeps running: drain every shard it owns to the survivors, flush its
+    /// change-logs, retire it from the shared map and the switch multicast
+    /// group, and leave it as a WrongOwner redirect tombstone. Never
+    /// scheduled while a server is down (the drain needs live targets).
+    DecommissionServer {
+        /// Index of the server to decommission.
+        server: usize,
+    },
 }
 
 /// A fault scheduled at a virtual-time offset from the start of the run.
@@ -206,6 +224,23 @@ impl FaultPlan {
                 events.push(FaultEvent {
                     at_us: rng.gen_range(active / 2..active * 4 / 5),
                     fault: Fault::RebalanceOntoNewServer,
+                });
+            }
+            PlanKind::Decommission => {
+                // The shrink lands mid-horizon so traffic spans the drain;
+                // a loss window may overlap it, and half the seeds add an
+                // earlier crash/recover cycle — fully healed before the
+                // decommission starts, so the drain always has live targets
+                // (single-failure assumption of §5.4.2).
+                Self::gen_loss(&mut rng, &mut events, active);
+                if rng.gen_bool(0.5) {
+                    Self::gen_crashes(&mut rng, &mut events, servers, active * 2 / 5);
+                }
+                events.push(FaultEvent {
+                    at_us: rng.gen_range(active / 2..active * 4 / 5),
+                    fault: Fault::DecommissionServer {
+                        server: rng.gen_range(0..servers),
+                    },
                 });
             }
         }
@@ -331,10 +366,15 @@ mod tests {
                 let mut partitioned = false;
                 let mut lossy = false;
                 let mut spiked: Vec<usize> = Vec::new();
+                let mut decommissioned: Option<usize> = None;
                 for e in &plan.events {
                     match &e.fault {
                         Fault::CrashServer { server } => {
                             assert!(down.is_empty(), "single-failure assumption");
+                            assert!(
+                                decommissioned.is_none(),
+                                "{kind:?}/{seed}: crash after a decommission"
+                            );
                             down.push(*server);
                         }
                         Fault::RecoverServer { server } => {
@@ -362,6 +402,23 @@ mod tests {
                                 down.is_empty(),
                                 "{kind:?}/{seed}: rebalance while a server is down"
                             );
+                        }
+                        Fault::DecommissionServer { server } => {
+                            assert_eq!(
+                                kind,
+                                PlanKind::Decommission,
+                                "shrinks only appear in decommission plans"
+                            );
+                            assert!(
+                                down.is_empty(),
+                                "{kind:?}/{seed}: decommission while a server is down"
+                            );
+                            assert!(
+                                decommissioned.is_none(),
+                                "{kind:?}/{seed}: second decommission in one plan"
+                            );
+                            assert!(*server < plan.servers);
+                            decommissioned = Some(*server);
                         }
                     }
                 }

@@ -468,6 +468,42 @@ impl Cluster {
         self.block_on(async move { run_rebalance(&placement, &servers).await })
     }
 
+    /// Gracefully decommissions metadata server `idx`: every shard it owns
+    /// migrates to the survivors (fair share, one bucketing scan over the
+    /// victim's stores), its remaining change-logs flush to their owners,
+    /// the shared map retires the id with an epoch bump, the switch drops
+    /// the node from the aggregation multicast group, and the server turns
+    /// into a redirect tombstone answering stale-routed client requests
+    /// with `WrongOwner` — the cluster keeps serving throughout. A crash
+    /// mid-decommission resolves from the WAL `MigrationMarker`s on
+    /// recovery; re-run `remove_server` afterwards to finish the drain.
+    pub fn remove_server(&mut self, idx: usize) -> DecommissionReport {
+        assert!(idx < self.servers.len(), "no server {idx}");
+        let placement = self.placement.clone();
+        let servers = self.servers.clone();
+        let report =
+            self.block_on(async move { run_decommission(&placement, &servers, idx).await });
+        if report.completed {
+            self.finalize_decommission(idx);
+        }
+        report
+    }
+
+    /// The control-plane tail of a decommission whose drain already ran
+    /// (e.g. concurrently with a workload via [`run_decommission`]): removes
+    /// the node from the switch multicast group and turns the server into
+    /// the redirect tombstone.
+    pub fn finalize_decommission(&self, idx: usize) {
+        assert!(
+            self.placement.is_retired(ServerId(idx as u32)),
+            "server {idx} was not drained and retired"
+        );
+        if let Some(program) = &self.switch {
+            program.borrow_mut().remove_server_node(server_node(idx).0);
+        }
+        self.servers[idx].decommission();
+    }
+
     // ------------------------------------------------------------------
     // Fault orchestration (§5.4, §7.7).
     // ------------------------------------------------------------------
@@ -580,4 +616,65 @@ pub async fn run_rebalance(placement: &SharedPlacement, servers: &[Server]) -> u
         }
     }
     moved
+}
+
+/// What a decommission drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecommissionReport {
+    /// Shards migrated off the victim.
+    pub shards_moved: usize,
+    /// True when the victim is fully drained (no shards, change-logs
+    /// flushed, nothing in flight) and retired in the shared map. False
+    /// leaves the cluster in a consistent partially-drained state — re-run
+    /// the decommission once the obstruction (a crashed target, a fault
+    /// window) clears.
+    pub completed: bool,
+}
+
+/// Drives the drain phase of a graceful decommission against a live
+/// deployment: plans the fair-share moves off `victim`, migrates them in one
+/// batch per pass (a single bucketing scan of the victim's stores instead of
+/// one per shard), force-flushes the victim's remaining change-logs to their
+/// owners, and — once nothing recovery-critical remains on the victim —
+/// retires its id in the shared map with an epoch bump. Usable both from
+/// [`Cluster::remove_server`] and from inside an already-running simulation
+/// (the chaos nemesis' decommission fault, the bench decommission figure).
+pub async fn run_decommission(
+    placement: &SharedPlacement,
+    servers: &[Server],
+    victim: usize,
+) -> DecommissionReport {
+    let victim_id = ServerId(victim as u32);
+    let source = &servers[victim];
+    let mut moved = 0;
+    // Two passes, like the rebalance: a shard whose transfer failed (target
+    // crashed, loss window ate the retry budget) is retried once after the
+    // rest of the plan completed.
+    for _pass in 0..2 {
+        if source.is_crashed() {
+            break;
+        }
+        let moves: Vec<(u32, ServerId)> = placement
+            .plan_drain(victim_id)
+            .into_iter()
+            .filter(|(_, _, to)| !servers[to.0 as usize].is_crashed())
+            .map(|(shard, _, to)| (shard, to))
+            .collect();
+        if moves.is_empty() {
+            break;
+        }
+        let p = placement.clone();
+        moved += source
+            .migrate_shards(&moves, |shard, to| p.assign(shard, to))
+            .await;
+    }
+    let drained = !source.is_crashed() && placement.shards_owned(victim_id) == 0;
+    let completed = drained && source.drain_for_shutdown().await;
+    if completed {
+        placement.retire(victim_id);
+    }
+    DecommissionReport {
+        shards_moved: moved,
+        completed,
+    }
 }

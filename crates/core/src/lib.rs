@@ -22,7 +22,7 @@ pub mod coordinator;
 pub mod driver;
 pub mod switch_adapter;
 
-pub use cluster::{run_rebalance, Cluster};
+pub use cluster::{run_decommission, run_rebalance, Cluster, DecommissionReport};
 pub use config::{ClusterConfig, TrackingChoice};
 pub use driver::{OpReport, WorkloadReport};
 pub use switchfs_baselines::SystemKind;

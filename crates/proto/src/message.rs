@@ -355,6 +355,11 @@ pub enum ServerMsg {
         from: ServerId,
         /// All change-log entries of directories in the fingerprint group.
         entries: Vec<ChangeLogEntry>,
+        /// Piggybacked discard confirmations: ids of entries this sender
+        /// previously discarded after an owner acknowledgment. The owner may
+        /// prune them from its duplicate-suppression set — the holder can
+        /// never re-send them (see `ChangeLogPush::discard_confirm`).
+        discard_confirm: Vec<OpId>,
     },
     /// Acknowledgment from the aggregation owner: the entries have been
     /// applied and logged; receivers unlock their change-logs and mark the
@@ -375,6 +380,14 @@ pub enum ServerMsg {
         from: ServerId,
         /// The pushed entries.
         entries: Vec<ChangeLogEntry>,
+        /// Piggybacked discard confirmations: ids of entries this holder
+        /// durably discarded after an earlier acknowledgment round trip. The
+        /// receiver can prune them from its duplicate-suppression set (the
+        /// holder will never re-send a discarded entry), which is what keeps
+        /// `applied_entry_ids` bounded by the in-flight window instead of
+        /// the server's lifetime. Riding on messages that already flow, the
+        /// confirmation adds no packets and no modeled latency.
+        discard_confirm: Vec<OpId>,
     },
     /// Acknowledgment of a `ChangeLogPush`; the pusher marks the entries
     /// applied.
@@ -394,6 +407,10 @@ pub enum ServerMsg {
         dir_key: MetaKey,
         /// The update.
         entry: ChangeLogEntry,
+        /// Piggybacked discard confirmations (see
+        /// `ChangeLogPush::discard_confirm`); lets the synchronous baseline
+        /// path bound the receiver's duplicate-suppression set too.
+        discard_confirm: Vec<OpId>,
     },
     /// Acknowledgment of a `RemoteDirUpdate`.
     RemoteDirUpdateAck {
@@ -596,8 +613,14 @@ pub enum ServerMsg {
         /// their directory ids and keys.
         pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
         /// Duplicate-suppression set of already-applied remote change-log
-        /// entries (copied, not moved: a superset is always safe).
+        /// entries not yet confirmed discarded by their holders (copied, not
+        /// moved: a superset is always safe). Bounded by the in-flight
+        /// confirmation window, so the per-shard payload stays small.
         applied_entry_ids: Vec<OpId>,
+        /// The bounded FIFO of recently retired (holder-confirmed) entry
+        /// ids, shipped so a duplicate delayed across the flip is still
+        /// suppressed at the new owner.
+        retired_entry_ids: Vec<OpId>,
         /// Cached client responses (copied so a retransmission that lands on
         /// the new owner after the flip still gets the original answer).
         completed: Vec<ClientResponse>,

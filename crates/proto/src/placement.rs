@@ -129,6 +129,10 @@ pub struct ShardMap {
     epoch: u64,
     servers: usize,
     shards: Vec<ServerId>,
+    /// Servers that were gracefully decommissioned: their ids stay allocated
+    /// (ids index node tables and must never be reused), but they own no
+    /// shards and are excluded from every rebalance/drain plan. Sorted.
+    retired: Vec<ServerId>,
 }
 
 impl ShardMap {
@@ -152,6 +156,7 @@ impl ShardMap {
             epoch: 0,
             servers,
             shards,
+            retired: Vec::new(),
         }
     }
 
@@ -193,22 +198,103 @@ impl ShardMap {
         id
     }
 
+    /// True when `server` was gracefully decommissioned: it owns no shards
+    /// and must not appear in any plan or fan-out set.
+    pub fn is_retired(&self, server: ServerId) -> bool {
+        self.retired.binary_search(&server).is_ok()
+    }
+
+    /// Number of servers still serving (registered minus retired).
+    pub fn num_active_servers(&self) -> usize {
+        self.servers - self.retired.len()
+    }
+
+    /// Marks a fully drained server as decommissioned, bumping the epoch so
+    /// clients holding a map from before the shrink refresh on their next
+    /// `WrongOwner` rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server still owns shards (drain it first), if it is the
+    /// last active server, or if it is already retired.
+    pub fn retire(&mut self, server: ServerId) {
+        assert_eq!(
+            self.shards_owned(server),
+            0,
+            "cannot retire {server}: it still owns shards"
+        );
+        assert!(
+            self.num_active_servers() > 1,
+            "cannot retire the last active server"
+        );
+        let slot = self
+            .retired
+            .binary_search(&server)
+            .expect_err("server is already retired");
+        self.retired.insert(slot, server);
+        self.epoch += 1;
+    }
+
     /// Reassigns one shard, bumping the epoch. Used by live migration: the
     /// flip happens only after the shard's state is installed at the target.
     ///
     /// # Panics
     ///
-    /// Panics if `to` is not a registered server.
+    /// Panics if `to` is not a registered server or is retired.
     pub fn assign(&mut self, shard: u32, to: ServerId) {
         assert!((to.0 as usize) < self.servers, "unknown server {to}");
+        assert!(
+            !self.is_retired(to),
+            "cannot assign a shard to {to}: retired"
+        );
         if self.shards[shard as usize] != to {
             self.shards[shard as usize] = to;
             self.epoch += 1;
         }
     }
 
+    /// Plans the moves that drain every shard owned by `victim` onto the
+    /// surviving active servers (graceful decommission). Deterministic:
+    /// victim shards are visited in ascending index order and each goes to
+    /// the currently least-loaded survivor (lowest id on ties), so the
+    /// survivors end within ±1 of each other. Does not mutate the map.
+    pub fn plan_drain(&self, victim: ServerId) -> Vec<(u32, ServerId, ServerId)> {
+        let mut counts = vec![usize::MAX; self.servers];
+        let mut survivors = 0usize;
+        for (i, c) in counts.iter_mut().enumerate() {
+            let id = ServerId(i as u32);
+            if id != victim && !self.is_retired(id) {
+                *c = 0;
+                survivors += 1;
+            }
+        }
+        if survivors == 0 {
+            return Vec::new();
+        }
+        for s in &self.shards {
+            if counts[s.0 as usize] != usize::MAX {
+                counts[s.0 as usize] += 1;
+            }
+        }
+        let mut moves = Vec::new();
+        for (shard, owner) in self.shards.iter().enumerate() {
+            if *owner != victim {
+                continue;
+            }
+            let (to, _) = counts
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (**c, *i))
+                .expect("at least one survivor");
+            counts[to] += 1;
+            moves.push((shard as u32, victim, ServerId(to as u32)));
+        }
+        moves
+    }
+
     /// Plans the moves that balance shard ownership across all registered
-    /// servers (fair share ±1), without mutating the map. Deterministic:
+    /// *active* servers (fair share ±1; retired servers own nothing and are
+    /// never candidates), without mutating the map. Deterministic:
     /// repeatedly moves the lowest-index shard of the most-loaded server to
     /// the least-loaded one. After [`ShardMap::add_server`] this moves
     /// ~`num_shards / servers` shards — ~1/N of the key space.
@@ -218,16 +304,19 @@ impl ShardMap {
         for s in &owners {
             counts[s.0 as usize] += 1;
         }
+        let active = |i: &usize| !self.is_retired(ServerId(*i as u32));
         let mut moves = Vec::new();
         loop {
             let (max_i, &max_c) = counts
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| active(i))
                 .max_by_key(|(i, c)| (**c, usize::MAX - *i))
                 .expect("at least one server");
             let (min_i, &min_c) = counts
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| active(i))
                 .min_by_key(|(i, c)| (**c, *i))
                 .expect("at least one server");
             if max_c - min_c <= 1 {
@@ -337,9 +426,29 @@ impl SharedPlacement {
         self.0.borrow_mut().assign(shard, to);
     }
 
+    /// See [`ShardMap::retire`].
+    pub fn retire(&self, server: ServerId) {
+        self.0.borrow_mut().retire(server);
+    }
+
+    /// See [`ShardMap::is_retired`].
+    pub fn is_retired(&self, server: ServerId) -> bool {
+        self.0.borrow().is_retired(server)
+    }
+
+    /// See [`ShardMap::num_active_servers`].
+    pub fn num_active_servers(&self) -> usize {
+        self.0.borrow().num_active_servers()
+    }
+
     /// See [`ShardMap::plan_rebalance`].
     pub fn plan_rebalance(&self) -> Vec<(u32, ServerId, ServerId)> {
         self.0.borrow().plan_rebalance()
+    }
+
+    /// See [`ShardMap::plan_drain`].
+    pub fn plan_drain(&self, victim: ServerId) -> Vec<(u32, ServerId, ServerId)> {
+        self.0.borrow().plan_drain(victim)
     }
 
     /// Number of metadata servers.
@@ -486,5 +595,80 @@ mod tests {
     fn rebalance_of_a_balanced_map_is_empty() {
         let map = ShardMap::initial(PartitionPolicy::Subtree, 8);
         assert!(map.plan_rebalance().is_empty());
+    }
+
+    #[test]
+    fn drain_plan_moves_every_victim_shard_to_balanced_survivors() {
+        let map = ShardMap::initial(PartitionPolicy::PerFileHash, 4);
+        let victim = ServerId(1);
+        let owned = map.shards_owned(victim);
+        let moves = map.plan_drain(victim);
+        assert_eq!(moves.len(), owned, "every victim shard must move");
+        assert!(moves.iter().all(|(_, from, _)| *from == victim));
+        assert!(moves.iter().all(|(_, _, to)| *to != victim));
+        // Shards are visited in ascending index order (deterministic plan).
+        assert!(moves.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut map = map.clone();
+        for (shard, from, to) in &moves {
+            assert_eq!(map.owner_of_shard(*shard), *from);
+            map.assign(*shard, *to);
+        }
+        assert_eq!(map.shards_owned(victim), 0);
+        // Survivors end within ±1 of the post-shrink fair share.
+        let fair = map.num_shards() / 3;
+        for s in [0u32, 2, 3] {
+            let owned = map.shards_owned(ServerId(s));
+            assert!(
+                owned >= fair && owned <= fair + 1,
+                "server {s} owns {owned} (fair {fair})"
+            );
+        }
+        assert!(
+            map.plan_drain(victim).is_empty(),
+            "drained victim owns nothing"
+        );
+    }
+
+    #[test]
+    fn retire_excludes_a_server_from_future_plans() {
+        let mut map = ShardMap::initial(PartitionPolicy::PerFileHash, 3);
+        let victim = ServerId(2);
+        for (shard, _, to) in map.plan_drain(victim) {
+            map.assign(shard, to);
+        }
+        let epoch_before = map.epoch();
+        map.retire(victim);
+        assert!(map.is_retired(victim));
+        assert_eq!(map.num_active_servers(), 2);
+        assert_eq!(
+            map.epoch(),
+            epoch_before + 1,
+            "retiring must bump the epoch"
+        );
+        // A retired server never reappears as a rebalance target.
+        assert!(map
+            .plan_rebalance()
+            .iter()
+            .all(|(_, from, to)| *from != victim && *to != victim));
+        assert!(map.plan_drain(victim).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "still owns shards")]
+    fn retiring_an_undrained_server_panics() {
+        let mut map = ShardMap::initial(PartitionPolicy::PerFileHash, 3);
+        map.retire(ServerId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn assigning_to_a_retired_server_panics() {
+        let mut map = ShardMap::initial(PartitionPolicy::PerFileHash, 3);
+        let victim = ServerId(2);
+        for (shard, _, to) in map.plan_drain(victim) {
+            map.assign(shard, to);
+        }
+        map.retire(victim);
+        map.assign(0, victim);
     }
 }

@@ -276,15 +276,57 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMsg> {
                 fallback,
             }
         ),
-        (arb_key(), any::<u64>(), arb_changelog_entry()).prop_map(|(dir_key, req_id, entry)| {
-            ServerMsg::RemoteDirUpdate {
-                req_id,
-                dir_key,
-                entry,
-            }
-        }),
+        (
+            arb_key(),
+            any::<u64>(),
+            arb_changelog_entry(),
+            prop::collection::vec(arb_op_id(), 0..3),
+        )
+            .prop_map(|(dir_key, req_id, entry, discard_confirm)| {
+                ServerMsg::RemoteDirUpdate {
+                    req_id,
+                    dir_key,
+                    entry,
+                    discard_confirm,
+                }
+            }),
         (arb_key(), prop::collection::vec(arb_op_id(), 0..3))
             .prop_map(|(dir_key, applied)| { ServerMsg::ChangeLogPushAck { dir_key, applied } }),
+        // Proactive push with piggybacked discard confirmations: entries
+        // and confirms generated independently so a field swap in the
+        // codec cannot round-trip by accident.
+        (
+            (arb_key(), arb_fingerprint(), any::<u32>()),
+            prop::collection::vec(arb_changelog_entry(), 0..3),
+            prop::collection::vec(arb_op_id(), 0..3),
+        )
+            .prop_map(|((dir_key, fp, from), entries, discard_confirm)| {
+                ServerMsg::ChangeLogPush {
+                    dir_key,
+                    fp,
+                    from: ServerId(from),
+                    entries,
+                    discard_confirm,
+                }
+            }),
+        (
+            arb_fingerprint(),
+            (any::<u64>(), any::<u32>(), any::<u32>()),
+            prop::collection::vec(arb_changelog_entry(), 0..3),
+            prop::collection::vec(arb_op_id(), 0..3),
+        )
+            .prop_map(|(fp, (agg_id, owner, from), entries, discard_confirm)| {
+                ServerMsg::AggregationEntries {
+                    agg: switchfs_proto::message::AggregationPayload {
+                        fp,
+                        agg_id,
+                        owner: ServerId(owner),
+                    },
+                    from: ServerId(from),
+                    entries,
+                    discard_confirm,
+                }
+            }),
         // Live-migration stream: the messages the elastic-placement
         // protocol depends on must round-trip with full payloads.
         (
@@ -299,12 +341,24 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMsg> {
         )
             .prop_map(
                 |((req_id, shard), inodes, dir_index, (pending, applied_entry_ids, completed))| {
+                    // The retired set is generated independently of the
+                    // applied set (a deterministic transform of different
+                    // op ids), so swapping the two fields in the codec
+                    // cannot round-trip by accident.
+                    let retired_entry_ids: Vec<OpId> = applied_entry_ids
+                        .iter()
+                        .map(|id| OpId {
+                            client: id.client,
+                            seq: id.seq.wrapping_add(1_000_000),
+                        })
+                        .collect();
                     ServerMsg::ShardInstall {
                         req_id,
                         shard,
                         inodes,
                         entries: Vec::new(),
                         dir_index,
+                        retired_entry_ids,
                         pending,
                         applied_entry_ids,
                         completed,

@@ -114,11 +114,14 @@ impl ServerConfig {
         self.server_nodes.borrow().len()
     }
 
-    /// All server ids other than this one (the aggregation fan-out set).
+    /// All *active* server ids other than this one (the aggregation /
+    /// invalidation fan-out set). Decommissioned servers are excluded: they
+    /// hold no change-logs and answer nothing, so including them would stall
+    /// every aggregation for a retry budget.
     pub fn other_servers(&self) -> Vec<ServerId> {
         (0..self.num_servers() as u32)
             .map(ServerId)
-            .filter(|s| *s != self.id)
+            .filter(|s| *s != self.id && !self.placement.is_retired(*s))
             .collect()
     }
 }

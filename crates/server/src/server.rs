@@ -88,8 +88,11 @@ pub(crate) enum CommitSignal {
     /// The switch stored the fingerprint and mirrored the packet back.
     Mirrored,
     /// The insert overflowed; the fallback server applied the update
-    /// synchronously and notified us.
-    FallbackDone,
+    /// synchronously and notified us. Carries the applier's identity (from
+    /// the notification's source) so the later discard confirmation reaches
+    /// the server that actually holds the id — which may differ from the
+    /// current map owner if the shard flips in between.
+    FallbackDone(Option<ServerId>),
 }
 
 /// Reply to a token-matched request (coordinator RPC, remote update, …).
@@ -190,6 +193,19 @@ pub(crate) struct AggCollector {
 /// are exactly the ones the client can no longer retransmit.
 pub(crate) const COMPLETED_OPS_PER_CLIENT_CAP: usize = 512;
 
+/// How long a retired entry id stays in the suppression FIFO before
+/// eviction. The only copies of an entry that can arrive *after* its
+/// holder's discard confirmation are ones sent earlier and still sitting in
+/// the fabric or in a handler queue (e.g. a re-pushed batch whose handler
+/// is parked behind the fingerprint-group lock while the confirmation is
+/// processed at dispatch); those windows are bounded by virtual time, not
+/// by a count, so eviction is by retention age. 256 retransmission
+/// timeouts (~100 ms of virtual time) dwarfs every retry budget and every
+/// observed queueing backlog, while keeping the FIFO bounded by the recent
+/// apply *rate* instead of the server's lifetime.
+pub(crate) const RETIRED_ENTRY_RETENTION: switchfs_simnet::SimDuration =
+    switchfs_simnet::SimDuration::millis(100);
+
 /// The volatile state of a metadata server. Rebuilt from the WAL after a
 /// crash.
 pub(crate) struct ServerInner {
@@ -206,8 +222,29 @@ pub(crate) struct ServerInner {
     /// Invalidation list (§5.2): directories removed/renamed elsewhere whose
     /// client cache entries must be invalidated lazily.
     pub invalidation: FxHashMap<DirId, MetaKey>,
-    /// Remote change-log entries already applied (duplicate suppression).
+    /// Remote change-log entries applied but not yet confirmed discarded by
+    /// their holders (duplicate suppression). Bounded: once a holder's
+    /// piggybacked `discard_confirm` arrives — the holder durably dropped
+    /// the entry after the acknowledgment round trip and can never re-send
+    /// it — the id moves to the [`ServerInner::retired_entry_ids`] FIFO, so
+    /// this set tracks the in-flight confirmation window, not the server's
+    /// lifetime.
     pub applied_entry_ids: FxHashSet<OpId>,
+    /// Recently retired (holder-confirmed) entry ids, still honored for
+    /// duplicate suppression. A copy of a confirmed entry can only arrive
+    /// within a bounded virtual-time window (fabric reorder + handler
+    /// queueing), so ids are evicted once they outlive
+    /// [`RETIRED_ENTRY_RETENTION`] — the set is bounded by the recent apply
+    /// rate, not by the server's lifetime.
+    pub retired_entry_ids: FxHashSet<OpId>,
+    /// Retirement times of `retired_entry_ids` in FIFO order, driving the
+    /// retention-based eviction.
+    pub retired_entry_order: std::collections::VecDeque<(SimTime, OpId)>,
+    /// Ids this server discarded (as a change-log holder) after an
+    /// acknowledgment round trip, awaiting confirmation to the applying
+    /// server. Drained onto the next message that already flows there
+    /// (push, aggregation reply, remote update) — no extra packets.
+    pub pending_discard_confirms: FxHashMap<ServerId, Vec<OpId>>,
     /// Responses already sent, re-sent verbatim on duplicate requests.
     /// Keyed per client and ordered by sequence so the piggybacked acked
     /// watermark can prune everything the client will never retransmit —
@@ -304,6 +341,13 @@ pub(crate) struct ServerInner {
     pub committed_txn_order: std::collections::VecDeque<u64>,
     /// Whether the server is currently crashed (drops all work).
     pub crashed: bool,
+    /// Whether the server was gracefully decommissioned: it owns no shards,
+    /// serves no work, and only answers client requests with a `WrongOwner`
+    /// redirect carrying the current map — the tombstone that lets clients
+    /// holding a pre-shrink map refresh instead of timing out against a
+    /// silent node. (A real deployment keeps exactly this thin redirector
+    /// until the lease on the old membership expires.)
+    pub decommissioned: bool,
     /// Whether the server is recovering or migrating (rejects client work).
     pub unavailable: bool,
     /// Whether background loops should terminate (end of experiment).
@@ -321,6 +365,9 @@ impl ServerInner {
             changelogs: ChangeLogStore::new(),
             invalidation: FxHashMap::default(),
             applied_entry_ids: FxHashSet::default(),
+            retired_entry_ids: FxHashSet::default(),
+            retired_entry_order: std::collections::VecDeque::new(),
+            pending_discard_confirms: FxHashMap::default(),
             completed_ops: FxHashMap::default(),
             in_flight_ops: FxHashSet::default(),
             seen_request_pkts: FxHashMap::default(),
@@ -347,6 +394,7 @@ impl ServerInner {
             committed_txns: FxHashSet::default(),
             committed_txn_order: std::collections::VecDeque::new(),
             crashed: false,
+            decommissioned: false,
             unavailable: false,
             shutdown: false,
             stats: ServerStats::default(),
@@ -456,6 +504,60 @@ impl ServerInner {
         self.completed_ops.values().map(|m| m.len()).sum()
     }
 
+    /// True when a remote change-log entry was already applied here — still
+    /// awaiting its holder's discard confirmation, or recently retired.
+    pub fn entry_already_applied(&self, id: &OpId) -> bool {
+        self.applied_entry_ids.contains(id) || self.retired_entry_ids.contains(id)
+    }
+
+    /// Retires one applied entry id: its holder confirmed the durable
+    /// discard, so the only copies that can still arrive were sent earlier
+    /// and are bounded in (virtual) time — covered by the retention FIFO
+    /// this moves the id into.
+    pub fn retire_entry_id(&mut self, id: OpId, now: SimTime) {
+        self.applied_entry_ids.remove(&id);
+        if self.retired_entry_ids.insert(id) {
+            self.retired_entry_order.push_back((now, id));
+        }
+        while let Some((at, old)) = self.retired_entry_order.front().copied() {
+            if now.duration_since(at) <= RETIRED_ENTRY_RETENTION {
+                break;
+            }
+            self.retired_entry_order.pop_front();
+            self.retired_entry_ids.remove(&old);
+        }
+    }
+
+    /// Queues discard confirmations for `applier`, to ride on the next
+    /// message that flows there. `applier == self` short-circuits to an
+    /// immediate retire (the owner applied its own entries).
+    pub fn queue_discard_confirm(
+        &mut self,
+        me: ServerId,
+        applier: ServerId,
+        now: SimTime,
+        ids: impl IntoIterator<Item = OpId>,
+    ) {
+        if applier == me {
+            for id in ids {
+                self.retire_entry_id(id, now);
+            }
+        } else {
+            self.pending_discard_confirms
+                .entry(applier)
+                .or_default()
+                .extend(ids);
+        }
+    }
+
+    /// Takes the pending discard confirmations addressed to `applier` (to
+    /// attach to an outgoing message).
+    pub fn take_discard_confirms(&mut self, applier: ServerId) -> Vec<OpId> {
+        self.pending_discard_confirms
+            .remove(&applier)
+            .unwrap_or_default()
+    }
+
     /// Records a request packet's sequence number; returns false when this
     /// exact packet was already seen (a network duplicate to drop). The
     /// per-sender window is FIFO-bounded: duplicates arrive within the
@@ -545,6 +647,17 @@ impl Server {
         self.inner.borrow().completed_ops_len()
     }
 
+    /// Applied-but-unconfirmed remote change-log entry ids currently held
+    /// (test observability for the bounded `applied_entry_ids` guarantee).
+    pub fn applied_entry_id_count(&self) -> usize {
+        self.inner.borrow().applied_entry_ids.len()
+    }
+
+    /// Retired (holder-confirmed) entry ids currently in the bounded FIFO.
+    pub fn retired_entry_id_count(&self) -> usize {
+        self.inner.borrow().retired_entry_ids.len()
+    }
+
     /// Number of shards currently frozen by outbound migrations.
     pub fn migrating_shard_count(&self) -> usize {
         self.inner.borrow().migrating_shards.len()
@@ -600,6 +713,28 @@ impl Server {
 
     async fn dispatch(&self, src: NodeId, msg: NetMsg) {
         if self.inner.borrow().crashed {
+            return;
+        }
+        if self.inner.borrow().decommissioned {
+            // Redirect tombstone: the server owns nothing and serves
+            // nothing, but a client that still routes here with a
+            // pre-shrink map gets the current map back instead of a
+            // timeout — the ordinary WrongOwner refresh-and-retry path.
+            // Everything else (stray server-to-server traffic addressed to
+            // the previous incarnation) is dropped.
+            if let Body::Request(req) = msg.body {
+                self.inner.borrow_mut().stats.wrong_owner_rejects += 1;
+                self.send_plain(
+                    src,
+                    Body::Response(ClientResponse {
+                        op_id: req.op_id,
+                        result: OpResult::WrongOwner {
+                            map: self.cfg.placement.snapshot(),
+                        },
+                        server: self.cfg.id,
+                    }),
+                );
+            }
             return;
         }
         let dirty_ret = msg.dirty.map(|h| h.ret);
@@ -824,7 +959,13 @@ impl Server {
             ServerMsg::AggregationRequest { agg, invalidate } => {
                 Box::pin(self.handle_aggregation_request(agg, invalidate)).await;
             }
-            ServerMsg::AggregationEntries { agg, from, entries } => {
+            ServerMsg::AggregationEntries {
+                agg,
+                from,
+                entries,
+                discard_confirm,
+            } => {
+                self.retire_confirmed(discard_confirm);
                 self.handle_aggregation_entries(agg, from, entries);
             }
             ServerMsg::AggregationAck { agg } => {
@@ -835,17 +976,21 @@ impl Server {
                 fp,
                 from,
                 entries,
+                discard_confirm,
             } => {
+                self.retire_confirmed(discard_confirm);
                 Box::pin(self.handle_changelog_push(dir_key, fp, from, entries)).await;
             }
             ServerMsg::ChangeLogPushAck { dir_key, applied } => {
-                self.handle_push_ack(dir_key, applied);
+                self.handle_push_ack(src, dir_key, applied);
             }
             ServerMsg::RemoteDirUpdate {
                 req_id,
                 dir_key,
                 entry,
+                discard_confirm,
             } => {
+                self.retire_confirmed(discard_confirm);
                 Box::pin(self.handle_remote_dir_update(src, req_id, dir_key, entry)).await;
             }
             ServerMsg::RemoteDirUpdateAck { req_id, result } => {
@@ -856,7 +1001,7 @@ impl Server {
                 self.complete_token(req_id, reply);
             }
             ServerMsg::FallbackDone { op_token, entry_id } => {
-                self.handle_fallback_done(op_token, entry_id);
+                self.handle_fallback_done(src, op_token, entry_id);
             }
             ServerMsg::MarkDirty { req_id, fp } => {
                 self.handle_mark_dirty(src, req_id, fp).await;
@@ -1021,6 +1166,7 @@ impl Server {
                 dir_index,
                 pending,
                 applied_entry_ids,
+                retired_entry_ids,
                 completed,
             } => {
                 Box::pin(self.handle_shard_install(
@@ -1032,6 +1178,7 @@ impl Server {
                     dir_index,
                     pending,
                     applied_entry_ids,
+                    retired_entry_ids,
                     completed,
                 ))
                 .await;
@@ -1100,6 +1247,30 @@ impl Server {
     pub(crate) fn is_stale(&self, ancestors: &[DirId]) -> bool {
         let inner = self.inner.borrow();
         ancestors.iter().any(|a| inner.invalidation.contains_key(a))
+    }
+
+    /// The server identity hosted on `node`, if it is a metadata server.
+    pub(crate) fn server_id_of(&self, node: NodeId) -> Option<ServerId> {
+        self.cfg
+            .server_nodes
+            .borrow()
+            .iter()
+            .position(|n| *n == node)
+            .map(|i| ServerId(i as u32))
+    }
+
+    /// Retires entry ids whose holders confirmed the durable discard
+    /// (piggybacked on an incoming push / aggregation reply / remote
+    /// update). Pure state motion — no modeled cost, no packets.
+    pub(crate) fn retire_confirmed(&self, ids: Vec<OpId>) {
+        if ids.is_empty() {
+            return;
+        }
+        let now = self.handle.now();
+        let mut inner = self.inner.borrow_mut();
+        for id in ids {
+            inner.retire_entry_id(id, now);
+        }
     }
 
     /// Allocates a fresh token / aggregation id.
@@ -1489,6 +1660,24 @@ impl Server {
         self.inner.borrow().crashed
     }
 
+    /// Turns a fully drained server into the decommission tombstone: it
+    /// stops all background work and from now on only answers client
+    /// requests with a `WrongOwner` redirect carrying the current map. The
+    /// caller must have migrated every shard away (and retired the server in
+    /// the shared map) first.
+    pub fn decommission(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.decommissioned = true;
+        // Stop the proactive loop at its next wake-up; `restart_background`
+        // refuses to revive a decommissioned server's loop.
+        inner.shutdown = true;
+    }
+
+    /// True once the server was gracefully decommissioned.
+    pub fn is_decommissioned(&self) -> bool {
+        self.inner.borrow().decommissioned
+    }
+
     /// Marks the server available again after recovery or reconfiguration.
     pub fn set_available(&self, available: bool) {
         self.inner.borrow_mut().unavailable = !available;
@@ -1507,9 +1696,14 @@ impl Server {
     }
 
     /// Restarts the background proactive loop after [`Server::stop_background`].
+    /// A decommissioned server stays quiet: its tombstone answers requests
+    /// without any background machinery.
     pub fn restart_background(&self) {
         let was_shutdown = {
             let mut inner = self.inner.borrow_mut();
+            if inner.decommissioned {
+                return;
+            }
             let was = inner.shutdown;
             inner.shutdown = false;
             was

@@ -216,11 +216,12 @@ impl Server {
 
         // Filter out anything already applied (duplicate aggregations,
         // re-sent entries).
+        let local_ids: Vec<OpId> = local_entries.iter().map(|e| e.entry_id).collect();
         let mut entries: Vec<ChangeLogEntry> = Vec::new();
         {
             let inner = self.inner.borrow();
             for e in local_entries.into_iter().chain(remote_entries) {
-                if !inner.applied_entry_ids.contains(&e.entry_id) {
+                if !inner.entry_already_applied(&e.entry_id) {
                     entries.push(e);
                 }
             }
@@ -249,6 +250,15 @@ impl Server {
                 .map(|(_, _, e)| own_ids.contains(&e.entry_id))
                 .unwrap_or(false)
         });
+        // The owner held (and just durably discarded) its own local entries:
+        // holder and applier are the same server, so the discard confirms
+        // itself and those ids retire into the bounded FIFO immediately.
+        {
+            let me = self.cfg.id;
+            let now = self.handle.now();
+            let mut inner = self.inner.borrow_mut();
+            inner.queue_discard_confirm(me, me, now, local_ids);
+        }
         applied
     }
 
@@ -448,12 +458,14 @@ impl Server {
         };
         let sent_ids: FxHashSet<OpId> = entries.iter().map(|e| e.entry_id).collect();
         let owner_node = self.cfg.node_of(agg.owner);
+        let discard_confirm = self.inner.borrow_mut().take_discard_confirms(agg.owner);
         self.send_plain(
             owner_node,
             Body::Server(ServerMsg::AggregationEntries {
                 agg,
                 from: self.cfg.id,
                 entries,
+                discard_confirm,
             }),
         );
         // Wait for the owner's ack (bounded), then mark the entries applied.
@@ -489,6 +501,18 @@ impl Server {
                     .map(|(_, _, e)| sent_ids.contains(&e.entry_id))
                     .unwrap_or(false)
             });
+            // The discard is durable (WAL records marked applied): this
+            // holder can never re-send these entries, so tell the owner —
+            // on the next message that flows there — to retire them from
+            // its duplicate-suppression set.
+            let me = self.cfg.id;
+            let now = self.handle.now();
+            self.inner.borrow_mut().queue_discard_confirm(
+                me,
+                agg.owner,
+                now,
+                sent_ids.iter().copied(),
+            );
         }
         drop(guards);
     }
@@ -545,6 +569,14 @@ impl Server {
                 // and its placement lookup then routes to the new owner.
                 return;
             }
+            if !self.owns_dir_updates(fp, &first.dir) {
+                // A push that was in flight across a flip: this server no
+                // longer owns the directory and already deleted its copy —
+                // acknowledging would let the holder discard an entry the
+                // new owner never saw. Drop without ack; the holder's next
+                // push round routes to the new owner.
+                return;
+            }
         }
         let fpg = self.locks.fp_group(fp);
         let _w = fpg.write().await;
@@ -553,7 +585,7 @@ impl Server {
             let inner = self.inner.borrow();
             entries
                 .into_iter()
-                .filter(|e| !inner.applied_entry_ids.contains(&e.entry_id))
+                .filter(|e| !inner.entry_already_applied(&e.entry_id))
                 .collect()
         };
         self.apply_entries_to_owned_dirs(fp, &fresh).await;
@@ -573,8 +605,13 @@ impl Server {
     }
 
     /// Pusher side: the owner applied our pushed entries.
-    pub(crate) fn handle_push_ack(&self, _dir_key: MetaKey, applied: Vec<OpId>) {
-        let ids: FxHashSet<OpId> = applied.into_iter().collect();
+    pub(crate) fn handle_push_ack(
+        &self,
+        src: switchfs_simnet::NodeId,
+        _dir_key: MetaKey,
+        applied: Vec<OpId>,
+    ) {
+        let ids: FxHashSet<OpId> = applied.iter().copied().collect();
         {
             let mut inner = self.inner.borrow_mut();
             let dirty: Vec<(DirId, Fingerprint)> = inner.changelogs.dirty_dirs();
@@ -588,6 +625,18 @@ impl Server {
                 .map(|(_, _, e)| ids.contains(&e.entry_id))
                 .unwrap_or(false)
         });
+        // The discard is durable: confirm it — on the next outgoing message
+        // — to the server that *sent this ack* (the one actually holding
+        // the ids in its suppression set), not to the directory's current
+        // map owner: across a shard flip the two differ, and the confirm
+        // would otherwise never reach the real applier.
+        if let Some(applier) = self.server_id_of(src) {
+            let me = self.cfg.id;
+            let now = self.handle.now();
+            self.inner
+                .borrow_mut()
+                .queue_discard_confirm(me, applier, now, applied);
+        }
     }
 
     /// The background loop driving MTU/idle-based pushes (holder side) and
@@ -632,18 +681,33 @@ impl Server {
             }
         }
         for (_dir, dir_key, fp, entries) in to_push {
-            let owner = self.cfg.placement.dir_owner_by_fp(fp);
-            self.inner.borrow_mut().stats.pushes_sent += 1;
-            self.send_plain(
-                self.cfg.node_of(owner),
-                Body::Server(ServerMsg::ChangeLogPush {
-                    dir_key,
-                    fp,
-                    from: self.cfg.id,
-                    entries,
-                }),
-            );
+            self.send_changelog_push(dir_key, fp, entries);
         }
+    }
+
+    /// Sends one directory's change-log snapshot to the directory's current
+    /// owner, draining any queued discard confirmations addressed to it.
+    /// Shared by the steady-state proactive rounds and the decommission
+    /// flush so the holder-side push protocol exists exactly once.
+    pub(crate) fn send_changelog_push(
+        &self,
+        dir_key: MetaKey,
+        fp: Fingerprint,
+        entries: Vec<ChangeLogEntry>,
+    ) {
+        let owner = self.cfg.placement.dir_owner_by_fp(fp);
+        let discard_confirm = self.inner.borrow_mut().take_discard_confirms(owner);
+        self.inner.borrow_mut().stats.pushes_sent += 1;
+        self.send_plain(
+            self.cfg.node_of(owner),
+            Body::Server(ServerMsg::ChangeLogPush {
+                dir_key,
+                fp,
+                from: self.cfg.id,
+                entries,
+                discard_confirm,
+            }),
+        );
     }
 
     /// One round of owner-side proactive aggregations.
@@ -671,6 +735,14 @@ impl Server {
             if self.dir_update_frozen(fp, &DirId::ROOT)
                 || dirs.iter().any(|d| self.dir_update_frozen(fp, d))
             {
+                continue;
+            }
+            // Nor for a group whose shard already flipped away: this server
+            // would pull remote entries, find no owner-index record, count
+            // them "applied" as moot and acknowledge — silently losing
+            // updates the new owner never saw. The new owner aggregates.
+            if self.cfg.placement.dir_owner_by_fp(fp) != self.cfg.id {
+                self.inner.borrow_mut().push_timers.remove(&raw);
                 continue;
             }
             let fpg = self.locks.fp_group(fp);

@@ -39,11 +39,21 @@ use crate::server::{Server, TokenReply};
 use crate::wal::{KvEffect, MigrationMarker, WalOp};
 
 /// The extracted slice of one shard's server-side state.
+#[derive(Default)]
 pub(crate) struct ShardExtract {
     pub inodes: Vec<(MetaKey, InodeAttrs)>,
     pub entries: Vec<(DirId, switchfs_proto::DirEntry)>,
     pub dir_index: Vec<(DirId, MetaKey)>,
     pub pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
+}
+
+impl ShardExtract {
+    fn is_empty(&self) -> bool {
+        self.inodes.is_empty()
+            && self.entries.is_empty()
+            && self.dir_index.is_empty()
+            && self.pending.is_empty()
+    }
 }
 
 /// The placement hashes under which an inode may be stored on its owner:
@@ -87,58 +97,84 @@ fn dir_content_hash(policy: PartitionPolicy, dir: &DirId, dir_key: Option<&MetaK
 
 impl Server {
     /// Extracts everything stored on this server that shard `shard` owns.
+    /// Thin wrapper over the batched [`Server::collect_shards`].
     pub(crate) fn collect_shard(&self, shard: u32) -> ShardExtract {
+        let shards: std::collections::BTreeSet<u32> = std::iter::once(shard).collect();
+        self.collect_shards(&shards)
+            .remove(&shard)
+            .unwrap_or_default()
+    }
+
+    /// Extracts everything stored on this server that any shard in `shards`
+    /// owns, in ONE bucketing pass over the stores. A drain plan moving S
+    /// shards off one donor scans the donor's inodes / entry lists / owner
+    /// index / change-logs once instead of S times — the difference between
+    /// a linear and a quadratic decommission. An inode whose routing roles
+    /// map to two shards of the batch appears in both extracts, exactly as
+    /// two independent per-shard scans would collect it.
+    pub(crate) fn collect_shards(
+        &self,
+        shards: &std::collections::BTreeSet<u32>,
+    ) -> std::collections::BTreeMap<u32, ShardExtract> {
         let placement = &self.cfg.placement;
         let policy = placement.policy();
         let inner = self.inner.borrow();
-        let mut out = ShardExtract {
-            inodes: Vec::new(),
-            entries: Vec::new(),
-            dir_index: Vec::new(),
-            pending: Vec::new(),
-        };
+        let mut out: std::collections::BTreeMap<u32, ShardExtract> = shards
+            .iter()
+            .map(|s| (*s, ShardExtract::default()))
+            .collect();
         for (key, attrs) in inner.inodes.iter() {
-            let hit = inode_role_hashes(policy, key, attrs)
-                .iter()
-                .any(|h| placement.shard_of_hash(*h) == shard);
-            if hit {
-                out.inodes.push((key.clone(), attrs.clone()));
+            let mut first_hit: Option<u32> = None;
+            for h in inode_role_hashes(policy, key, attrs) {
+                let s = placement.shard_of_hash(h);
+                if first_hit == Some(s) {
+                    continue;
+                }
+                if let Some(extract) = out.get_mut(&s) {
+                    extract.inodes.push((key.clone(), attrs.clone()));
+                    if first_hit.is_none() {
+                        first_hit = Some(s);
+                    }
+                }
             }
         }
         for (dir, content) in inner.entries.iter() {
             let h = dir_content_hash(policy, dir, inner.dir_index.get(dir));
-            if placement.shard_of_hash(h) == shard {
+            if let Some(extract) = out.get_mut(&placement.shard_of_hash(h)) {
                 for e in content.iter() {
-                    out.entries.push((*dir, e.clone()));
+                    extract.entries.push((*dir, e.clone()));
                 }
             }
         }
         for (dir, key) in inner.dir_index.iter() {
             let h = dir_content_hash(policy, dir, Some(key));
-            if placement.shard_of_hash(h) == shard {
-                out.dir_index.push((*dir, key.clone()));
+            if let Some(extract) = out.get_mut(&placement.shard_of_hash(h)) {
+                extract.dir_index.push((*dir, key.clone()));
             }
         }
         for (dir, fp) in inner.changelogs.dirty_dirs() {
-            let dir_key = inner.changelogs.get(&dir).map(|l| l.dir_key.clone());
             let h = match policy {
                 PartitionPolicy::PerFileHash => splitmix64(fp.raw()),
                 _ => dir.hash64(),
             };
-            if placement.shard_of_hash(h) == shard {
-                if let (Some(log), Some(key)) = (inner.changelogs.get(&dir), dir_key) {
+            if let Some(extract) = out.get_mut(&placement.shard_of_hash(h)) {
+                if let Some(log) = inner.changelogs.get(&dir) {
+                    let key = log.dir_key.clone();
                     for e in log.entries() {
-                        out.pending.push((dir, key.clone(), e.clone()));
+                        extract.pending.push((dir, key.clone(), e.clone()));
                     }
                 }
             }
         }
         // Deterministic stream order regardless of hash-map iteration.
-        out.inodes.sort_by(|a, b| a.0.cmp(&b.0));
-        out.entries
-            .sort_by(|a, b| (a.0, &a.1.name).cmp(&(b.0, &b.1.name)));
-        out.dir_index.sort_by_key(|e| e.0);
-        out.pending.sort_by_key(|e| (e.0, e.2.entry_id));
+        for extract in out.values_mut() {
+            extract.inodes.sort_by(|a, b| a.0.cmp(&b.0));
+            extract
+                .entries
+                .sort_by(|a, b| (a.0, &a.1.name).cmp(&(b.0, &b.1.name)));
+            extract.dir_index.sort_by_key(|e| e.0);
+            extract.pending.sort_by_key(|e| (e.0, e.2.entry_id));
+        }
         out
     }
 
@@ -148,19 +184,27 @@ impl Server {
     /// freezes exist only in the later snapshot, and the later shard's flip
     /// redirects exactly those clients' retransmissions to the target — a
     /// stale snapshot would let them re-execute. A superset is always safe,
-    /// and the acked watermark keeps each snapshot within the in-flight
+    /// and the acked watermark (responses) plus the holders' discard
+    /// confirmations (entry ids) keep each snapshot within the in-flight
     /// window, so the per-shard payload stays small by construction.
-    pub(crate) fn dedup_snapshot(&self) -> (Vec<OpId>, Vec<ClientResponse>) {
+    pub(crate) fn dedup_snapshot(&self) -> (Vec<OpId>, Vec<OpId>, Vec<ClientResponse>) {
         let inner = self.inner.borrow();
         let mut applied: Vec<OpId> = inner.applied_entry_ids.iter().copied().collect();
         applied.sort_unstable();
+        // The retired FIFO ships in insertion order so the target's eviction
+        // order matches; both halves are bounded, so the payload is small.
+        let retired: Vec<OpId> = inner
+            .retired_entry_order
+            .iter()
+            .map(|(_, id)| *id)
+            .collect();
         let mut completed: Vec<ClientResponse> = inner
             .completed_ops
             .values()
             .flat_map(|m| m.values().cloned())
             .collect();
         completed.sort_by_key(|r| r.op_id);
-        (applied, completed)
+        (applied, retired, completed)
     }
 
     /// True when the directory addressed by `fp`/`dir` lies in a shard this
@@ -181,6 +225,25 @@ impl Server {
             _ => dir.hash64(),
         };
         inner.migrating_shards.contains(&placement.shard_of_hash(h))
+    }
+
+    /// True when this server currently owns the directory addressed by
+    /// `fp`/`dir` under the shared map. Owner-side apply paths must check
+    /// this alongside the freeze gate: a push *in flight across a flip*
+    /// lands at the old owner after it deleted its migrated copy, and the
+    /// missing owner-index entry would make the apply treat the update as
+    /// "directory removed, moot" — acknowledging it, so the holder durably
+    /// discards an entry the *new* owner never saw (a lost directory
+    /// update; found by the decommission chaos sweep as a statdir/listing
+    /// divergence). A non-owner drops the message without an ack; the
+    /// holder's next round routes to the new owner via the shared map.
+    pub(crate) fn owns_dir_updates(&self, fp: Fingerprint, dir: &DirId) -> bool {
+        let placement = &self.cfg.placement;
+        let h = match placement.policy() {
+            PartitionPolicy::PerFileHash => splitmix64(fp.raw()),
+            _ => dir.hash64(),
+        };
+        placement.owner_of_hash(h) == self.cfg.id
     }
 
     /// True while work that predates the freeze may still touch `shard`:
@@ -243,17 +306,6 @@ impl Server {
         }
     }
 
-    /// Waits until no in-flight work can touch the frozen shard. New work is
-    /// already gated by the freeze, so this drains in bounded time.
-    async fn wait_shard_quiesced(&self, shard: u32) {
-        let pre_freeze: switchfs_simnet::FxHashSet<OpId> =
-            self.inner.borrow().in_flight_ops.iter().copied().collect();
-        let step = self.cfg.costs.request_timeout / 4;
-        while self.shard_busy(shard, &pre_freeze) {
-            self.handle.sleep(step).await;
-        }
-    }
-
     /// Durably logs a shard-migration state transition and charges one WAL
     /// append.
     pub(crate) async fn log_migration_marker(&self, marker: MigrationMarker) {
@@ -267,54 +319,118 @@ impl Server {
     /// retransmission) → `flip` (the caller reassigns the shard in the
     /// shared map) → delete the local copy. Returns false — leaving
     /// ownership unchanged and the shard unfrozen — if the target never
-    /// acked (e.g. it is down); the caller may retry later.
+    /// acked (e.g. it is down); the caller may retry later. Thin wrapper
+    /// over the batched [`Server::migrate_shards`].
     pub async fn migrate_shard(&self, shard: u32, target: ServerId, flip: impl FnOnce()) -> bool {
-        self.log_migration_marker(MigrationMarker::Started { shard, target })
-            .await;
-        self.inner.borrow_mut().migrating_shards.insert(shard);
-        self.wait_shard_quiesced(shard).await;
+        let flip = std::cell::RefCell::new(Some(flip));
+        self.migrate_shards(&[(shard, target)], |_, _| {
+            if let Some(f) = flip.borrow_mut().take() {
+                f();
+            }
+        })
+        .await
+            == 1
+    }
 
-        let extract = self.collect_shard(shard);
-        let (applied_entry_ids, completed) = self.dedup_snapshot();
-        // Stream cost: one KV read per extracted item.
-        let items = extract.inodes.len() + extract.entries.len() + extract.pending.len();
-        self.cpu
-            .run(self.cfg.costs.kv_get * items.max(1) as u64)
+    /// Migrates a batch of shards off this server (the donor side of a
+    /// decommission drain): freeze the whole batch, wait once for every
+    /// pre-freeze piece of work to clear, bucket all the shards' state in a
+    /// single pass over the stores ([`Server::collect_shards`]), then stream
+    /// each shard to its target with ack + retransmission, flipping and
+    /// deleting per shard as acks arrive. A shard whose target never acks is
+    /// unfrozen with ownership unchanged (the caller may retry); if this
+    /// server crashes mid-batch the remaining shards are abandoned — their
+    /// durable `Started` markers resolve against the shared map on recovery.
+    /// Returns the number of shards successfully migrated.
+    pub async fn migrate_shards(
+        &self,
+        moves: &[(u32, ServerId)],
+        flip: impl Fn(u32, ServerId),
+    ) -> usize {
+        if moves.is_empty() {
+            return 0;
+        }
+        for (shard, target) in moves {
+            self.log_migration_marker(MigrationMarker::Started {
+                shard: *shard,
+                target: *target,
+            })
             .await;
-
-        let token = self.next_token();
-        let body = Body::Server(ServerMsg::ShardInstall {
-            req_id: token,
-            shard,
-            inodes: extract.inodes.clone(),
-            entries: extract.entries.clone(),
-            dir_index: extract.dir_index.clone(),
-            pending: extract.pending.clone(),
-            applied_entry_ids,
-            completed,
-        });
-        let acked = matches!(
-            self.send_with_ack(self.cfg.node_of(target), token, body)
-                .await,
-            Some(TokenReply::Ack)
-        );
-        if !acked {
-            self.inner.borrow_mut().migrating_shards.remove(&shard);
-            return false;
+            self.inner.borrow_mut().migrating_shards.insert(*shard);
         }
 
-        // Commit point: the shard flips in the shared map; every server and
-        // every subsequently-refreshed client routes to the target.
-        flip();
-        self.delete_shard_local(&extract).await;
-        self.log_migration_marker(MigrationMarker::Completed { shard })
-            .await;
-        {
-            let mut inner = self.inner.borrow_mut();
-            inner.migrating_shards.remove(&shard);
-            inner.stats.shards_migrated_out += 1;
+        // Drain barrier for the whole batch: pre-freeze client handlers,
+        // owner-side aggregations and prepared transactions touching any
+        // frozen shard must finish (new work is gated per shard).
+        let pre_freeze: switchfs_simnet::FxHashSet<OpId> =
+            self.inner.borrow().in_flight_ops.iter().copied().collect();
+        let step = self.cfg.costs.request_timeout / 4;
+        while moves.iter().any(|(s, _)| self.shard_busy(*s, &pre_freeze)) {
+            if self.is_crashed() {
+                // Crashed mid-drain: recovery rebuilds a clean state (it
+                // clears the freeze set) and resolves the durable `Started`
+                // markers against the shared map.
+                return 0;
+            }
+            self.handle.sleep(step).await;
         }
-        true
+
+        // One bucketing pass over the stores for every shard of the batch.
+        let shard_set: std::collections::BTreeSet<u32> = moves.iter().map(|(s, _)| *s).collect();
+        let mut extracts = self.collect_shards(&shard_set);
+
+        let mut migrated = 0;
+        for (shard, target) in moves {
+            if self.is_crashed() {
+                break;
+            }
+            let extract = extracts.remove(shard).unwrap_or_default();
+            // Re-snapshotted per shard: responses cached while earlier
+            // shards of the batch streamed exist only in later snapshots,
+            // and a superset is always safe.
+            let (applied_entry_ids, retired_entry_ids, completed) = self.dedup_snapshot();
+            // Stream cost: one KV read per extracted item.
+            let items = extract.inodes.len() + extract.entries.len() + extract.pending.len();
+            self.cpu
+                .run(self.cfg.costs.kv_get * items.max(1) as u64)
+                .await;
+
+            let token = self.next_token();
+            let body = Body::Server(ServerMsg::ShardInstall {
+                req_id: token,
+                shard: *shard,
+                inodes: extract.inodes.clone(),
+                entries: extract.entries.clone(),
+                dir_index: extract.dir_index.clone(),
+                pending: extract.pending.clone(),
+                applied_entry_ids,
+                retired_entry_ids,
+                completed,
+            });
+            let acked = matches!(
+                self.send_with_ack(self.cfg.node_of(*target), token, body)
+                    .await,
+                Some(TokenReply::Ack)
+            );
+            if !acked {
+                self.inner.borrow_mut().migrating_shards.remove(shard);
+                continue;
+            }
+
+            // Commit point: the shard flips in the shared map; every server
+            // and every subsequently-refreshed client routes to the target.
+            flip(*shard, *target);
+            self.delete_shard_local(&extract, true).await;
+            self.log_migration_marker(MigrationMarker::Completed { shard: *shard })
+                .await;
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.migrating_shards.remove(shard);
+                inner.stats.shards_migrated_out += 1;
+            }
+            migrated += 1;
+        }
+        migrated
     }
 
     /// Deletes an extracted slice of shard state, keeping any object that
@@ -324,7 +440,7 @@ impl Server {
     /// reconstructs the same purge. Used by the source after the flip, and
     /// by the target to purge the stale leftovers of a lost-ack earlier
     /// install attempt before applying a retried one.
-    async fn delete_shard_local(&self, extract: &ShardExtract) {
+    async fn delete_shard_local(&self, extract: &ShardExtract, drop_changelogs: bool) {
         let placement = &self.cfg.placement;
         let policy = placement.policy();
         let mut effects = Vec::new();
@@ -345,16 +461,20 @@ impl Server {
             }
         }
         self.apply_and_log(None, effects, None, Vec::new()).await;
-        // The moved pending change-log entries now live (durably) at the
-        // target; drop the volatile copies so this server stops pushing
-        // them. Their unapplied WAL records are harmless: a later recovery
-        // rebuilds and re-pushes them, and the target's copied
-        // duplicate-suppression set discards anything already applied.
-        let mut inner = self.inner.borrow_mut();
-        let dirs: std::collections::BTreeSet<DirId> =
-            extract.pending.iter().map(|(d, _, _)| *d).collect();
-        for dir in dirs {
-            inner.changelogs.remove(&dir);
+        // Source side only (`drop_changelogs`): the moved pending change-log
+        // entries now live (durably) at the target; drop the volatile copies
+        // so this server stops pushing them. Their unapplied WAL records are
+        // harmless: a later recovery rebuilds and re-pushes them, and the
+        // target's copied duplicate-suppression set discards anything
+        // already applied. The target's stale-purge passes `false`: its
+        // change-log holds live holder-side entries, never stale state.
+        if drop_changelogs {
+            let mut inner = self.inner.borrow_mut();
+            let dirs: std::collections::BTreeSet<DirId> =
+                extract.pending.iter().map(|(d, _, _)| *d).collect();
+            for dir in dirs {
+                inner.changelogs.remove(&dir);
+            }
         }
     }
 
@@ -372,6 +492,7 @@ impl Server {
         dir_index: Vec<(DirId, MetaKey)>,
         pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
         applied_entry_ids: Vec<OpId>,
+        retired_entry_ids: Vec<OpId>,
         completed: Vec<ClientResponse>,
     ) {
         let install_key = (src.0, req_id);
@@ -396,14 +517,15 @@ impl Server {
         // a fresh copy under a new token) must not overlay the stale first
         // copy: anything deleted at the source in between would be
         // resurrected here. Purge local shard-s state first — a no-op on
-        // the common fresh-target path.
+        // the common fresh-target path. The purge must NOT touch this
+        // server's change-logs: entries held here for the incoming shard's
+        // directories are *live holder-side* deferred updates (the target
+        // of a decommission drain is a loaded survivor, not a fresh node),
+        // and dropping them would lose directory updates forever — the
+        // pending-append below dedups against them by entry id instead.
         let stale = self.collect_shard(shard);
-        if !(stale.inodes.is_empty()
-            && stale.entries.is_empty()
-            && stale.dir_index.is_empty()
-            && stale.pending.is_empty())
-        {
-            self.delete_shard_local(&stale).await;
+        if !stale.is_empty() {
+            self.delete_shard_local(&stale, false).await;
         }
         let items = inodes.len() + entries.len() + pending.len();
         self.cpu
@@ -411,7 +533,25 @@ impl Server {
             .await;
         let mut effects: Vec<KvEffect> = Vec::with_capacity(items);
         for (key, attrs) in inodes {
-            effects.push(KvEffect::PutInode(key, attrs));
+            // Freshness merge: a directory inode has two routing roles under
+            // the grouping policies (access replica by parent hash, content
+            // replica by its own id hash), so a decommission draining both
+            // role shards off one donor can deliver the *stale* access-role
+            // snapshot after this server's content-role copy already
+            // absorbed post-flip updates — blindly overwriting would fork
+            // size/ctime away from the entry list. Keep whichever copy
+            // changed last (ties take the incoming copy, which keeps
+            // retransmitted installs idempotent).
+            let local_fresher = {
+                let inner = self.inner.borrow();
+                inner
+                    .inodes
+                    .peek(&key)
+                    .is_some_and(|local| local.times.ctime > attrs.times.ctime)
+            };
+            if !local_fresher {
+                effects.push(KvEffect::PutInode(key, attrs));
+            }
         }
         for (dir, entry) in entries {
             effects.push(KvEffect::PutEntry(dir, entry));
@@ -422,6 +562,19 @@ impl Server {
         self.apply_and_log(None, effects, None, applied_entry_ids)
             .await;
         for (dir, key, entry) in pending {
+            // Idempotent append: a lost-ack earlier install (or this
+            // server's own holder-side change-log) may already carry the
+            // entry — a second copy would double-apply under the
+            // presence-blind compacted delta.
+            let dup = self
+                .inner
+                .borrow()
+                .changelogs
+                .get(&dir)
+                .is_some_and(|log| log.entries().any(|e| e.entry_id == entry.entry_id));
+            if dup {
+                continue;
+            }
             let fp = Fingerprint::of_dir(&key.pid, &key.name);
             let now = self.handle.now();
             self.inner
@@ -432,7 +585,15 @@ impl Server {
                 .await;
         }
         {
+            let now = self.handle.now();
             let mut inner = self.inner.borrow_mut();
+            // The source's retired FIFO rides along so a duplicate delayed
+            // across the flip is still suppressed here; entering through the
+            // retire path (re-stamped with install time — conservative)
+            // keeps this server's FIFO bounded.
+            for id in retired_entry_ids {
+                inner.retire_entry_id(id, now);
+            }
             let mut durable = self.durable.borrow_mut();
             for response in completed {
                 // The crash-surviving-dedup guarantee must hold for
@@ -452,6 +613,97 @@ impl Server {
         }
         let _ = shard;
         self.send_plain(src, Body::Server(ServerMsg::ShardInstallAck { req_id }));
+    }
+
+    /// Force-pushes every pending change-log entry to its directory owner,
+    /// ignoring the MTU / idle thresholds. Used by the decommission drain:
+    /// after the victim's own shards have migrated, its change-logs still
+    /// hold deferred updates to directories *other* servers own — those must
+    /// reach their owners before the victim can shut down, or the updates
+    /// would be stranded in a WAL nobody will ever replay.
+    pub(crate) fn push_all_changelogs(&self) {
+        let mut to_push: Vec<(MetaKey, Fingerprint, Vec<ChangeLogEntry>)> = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            for (dir, fp) in inner.changelogs.dirty_dirs() {
+                if let Some(log) = inner.changelogs.get(&dir) {
+                    if !log.is_empty() {
+                        to_push.push((log.dir_key.clone(), fp, log.snapshot()));
+                    }
+                }
+            }
+        }
+        for (dir_key, fp, entries) in to_push {
+            self.send_changelog_push(dir_key, fp, entries);
+        }
+    }
+
+    /// Sends every queued discard confirmation as an empty change-log push
+    /// addressed directly to its applier. Steady-state confirms ride on
+    /// messages that already flow, but a server about to shut down has no
+    /// future messages — without this final flush the appliers would retain
+    /// the victim's unconfirmed ids for their lifetime.
+    fn flush_discard_confirms(&self) {
+        let mut appliers: Vec<ServerId> = self
+            .inner
+            .borrow()
+            .pending_discard_confirms
+            .keys()
+            .copied()
+            .collect();
+        appliers.sort_unstable();
+        for applier in appliers {
+            let discard_confirm = self.inner.borrow_mut().take_discard_confirms(applier);
+            if discard_confirm.is_empty() {
+                continue;
+            }
+            let dir_key = MetaKey::new(DirId::ROOT, "");
+            let fp = Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
+            self.send_plain(
+                self.cfg.node_of(applier),
+                Body::Server(ServerMsg::ChangeLogPush {
+                    dir_key,
+                    fp,
+                    from: self.cfg.id,
+                    entries: Vec::new(),
+                    discard_confirm,
+                }),
+            );
+        }
+    }
+
+    /// Waits until nothing recovery-critical remains volatile on this
+    /// server: change-logs flushed (force-pushed each round until the
+    /// owners' acks drain them), no in-flight client handlers, no pending
+    /// aggregations, no prepared transactions. Bounded: returns false if
+    /// the cluster cannot quiesce within the retry budget (e.g. an owner is
+    /// down), leaving the caller to retry the decommission later.
+    pub async fn drain_for_shutdown(&self) -> bool {
+        let step = self.cfg.costs.request_timeout;
+        for _round in 0..64 {
+            if self.is_crashed() {
+                return false;
+            }
+            let quiet = {
+                let inner = self.inner.borrow();
+                inner.changelogs.is_empty()
+                    && inner.in_flight_ops.is_empty()
+                    && inner.pending_aggs.is_empty()
+                    && inner.active_aggs.is_empty()
+                    && inner.prepared_txns.is_empty()
+                    && inner.pending_discard_confirms.is_empty()
+            };
+            if quiet {
+                return true;
+            }
+            self.push_all_changelogs();
+            // Queued discard confirmations normally ride on future
+            // messages; a retiring server has none, so flush them
+            // explicitly or the appliers keep the ids forever.
+            self.flush_discard_confirms();
+            self.handle.sleep(step).await;
+        }
+        false
     }
 
     /// Drops every locally-stored object owned by `shard` (recovery of an

@@ -243,7 +243,44 @@ impl Server {
     /// Baseline-mode parent update: apply the directory update at the
     /// parent's owner, locally when colocated (P/C grouping) or through a
     /// synchronous RPC (P/C separation, and cross-server `mkdir`/`rmdir`).
+    ///
+    /// Rides through live shard migration: a frozen target rejects with
+    /// `Unavailable` and a flipped one with `NotFound` (the old owner
+    /// deleted its copy) — both are re-resolved against the current map and
+    /// retried here, because the operation's local half is already applied
+    /// and surfacing a retryable error to the client would let its retry
+    /// observe the half-done operation (`AlreadyExists` on its own create).
     pub(crate) async fn sync_parent_update(
+        &self,
+        parent: &ParentRef,
+        entry: &ChangeLogEntry,
+    ) -> Result<(), FsError> {
+        let mut attempt = 0u32;
+        loop {
+            let owner = self.sync_dir_owner(parent);
+            match self.sync_parent_update_once(parent, entry).await {
+                Err(FsError::NotFound) if attempt < 64 && self.sync_dir_owner(parent) != owner => {
+                    // The owner changed under us (the old one already
+                    // deleted its migrated copy): re-route immediately. An
+                    // unchanged owner's NotFound is genuine (the parent was
+                    // removed concurrently) and fails through unchanged.
+                    attempt += 1;
+                }
+                Err(FsError::Unavailable) if attempt < 64 => {
+                    // Frozen by an outbound migration: wait out the freeze
+                    // window (the flip re-routes the retry via the shared
+                    // map) instead of surfacing a retryable error.
+                    attempt += 1;
+                    if self.sync_dir_owner(parent) == owner {
+                        self.handle.sleep(self.cfg.costs.request_timeout).await;
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    async fn sync_parent_update_once(
         &self,
         parent: &ParentRef,
         entry: &ChangeLogEntry,
@@ -259,19 +296,38 @@ impl Server {
             let effects = self.entry_effects(&parent.key, entry);
             self.apply_and_log(None, effects, None, vec![entry.entry_id])
                 .await;
+            // Applier and issuer are the same server and the operation's
+            // own duplicate suppression covers re-execution: retire the id
+            // into the bounded FIFO immediately.
+            let me = self.cfg.id;
+            let now = self.handle.now();
+            self.inner
+                .borrow_mut()
+                .queue_discard_confirm(me, me, now, [entry.entry_id]);
             Ok(())
         } else {
             let token = self.next_token();
+            let discard_confirm = self.inner.borrow_mut().take_discard_confirms(owner);
             let body = Body::Server(ServerMsg::RemoteDirUpdate {
                 req_id: token,
                 dir_key: parent.key.clone(),
                 entry: entry.clone(),
+                discard_confirm,
             });
             match self
                 .send_with_ack(self.cfg.node_of(owner), token, body)
                 .await
             {
-                Some(crate::server::TokenReply::Ack) => Ok(()),
+                Some(crate::server::TokenReply::Ack) => {
+                    // The update is applied and this server will never
+                    // retransmit it: confirm so the owner can retire the id.
+                    let me = self.cfg.id;
+                    let now = self.handle.now();
+                    self.inner
+                        .borrow_mut()
+                        .queue_discard_confirm(me, owner, now, [entry.entry_id]);
+                    Ok(())
+                }
                 Some(crate::server::TokenReply::Failed(e)) => Err(e),
                 _ => Err(FsError::TimedOut),
             }
@@ -535,11 +591,24 @@ impl Server {
                 Some(Ok(CommitSignal::Mirrored)) => {
                     return CommitOutcome::DeliveredBySwitch;
                 }
-                Some(Ok(CommitSignal::FallbackDone)) => {
+                Some(Ok(CommitSignal::FallbackDone(applier))) => {
                     // The overflow fallback applied the entry synchronously:
                     // drop it from the local change-log and mark the WAL
-                    // record applied.
+                    // record applied. The discard is durable, so confirm it
+                    // to the server that actually applied it (the
+                    // notification's sender — not the current map owner,
+                    // which can differ across a shard flip).
                     self.discard_local_entry(parent, entry.entry_id);
+                    if let Some(applier) = applier {
+                        let me = self.cfg.id;
+                        let now = self.handle.now();
+                        self.inner.borrow_mut().queue_discard_confirm(
+                            me,
+                            applier,
+                            now,
+                            [entry.entry_id],
+                        );
+                    }
                     self.inner.borrow_mut().stats.fallback_syncs += 1;
                     return CommitOutcome::FallbackHandled;
                 }
@@ -602,15 +671,26 @@ impl Server {
     async fn sync_fallback_update(&self, parent: &ParentRef, entry: &ChangeLogEntry) {
         let owner = self.cfg.placement.dir_owner_by_fp(parent.fp);
         let token = self.next_token();
+        let discard_confirm = self.inner.borrow_mut().take_discard_confirms(owner);
         let body = Body::Server(ServerMsg::RemoteDirUpdate {
             req_id: token,
             dir_key: parent.key.clone(),
             entry: entry.clone(),
+            discard_confirm,
         });
-        let _ = self
-            .send_with_ack(self.cfg.node_of(owner), token, body)
-            .await;
+        let acked = matches!(
+            self.send_with_ack(self.cfg.node_of(owner), token, body)
+                .await,
+            Some(crate::server::TokenReply::Ack)
+        );
         self.discard_local_entry(parent, entry.entry_id);
+        if acked {
+            let me = self.cfg.id;
+            let now = self.handle.now();
+            self.inner
+                .borrow_mut()
+                .queue_discard_confirm(me, owner, now, [entry.entry_id]);
+        }
         self.inner.borrow_mut().stats.fallback_syncs += 1;
     }
 
@@ -654,21 +734,22 @@ impl Server {
         if dirty_ret == Some(DirtyRet::Overflowed) {
             // Address-rewriter fallback: apply the deferred update
             // synchronously, reply to the client, and notify the origin.
-            if self.dir_update_frozen(
-                switchfs_proto::Fingerprint::of_dir(&fallback.dir_key.pid, &fallback.dir_key.name),
-                &fallback.entry.dir,
-            ) {
+            let fb_fp =
+                switchfs_proto::Fingerprint::of_dir(&fallback.dir_key.pid, &fallback.dir_key.name);
+            if self.dir_update_frozen(fb_fp, &fallback.entry.dir)
+                || !self.owns_dir_updates(fb_fp, &fallback.entry.dir)
+            {
                 // The parent directory's shard is frozen by an outbound
-                // migration: drop the fallback; the origin's commit wait
-                // times out and the operation retries after the flip.
+                // migration (or already flipped away): drop the fallback;
+                // the origin's commit wait times out and the operation
+                // retries against the current owner.
                 return;
             }
             let costs = self.cfg.costs;
             let already = self
                 .inner
                 .borrow()
-                .applied_entry_ids
-                .contains(&fallback.entry.entry_id);
+                .entry_already_applied(&fallback.entry.entry_id);
             if !already {
                 let lock = self.locks.inode(&fallback.dir_key);
                 let _g = lock.write().await;
@@ -693,10 +774,11 @@ impl Server {
 
     /// Handles the origin-side notification that the overflow fallback
     /// completed.
-    pub(crate) fn handle_fallback_done(&self, op_token: u64, _entry_id: OpId) {
+    pub(crate) fn handle_fallback_done(&self, src: NodeId, op_token: u64, _entry_id: OpId) {
+        let applier = self.server_id_of(src);
         let tx = self.inner.borrow_mut().pending_commits.remove(&op_token);
         if let Some(tx) = tx {
-            let _ = tx.send(CommitSignal::FallbackDone);
+            let _ = tx.send(CommitSignal::FallbackDone(applier));
         }
     }
 
@@ -720,14 +802,13 @@ impl Server {
     ) {
         let costs = self.cfg.costs;
         self.cpu.run(costs.software_path).await;
-        if self.dir_update_frozen(
-            switchfs_proto::Fingerprint::of_dir(&dir_key.pid, &dir_key.name),
-            &entry.dir,
-        ) {
-            // The directory's shard is frozen by an outbound migration:
-            // fail the update instead of stranding it at the old owner.
-            // The caller surfaces a retryable error; the retry routes to
-            // the new owner after the flip.
+        let upd_fp = switchfs_proto::Fingerprint::of_dir(&dir_key.pid, &dir_key.name);
+        if self.dir_update_frozen(upd_fp, &entry.dir) || !self.owns_dir_updates(upd_fp, &entry.dir)
+        {
+            // The directory's shard is frozen by an outbound migration (or
+            // already flipped away): fail the update instead of stranding
+            // it at a non-owner. The caller re-resolves the owner against
+            // the shared map and retries there.
             self.send_plain(
                 src,
                 Body::Server(ServerMsg::RemoteDirUpdateAck {
@@ -737,11 +818,7 @@ impl Server {
             );
             return;
         }
-        let already = self
-            .inner
-            .borrow()
-            .applied_entry_ids
-            .contains(&entry.entry_id);
+        let already = self.inner.borrow().entry_already_applied(&entry.entry_id);
         let result = if already {
             Ok(())
         } else {

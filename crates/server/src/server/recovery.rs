@@ -76,6 +76,9 @@ impl Server {
             inner.changelogs.clear();
             inner.invalidation.clear();
             inner.applied_entry_ids.clear();
+            inner.retired_entry_ids.clear();
+            inner.retired_entry_order.clear();
+            inner.pending_discard_confirms.clear();
             inner.completed_ops.clear();
             inner.push_timers.clear();
             inner.pending_commits.clear();
@@ -327,6 +330,11 @@ impl Server {
                     out
                 },
                 applied_entry_ids: inner.applied_entry_ids.iter().copied().collect(),
+                retired_entry_ids: inner
+                    .retired_entry_order
+                    .iter()
+                    .map(|(_, id)| *id)
+                    .collect(),
                 prepared_txns: inner
                     .prepared_txns
                     .iter()
@@ -368,6 +376,9 @@ impl Server {
             inner.applied_entry_ids.insert(*id);
         }
         let now = self.handle.now();
+        for id in &data.retired_entry_ids {
+            inner.retire_entry_id(*id, now);
+        }
         for (dir, key, entry) in &data.pending {
             let fp = Fingerprint::of_dir(&key.pid, &key.name);
             inner.changelogs.append(*dir, key, fp, entry.clone(), now);

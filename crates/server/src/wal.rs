@@ -237,8 +237,12 @@ pub struct CheckpointData {
     pub invalidation: Vec<(DirId, MetaKey)>,
     /// Change-log entries still pending, with their directory key.
     pub pending: Vec<(DirId, MetaKey, ChangeLogEntry)>,
-    /// Ids of remote entries already applied.
+    /// Ids of remote entries applied but not yet confirmed discarded by
+    /// their holders (bounded by the in-flight confirmation window).
     pub applied_entry_ids: Vec<OpId>,
+    /// The bounded FIFO of retired (holder-confirmed) entry ids, in
+    /// insertion order so a reload preserves the eviction order.
+    pub retired_entry_ids: Vec<OpId>,
     /// In-doubt prepared transactions (`txn_id`, coordinator, staged ops):
     /// prepared state is durable (§5.4.2), so a checkpoint must carry it
     /// across WAL truncation.

@@ -112,6 +112,13 @@ impl SwitchFsProgram {
         }
     }
 
+    /// Control-plane update: removes a metadata server from the aggregation
+    /// multicast group (graceful decommission). Aggregation requests stop
+    /// fanning out to the retired node the moment the drain completes.
+    pub fn remove_server_node(&mut self, node: u32) {
+        self.config.server_nodes.retain(|n| *n != node);
+    }
+
     /// Enables or disables forced insert overflow (§7.3.2).
     pub fn set_force_overflow(&mut self, force: bool) {
         self.config.force_insert_overflow = force;

@@ -402,6 +402,75 @@ fn retransmission_after_crash_gets_the_original_result() {
     );
 }
 
+/// Regression: `applied_entry_ids` (change-log duplicate suppression) used
+/// to grow by one OpId per remote entry for the server's lifetime, and every
+/// `ShardInstall` shipped a full copy. With holders confirming durable
+/// discards (piggybacked on messages that already flow) the set must stay
+/// within the in-flight confirmation window under sustained cross-server
+/// directory-update load — mirroring the PR 4 `completed_ops` bound.
+#[test]
+fn applied_entry_ids_stay_bounded_under_sustained_cross_server_load() {
+    use switchfs::workloads::{NamespaceSpec, OpKind, WorkloadBuilder};
+
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 4;
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(16, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    let mut builder = WorkloadBuilder::new(ns, 11);
+    let total_ops = 10_000usize;
+    let report = cluster.run_workload(builder.uniform(OpKind::Create, total_ops), 64, None);
+    assert_eq!(report.ops as usize, total_ops);
+    // Let the trailing pushes, acks and piggybacked confirmations drain.
+    cluster.settle(SimDuration::millis(10));
+
+    let unconfirmed: usize = cluster
+        .servers()
+        .iter()
+        .map(|s| s.applied_entry_id_count())
+        .sum();
+    // Residual unconfirmed ids: at most the last un-ridden batch per
+    // (holder, owner) pair plus the in-flight window — far below one id
+    // per operation (the old behavior retained all 10k forever).
+    let pairs = cluster.servers().len() * (cluster.servers().len() - 1);
+    let bound = pairs * 256;
+    assert!(
+        unconfirmed <= bound,
+        "applied_entry_ids grew to {unconfirmed} after {total_ops} ops (bound {bound})"
+    );
+    assert!(
+        unconfirmed < total_ops / 4,
+        "unconfirmed {unconfirmed} ~ op count {total_ops}"
+    );
+    // The retired FIFO is retention-bounded, not lifetime-bounded. Eviction
+    // is lazy (it runs on retirement activity), so: let the 100 ms
+    // retention window pass, then drive a second, much smaller workload —
+    // its confirmations must evict the first 10k ids, leaving the FIFO
+    // sized by the *recent* window only.
+    cluster.settle(SimDuration::millis(120));
+    let tail_ops = 1_000usize;
+    let report = cluster.run_workload(builder.uniform(OpKind::Create, tail_ops), 64, None);
+    assert_eq!(report.ops as usize, tail_ops);
+    cluster.settle(SimDuration::millis(10));
+    let retired: usize = cluster
+        .servers()
+        .iter()
+        .map(|s| s.retired_entry_id_count())
+        .sum();
+    assert!(
+        retired <= tail_ops + bound,
+        "retention eviction did not run: {retired} retired ids after a {tail_ops}-op tail \
+         (first window was {total_ops} ops)"
+    );
+    assert!(
+        retired < total_ops / 2,
+        "retired FIFO {retired} still holds the first window's {total_ops} ids"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Live shard migration / elastic membership (PR 4 tentpole)
 // ---------------------------------------------------------------------------
@@ -487,5 +556,196 @@ fn add_server_rebalances_a_fair_share_and_preserves_the_namespace() {
         }
         let dir = client.statdir("/elastic").await.unwrap();
         assert_eq!(dir.size, 140);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Graceful server decommission (elastic shrink)
+// ---------------------------------------------------------------------------
+
+/// `Cluster::remove_server` on a loaded cluster: every shard the victim owns
+/// drains to the survivors, the id retires with an epoch bump, the victim
+/// becomes a WrongOwner redirect tombstone, and clients holding the stale
+/// map see the full namespace via refresh-and-retry.
+#[test]
+fn remove_server_drains_every_shard_and_preserves_the_namespace() {
+    use switchfs::proto::ServerId;
+
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 2;
+    let mut cluster = Cluster::new(cfg);
+
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/shrink").await.unwrap();
+        for i in 0..120 {
+            client.create(&format!("/shrink/f{i}")).await.unwrap();
+        }
+    });
+
+    let victim = 1usize;
+    let victim_id = ServerId(victim as u32);
+    let owned_before = cluster.placement().shards_owned(victim_id);
+    assert!(owned_before > 0);
+
+    let report = cluster.remove_server(victim);
+    assert!(report.completed, "drain must finish on a healthy cluster");
+    assert_eq!(
+        report.shards_moved, owned_before,
+        "every victim shard must migrate"
+    );
+    assert_eq!(cluster.placement().shards_owned(victim_id), 0);
+    assert!(cluster.placement().is_retired(victim_id));
+    assert_eq!(cluster.placement().num_active_servers(), 3);
+    assert!(
+        cluster.placement().epoch() as usize > owned_before,
+        "each flip and the retirement bump the epoch"
+    );
+    assert!(cluster.servers()[victim].is_decommissioned());
+    // Everything with a routing role migrated; at most the defensive
+    // preload replica of the root (installed on both the fp- and id-hash
+    // owners at setup, of which only the fp copy has a role under per-file
+    // hashing) may remain.
+    assert!(
+        cluster.servers()[victim].inode_count() <= 1,
+        "a drained victim stores nothing protocol-visible, found {}",
+        cluster.servers()[victim].inode_count()
+    );
+    assert_eq!(
+        cluster.servers()[victim].pending_changelog_entries(),
+        0,
+        "a drained victim holds no deferred updates"
+    );
+    assert_eq!(
+        cluster
+            .servers()
+            .iter()
+            .map(|s| s.migrating_shard_count())
+            .sum::<usize>(),
+        0
+    );
+
+    // Client 0's cached map is stale; WrongOwner redirects (including from
+    // the victim's tombstone) must refresh it transparently.
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        let dir = client.statdir("/shrink").await.unwrap();
+        assert_eq!(dir.size, 120);
+        let (_, entries) = client.readdir("/shrink").await.unwrap();
+        assert_eq!(entries.len(), 120);
+        for i in 0..120 {
+            client.stat(&format!("/shrink/f{i}")).await.unwrap();
+        }
+    });
+
+    // The shrunken cluster keeps accepting writes.
+    let client = cluster.client(1);
+    cluster.block_on(async move {
+        for i in 120..150 {
+            client.create(&format!("/shrink/f{i}")).await.unwrap();
+        }
+        let dir = client.statdir("/shrink").await.unwrap();
+        assert_eq!(dir.size, 150);
+    });
+}
+
+/// A decommission interrupted by a crash must resolve from the WAL
+/// `MigrationMarker`s on recovery (flipped shards drop their replayed stale
+/// copies; unflipped ones stay owned), and re-running `remove_server`
+/// afterwards finishes the drain with the namespace intact.
+#[test]
+fn crash_mid_decommission_resolves_from_wal_markers_and_converges() {
+    use switchfs::core::run_decommission;
+    use switchfs::proto::ServerId;
+
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 2;
+    let mut cluster = Cluster::new(cfg);
+
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/shrink2").await.unwrap();
+        for i in 0..100 {
+            client.create(&format!("/shrink2/f{i}")).await.unwrap();
+        }
+    });
+
+    let victim = 0usize;
+    let victim_id = ServerId(victim as u32);
+    let owned_before = cluster.placement().shards_owned(victim_id);
+    assert!(owned_before > 1);
+
+    // Start the drain concurrently, then crash the victim once some — but
+    // not all — shards have flipped.
+    let outcome: Outcome = Rc::new(RefCell::new(None));
+    {
+        let placement = cluster.placement();
+        let servers = cluster.servers().to_vec();
+        let outcome = outcome.clone();
+        cluster.sim.spawn(async move {
+            let report = run_decommission(&placement, &servers, victim).await;
+            *outcome.borrow_mut() = Some(if report.completed {
+                Ok(())
+            } else {
+                Err(FsError::Unavailable)
+            });
+        });
+    }
+    let deadline = cluster.sim.now() + SimDuration::millis(200);
+    while cluster.sim.now() < deadline {
+        let t = cluster.sim.now() + SimDuration::micros(20);
+        cluster.run_until(t);
+        let left = cluster.placement().shards_owned(victim_id);
+        if left < owned_before && left > 0 {
+            break;
+        }
+    }
+    let mid = cluster.placement().shards_owned(victim_id);
+    assert!(
+        mid < owned_before && mid > 0,
+        "crash window missed: victim still owns {mid} of {owned_before}"
+    );
+    cluster.crash_server(victim);
+
+    // The interrupted drain future bails out against the crashed server.
+    {
+        let deadline = cluster.sim.now() + SimDuration::millis(100);
+        while outcome.borrow().is_none() && cluster.sim.now() < deadline {
+            let t = cluster.sim.now() + SimDuration::millis(1);
+            cluster.run_until(t);
+        }
+    }
+    assert_eq!(
+        *outcome.borrow(),
+        Some(Err(FsError::Unavailable)),
+        "a drain interrupted by a crash must report itself incomplete"
+    );
+    assert!(!cluster.placement().is_retired(victim_id));
+
+    // Recovery resolves the interrupted migrations against the shared map:
+    // shards that flipped drop their replayed stale copies; the rest stay.
+    let report = cluster.recover_server(victim);
+    assert!(report.wal_records_replayed > 0);
+    assert_eq!(cluster.placement().shards_owned(victim_id), mid);
+
+    // Re-running the decommission finishes the drain.
+    let report = cluster.remove_server(victim);
+    assert!(report.completed, "re-run must finish the interrupted drain");
+    assert_eq!(cluster.placement().shards_owned(victim_id), 0);
+    assert!(cluster.placement().is_retired(victim_id));
+    assert!(cluster.servers()[victim].is_decommissioned());
+
+    // The namespace survived the crash + partial drain + re-drain.
+    let client = cluster.client(1);
+    cluster.block_on(async move {
+        let dir = client.statdir("/shrink2").await.unwrap();
+        assert_eq!(dir.size, 100);
+        let (_, entries) = client.readdir("/shrink2").await.unwrap();
+        assert_eq!(entries.len(), 100);
+        for i in 0..100 {
+            client.stat(&format!("/shrink2/f{i}")).await.unwrap();
+        }
     });
 }
