@@ -50,7 +50,7 @@ fn bench_kvstore(c: &mut Criterion) {
     c.bench_function("wal_append_mark_applied_10k", |b| {
         b.iter(|| {
             let mut wal = Wal::new();
-            let lsns: Vec<u64> = (0..10_000u32).map(|i| wal.append(i)).collect();
+            let lsns: Vec<u64> = (0..10_000u32).map(|i| wal.append_sized(i, 4)).collect();
             for lsn in lsns {
                 wal.mark_applied(lsn);
             }

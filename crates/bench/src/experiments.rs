@@ -487,6 +487,7 @@ pub fn availability(scale: ExperimentScale) -> Vec<Row> {
             .col("errors", recovered.errors as f64),
         Row::new("recovery work")
             .col("WAL records replayed", report.wal_records_replayed as f64)
+            .col("WAL KB replayed", report.wal_bytes_replayed as f64 / 1024.0)
             .col("inodes recovered", report.inodes_recovered as f64)
             .col("virtual ms", report.duration_ns as f64 / 1e6),
     ]

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Runs `N` seeds × every plan kind (crash / partition / loss / combined /
-//! membership / decommission), each with the consistency checker on. On the
+//! membership / decommission / diskchaos), each with the consistency
+//! checker on. On the
 //! first failure the seed and the serialized fault plan are written to
 //! `PATH` (default `chaos-failure.json`) so the red run is reproducible
 //! with:
@@ -146,13 +147,28 @@ fn run_one(cfg: ChaosConfig, check_replay: bool, artifact: &str) -> bool {
             .iter()
             .map(|(_, r)| r.prepared_txns_recovered)
             .sum();
+        let unflushed: usize = report
+            .torn_tails
+            .iter()
+            .map(|(_, t)| t.kept + t.torn + t.dropped)
+            .sum();
+        let truncated: usize = report
+            .recoveries
+            .iter()
+            .map(|(_, r)| r.wal_truncated_records)
+            .sum();
         println!(
-            "ok   {label}: {} ops ({} ok, {} ambiguous), {} recoveries, {} in-doubt txns resolved{}",
+            "ok   {label}: {} ops ({} ok, {} ambiguous), {} recoveries, {} in-doubt txns resolved{}{}",
             report.history.events.len(),
             report.history.ok(),
             report.history.ambiguous(),
             report.recoveries.len(),
             recovered,
+            if unflushed > 0 || truncated > 0 {
+                format!(", {unflushed} WAL records caught unflushed ({truncated} truncated)")
+            } else {
+                String::new()
+            },
             if check_replay { ", replay verified" } else { "" },
         );
     }
@@ -172,6 +188,7 @@ fn main() {
             "loss" => PlanKind::Loss,
             "membership" => PlanKind::Membership,
             "decommission" => PlanKind::Decommission,
+            "diskchaos" => PlanKind::DiskChaos,
             _ => PlanKind::Combined,
         };
         let system = match doc.system.as_str() {

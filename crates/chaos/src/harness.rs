@@ -79,6 +79,9 @@ pub struct ChaosReport {
     /// Graceful decommissions completed by the nemesis (decommission plans
     /// only; zero when a fault window kept the drain from finishing).
     pub decommissions: usize,
+    /// What each torn crash did to the victim's unflushed WAL suffix
+    /// (diskchaos plans only; empty for the other kinds).
+    pub torn_tails: Vec<(usize, switchfs_server::TornTail)>,
     /// Virtual time at the end of the run, ns.
     pub final_now_ns: u64,
     /// FNV-1a digest over the plan, history, final namespace and cluster
@@ -458,6 +461,7 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         stranded_prepared,
         shards_moved: log.shards_moved,
         decommissions: log.decommissions,
+        torn_tails: log.torn_tails.clone(),
         final_now_ns,
         digest,
     }

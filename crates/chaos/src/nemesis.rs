@@ -90,6 +90,9 @@ pub struct NemesisLog {
     /// Graceful decommissions completed (victim drained, retired and turned
     /// into a redirect tombstone).
     pub decommissions: usize,
+    /// `(server index, tail)` for every torn crash: what the tear did to the
+    /// victim's unflushed WAL suffix (kept / torn / dropped counts).
+    pub torn_tails: Vec<(usize, switchfs_server::TornTail)>,
 }
 
 /// Runs the plan to completion. The future resolves once the last event has
@@ -122,6 +125,13 @@ async fn apply_fault(handles: &NemesisHandles, fault: &Fault, log: &Rc<RefCell<N
     match fault {
         Fault::CrashServer { server } => {
             handles.servers[*server].crash();
+            handles
+                .network
+                .set_node_down(handles.server_nodes[*server], true);
+        }
+        Fault::TornCrash { server, tear_seed } => {
+            let tail = handles.servers[*server].crash_torn(*tear_seed);
+            log.borrow_mut().torn_tails.push((*server, tail));
             handles
                 .network
                 .set_node_down(handles.server_nodes[*server], true);

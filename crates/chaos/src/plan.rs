@@ -44,11 +44,18 @@ pub enum PlanKind {
     /// cycle — is active. The checker is unchanged: a shrinking cluster
     /// must be invisible to consistency.
     Decommission,
+    /// Torn-write disk chaos: crash/recover cycles where the crash also
+    /// corrupts the WAL's unflushed tail (records independently kept, torn
+    /// or dropped under a per-event tear seed), sometimes under a
+    /// disk-latency spike that widens the unflushed window and a loss
+    /// window that forces retransmissions across the crash. The checker is
+    /// unchanged — every acknowledged update must survive a torn log.
+    DiskChaos,
 }
 
 impl PlanKind {
     /// All plan kinds, in sweep order.
-    pub fn all() -> [PlanKind; 6] {
+    pub fn all() -> [PlanKind; 7] {
         [
             PlanKind::Crash,
             PlanKind::Partition,
@@ -56,6 +63,7 @@ impl PlanKind {
             PlanKind::Combined,
             PlanKind::Membership,
             PlanKind::Decommission,
+            PlanKind::DiskChaos,
         ]
     }
 
@@ -68,6 +76,7 @@ impl PlanKind {
             PlanKind::Combined => "combined",
             PlanKind::Membership => "membership",
             PlanKind::Decommission => "decommission",
+            PlanKind::DiskChaos => "diskchaos",
         }
     }
 
@@ -79,6 +88,7 @@ impl PlanKind {
             PlanKind::Combined => 0x636f_6d62,
             PlanKind::Membership => 0x6d65_6d62,
             PlanKind::Decommission => 0x6465_636f,
+            PlanKind::DiskChaos => 0x6469_736b,
         }
     }
 }
@@ -90,6 +100,17 @@ pub enum Fault {
     CrashServer {
         /// Index of the server.
         server: usize,
+    },
+    /// Crash metadata server `server` with a torn disk write: the WAL's
+    /// flushed prefix survives bit-exactly, while each unflushed record is
+    /// independently kept, torn (checksum-corrupted) or dropped under
+    /// `tear_seed`. Recovery must detect and truncate the damage without
+    /// losing any acknowledged update.
+    TornCrash {
+        /// Index of the server.
+        server: usize,
+        /// Deterministic seed for the per-record keep/tear/drop draws.
+        tear_seed: u64,
     },
     /// Bring metadata server `server` back and run `Server::recover`.
     RecoverServer {
@@ -243,6 +264,19 @@ impl FaultPlan {
                     },
                 });
             }
+            PlanKind::DiskChaos => {
+                // Torn crash/recover cycles, each under a disk-latency spike
+                // on the victim so the crash lands inside a widened
+                // append→flush window (without the spike the unflushed
+                // window is ~1µs and a random crash time virtually never
+                // tears anything). Half the seeds overlay a loss window:
+                // retransmissions spanning the crash exercise the
+                // durable-completion dedup path.
+                Self::gen_torn_crashes(&mut rng, &mut events, servers, active);
+                if rng.gen_bool(0.5) {
+                    Self::gen_loss(&mut rng, &mut events, active);
+                }
+            }
         }
         events.sort_by_key(|e| e.at_us);
         FaultPlan {
@@ -270,6 +304,53 @@ impl FaultPlan {
             events.push(FaultEvent {
                 at_us: recover_at.min(lo + slot - 1),
                 fault: Fault::RecoverServer { server },
+            });
+        }
+    }
+
+    /// 1–3 sequential torn-crash→recover cycles (one server down at a time),
+    /// each with its own tear seed for the keep/tear/drop draws. Every cycle
+    /// opens a heavy disk-latency spike on the victim *before* the crash:
+    /// with appends at full speed the volatile window between `append` and
+    /// `flush` is ~1µs, so an independently-timed crash essentially never
+    /// catches an unflushed record — the spike stretches that window to tens
+    /// of microseconds and makes torn tails an expected event rather than a
+    /// coincidence.
+    fn gen_torn_crashes(
+        rng: &mut StdRng,
+        events: &mut Vec<FaultEvent>,
+        servers: usize,
+        active: u64,
+    ) {
+        let cycles = rng.gen_range(1..=3u32);
+        let slot = active / cycles as u64;
+        for c in 0..cycles as u64 {
+            let lo = c * slot;
+            let spike_at = lo + rng.gen_range(0..slot / 6);
+            let crash_at = spike_at + rng.gen_range(slot / 6..slot / 3);
+            let recover_at = (crash_at + rng.gen_range(slot / 4..slot / 2)).min(lo + slot - 1);
+            let server = rng.gen_range(0..servers);
+            events.push(FaultEvent {
+                at_us: spike_at,
+                fault: Fault::DiskSpike {
+                    server,
+                    mult: rng.gen_range(24..96),
+                },
+            });
+            events.push(FaultEvent {
+                at_us: crash_at,
+                fault: Fault::TornCrash {
+                    server,
+                    tear_seed: rng.gen(),
+                },
+            });
+            events.push(FaultEvent {
+                at_us: recover_at,
+                fault: Fault::RecoverServer { server },
+            });
+            events.push(FaultEvent {
+                at_us: recover_at,
+                fault: Fault::ClearDiskSpike { server },
             });
         }
     }
@@ -375,6 +456,15 @@ mod tests {
                                 decommissioned.is_none(),
                                 "{kind:?}/{seed}: crash after a decommission"
                             );
+                            down.push(*server);
+                        }
+                        Fault::TornCrash { server, .. } => {
+                            assert_eq!(
+                                kind,
+                                PlanKind::DiskChaos,
+                                "torn crashes only appear in diskchaos plans"
+                            );
+                            assert!(down.is_empty(), "single-failure assumption");
                             down.push(*server);
                         }
                         Fault::RecoverServer { server } => {

@@ -515,6 +515,16 @@ impl Cluster {
         self.network.set_node_down(server_node(i), true);
     }
 
+    /// Crashes metadata server `i` with a torn disk write: the WAL's flushed
+    /// prefix survives bit-exactly, while each unflushed record is kept,
+    /// torn or dropped under `tear_seed`. Returns what the crash did to the
+    /// tail (see `switchfs_kvstore::Wal::crash_apply`).
+    pub fn crash_server_torn(&self, i: usize, tear_seed: u64) -> switchfs_kvstore::TornTail {
+        let tail = self.servers[i].crash_torn(tear_seed);
+        self.network.set_node_down(server_node(i), true);
+        tail
+    }
+
     /// Recovers metadata server `i` and returns the recovery report.
     pub fn recover_server(&self, i: usize) -> RecoveryReport {
         let server = self.mark_server_up(i);

@@ -23,4 +23,4 @@ pub mod store;
 pub mod wal;
 
 pub use store::{KvStats, KvStore, WriteBatch};
-pub use wal::{Checkpoint, Wal, WalRecord};
+pub use wal::{Checkpoint, TornTail, TornTailReport, Wal, WalRecord};

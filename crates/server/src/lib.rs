@@ -34,4 +34,5 @@ pub use config::{ProactiveConfig, ServerConfig, TrackingMode, UpdateMode};
 pub use costs::CostModel;
 pub use locks::LockManager;
 pub use server::{DirContent, Server, ServerStats};
+pub use switchfs_kvstore::TornTail;
 pub use wal::{DurableState, KvEffect, TxnMarker, WalOp};

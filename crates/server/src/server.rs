@@ -801,7 +801,12 @@ impl Server {
             return;
         }
         if self.inner.borrow().unavailable {
-            self.reply(client_node, req.op_id, OpResult::Err(FsError::Unavailable));
+            self.reply(
+                client_node,
+                &req.op,
+                req.op_id,
+                OpResult::Err(FsError::Unavailable),
+            );
             return;
         }
         // Both checks below are off the hot path: shard classification runs
@@ -854,8 +859,7 @@ impl Server {
         // `None` means the operation replies through the switch multicast
         // (asynchronous commit); anything else is replied here.
         if let Some(result) = result {
-            let response = self.reply(client_node, req.op_id, result);
-            self.persist_completion(&req.op, &response);
+            self.reply(client_node, &req.op, req.op_id, result);
         }
     }
 
@@ -936,7 +940,15 @@ impl Server {
         }
         let record = WalOp::completion(response.clone());
         let size = record.wire_size();
-        self.durable.borrow_mut().wal.append_sized(record, size);
+        let mut durable = self.durable.borrow_mut();
+        durable.wal.append_sized(record, size);
+        // Flush barrier: the caller is about to release the acknowledgment,
+        // and a completion record still sitting in the volatile tail would
+        // be exactly the torn-tail casualty that turns a post-crash
+        // retransmission into a re-execution. The flush rides the group
+        // commit already charged to the operation's own append, so it still
+        // costs no extra simulated latency.
+        durable.wal.flush();
     }
 
     // Handlers with large state machines are boxed: the per-packet dispatch
@@ -1308,10 +1320,14 @@ impl Server {
     }
 
     /// Sends a response to a client and records it for duplicate
-    /// suppression; returns the response so callers can persist it.
+    /// suppression. The completion record is made durable *before* the
+    /// acknowledgment escapes: an ack that outruns its completion record
+    /// would be re-executed (not answered from the dedup cache) by a
+    /// recovered server when the client gives up waiting and retransmits.
     pub(crate) fn reply(
         &self,
         client_node: NodeId,
+        op: &MetaOp,
         op_id: OpId,
         result: OpResult,
     ) -> ClientResponse {
@@ -1328,6 +1344,7 @@ impl Server {
             }
             inner.cache_response(response.clone());
         }
+        self.persist_completion(op, &response);
         self.send_plain(client_node, Body::Response(response.clone()));
         response
     }
@@ -1402,7 +1419,6 @@ impl Server {
     ) -> u64 {
         let costs = self.cfg.costs;
         let kv_cost = costs.kv_put * effects.len().max(1) as u64;
-        self.cpu.run(self.wal_append_cost() + kv_cost).await;
         let record = WalOp {
             op_id,
             effects,
@@ -1413,11 +1429,20 @@ impl Server {
             migration: None,
         };
         let size = record.wire_size();
-        // Apply to the volatile stores from the borrowed record, then move
-        // the record into the WAL — one materialization instead of a deep
-        // clone per logged operation. (No await point separates the two, so
-        // a simulated crash cannot observe the intermediate state.)
-        {
+        // The record is handed to the log *before* the simulated disk wait:
+        // for the duration of the await it is appended but unflushed, which
+        // is exactly the window a torn-write crash may corrupt. The flush
+        // barrier and the volatile-state application share one no-await
+        // block after the wait, so volatile state never reflects a record
+        // the media could still lose — and the record is applied from a
+        // borrow of its WAL slot, one materialization instead of a deep
+        // clone per logged operation.
+        let lsn = self.durable.borrow_mut().wal.append_sized(record, size);
+        self.cpu.run(self.wal_append_cost() + kv_cost).await;
+        let durable = &mut *self.durable.borrow_mut();
+        durable.wal.flush();
+        if let Ok(idx) = durable.wal.records().binary_search_by_key(&lsn, |r| r.lsn) {
+            let record = &durable.wal.records()[idx].payload;
             let mut inner = self.inner.borrow_mut();
             for e in &record.effects {
                 inner.apply_effect(e);
@@ -1426,7 +1451,7 @@ impl Server {
                 inner.applied_entry_ids.insert(*id);
             }
         }
-        self.durable.borrow_mut().wal.append_sized(record, size)
+        lsn
     }
 
     /// The effective cost of one WAL append, including any chaos-injected
@@ -1438,10 +1463,16 @@ impl Server {
     /// Durably logs a 2PC state transition (§5.4.2) and charges one WAL
     /// append.
     pub(crate) async fn log_txn_marker(&self, marker: crate::wal::TxnMarker) -> u64 {
-        self.cpu.run(self.wal_append_cost()).await;
         let record = WalOp::txn(marker);
         let size = record.wire_size();
-        self.durable.borrow_mut().wal.append_sized(record, size)
+        // Append before the disk wait (the torn-write window), flush after:
+        // every caller relies on the marker being durable when this returns
+        // — `Prepared` before the vote escapes, `Decided` before the
+        // decision broadcast, `Resolved` before the decision ack.
+        let lsn = self.durable.borrow_mut().wal.append_sized(record, size);
+        self.cpu.run(self.wal_append_cost()).await;
+        self.durable.borrow_mut().wal.flush();
+        lsn
     }
 
     /// Sends one body to every listed server, building the message once and
@@ -1653,6 +1684,16 @@ impl Server {
         let mut inner = self.inner.borrow_mut();
         inner.crashed = true;
         inner.unavailable = true;
+    }
+
+    /// Crashes the server *and* applies a torn-write fault to the WAL: the
+    /// flushed prefix survives bit-exactly, while each unflushed record is
+    /// independently kept, torn or dropped under `tear_seed` (see
+    /// [`switchfs_kvstore::Wal::crash_apply`]). Recovery detects and
+    /// truncates the damage. Returns what the crash did to the tail.
+    pub fn crash_torn(&self, tear_seed: u64) -> switchfs_kvstore::TornTail {
+        self.crash();
+        self.durable.borrow_mut().wal.crash_apply(tear_seed)
     }
 
     /// True if the server is currently crashed.

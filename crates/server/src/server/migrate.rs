@@ -309,10 +309,15 @@ impl Server {
     /// Durably logs a shard-migration state transition and charges one WAL
     /// append.
     pub(crate) async fn log_migration_marker(&self, marker: MigrationMarker) {
-        self.cpu.run(self.wal_append_cost()).await;
         let record = WalOp::migration(marker);
         let size = record.wire_size();
+        // Append before the disk wait (the torn-write window), flush after:
+        // `Started` must be durable before the freeze takes effect and
+        // `Completed` before the unfreeze, or a crash between the two could
+        // leave recovery blind to a half-migrated shard.
         self.durable.borrow_mut().wal.append_sized(record, size);
+        self.cpu.run(self.wal_append_cost()).await;
+        self.durable.borrow_mut().wal.flush();
     }
 
     /// Migrates `shard` to `target`: freeze → drain → stream (with ack +
@@ -607,6 +612,11 @@ impl Server {
                 durable.wal.append_sized(record, size);
                 inner.cache_response(response);
             }
+            // Flush barrier before the ack below escapes: once the source
+            // sees the ack it flips ownership and deletes its copy, so the
+            // completion records must not be sitting in a volatile tail a
+            // target crash could tear away.
+            durable.wal.flush();
             inner.applied_installs.insert(install_key);
             inner.in_progress_installs.remove(&install_key);
             inner.stats.shards_migrated_in += 1;

@@ -288,6 +288,11 @@ impl Server {
         let costs = self.cfg.costs;
         let owner = self.sync_dir_owner(parent);
         if owner == self.cfg.id {
+            // fp-group before inode, like every other dir-update applier:
+            // harmless in the pure-sync baselines (no aggregations run) but
+            // keeps the locking discipline uniform.
+            let fpg = self.locks.fp_group(parent.fp);
+            let _fpg_g = fpg.write().await;
             let lock = self.locks.inode(&parent.key);
             let _g = lock.write().await;
             self.cpu
@@ -751,6 +756,16 @@ impl Server {
                 .borrow()
                 .entry_already_applied(&fallback.entry.entry_id);
             if !already {
+                // Serialize against the aggregation/push appliers, which
+                // hold the fingerprint-group write lock but not the inode
+                // lock: two appliers interleaving their read-modify-write
+                // of the directory inode across the WAL await would each
+                // compute the new size from the same snapshot and lose one
+                // delta (surfaces as a statdir-size ≠ listing divergence;
+                // disk-latency spikes widen the window). Lock order matches
+                // rmdir: fp-group before inode.
+                let fpg = self.locks.fp_group(fb_fp);
+                let _fpg_g = fpg.write().await;
                 let lock = self.locks.inode(&fallback.dir_key);
                 let _g = lock.write().await;
                 self.cpu
@@ -822,6 +837,11 @@ impl Server {
         let result = if already {
             Ok(())
         } else {
+            // Same discipline as the overflow fallback above: exclude the
+            // fp-group appliers before touching the directory inode, or a
+            // concurrent aggregation apply loses this entry's size delta.
+            let fpg = self.locks.fp_group(upd_fp);
+            let _fpg_g = fpg.write().await;
             let lock = self.locks.inode(&dir_key);
             let _g = lock.write().await;
             self.cpu

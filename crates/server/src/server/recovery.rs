@@ -53,6 +53,21 @@ pub struct RecoveryReport {
     /// Interrupted shard migrations whose flip had already happened; the
     /// replayed local copy was dropped in favor of the new owner's.
     pub migrations_resolved: usize,
+    /// Records in the crashed log that failed their checksum (torn writes).
+    pub wal_torn_records: usize,
+    /// Records truncated from the tail before replay: torn ones plus intact
+    /// records stranded past a gap a dropped write left.
+    pub wal_truncated_records: usize,
+    /// On-media bytes of the replayed records — with the record count, the
+    /// recovery-work measure of the §7.7 experiment.
+    pub wal_bytes_replayed: u64,
+    /// `Resolved` markers replayed with no matching `Prepared` in sight
+    /// (neither checkpointed nor replayed). Benign — a `Resolved` is only
+    /// written after the decision was applied, and the decision's effects
+    /// replay from their own records — but counted rather than assumed
+    /// impossible, so a torn tail can never turn the pairing assumption
+    /// into a panic or a silent drop.
+    pub orphan_resolved_markers: usize,
     /// Virtual time the recovery took, in nanoseconds.
     pub duration_ns: u64,
 }
@@ -103,7 +118,16 @@ impl Server {
         // Drop packets addressed to the previous incarnation.
         self.endpoint.drain();
 
-        // Step 0: load the checkpoint, if one exists.
+        // Step 0a: verify the log before trusting it. A torn-write crash may
+        // have corrupted or dropped records past the durable watermark;
+        // recovery keeps the longest checksum-clean contiguous prefix and
+        // truncates the rest. Truncated LSNs are never reissued, so they
+        // cannot collide with id-based duplicate suppression rebuilt below.
+        let torn = self.durable.borrow_mut().wal.recover_truncate();
+        report.wal_torn_records = torn.torn;
+        report.wal_truncated_records = torn.truncated;
+
+        // Step 0b: load the checkpoint, if one exists.
         let checkpoint = self.durable.borrow().checkpoint.load();
         let replay_from = if let Some((lsn, data)) = checkpoint {
             self.load_checkpoint(&data);
@@ -113,18 +137,18 @@ impl Server {
         };
 
         // Step 1: replay the WAL.
-        let records: Vec<(u64, crate::wal::WalOp, bool)> = self
+        let records: Vec<(u64, crate::wal::WalOp, bool, u64)> = self
             .durable
             .borrow()
             .wal
             .records()
             .iter()
             .filter(|r| r.lsn > replay_from)
-            .map(|r| (r.lsn, r.payload.clone(), r.applied))
+            .map(|r| (r.lsn, r.payload.clone(), r.applied, r.size))
             .collect();
         let mut started_migrations: std::collections::BTreeMap<u32, switchfs_proto::ServerId> =
             std::collections::BTreeMap::new();
-        for (_lsn, op, applied) in &records {
+        for (_lsn, op, applied, size) in &records {
             // Each replayed record costs one KV write's worth of CPU; this is
             // what makes the §7.7 recovery time proportional to the number of
             // operations to recover.
@@ -176,7 +200,16 @@ impl Server {
                         inner.decided_txns.insert(*txn_id, *commit);
                     }
                     TxnMarker::Resolved { txn_id } => {
-                        inner.prepared_txns.remove(txn_id);
+                        if inner.prepared_txns.remove(txn_id).is_none() {
+                            // No matching `Prepared` anywhere (checkpoint or
+                            // replay): tolerated, not assumed away. The
+                            // decision this marker witnessed was applied
+                            // before it was written, and its effects replay
+                            // from their own records; any txn genuinely
+                            // still in doubt stays in `prepared_txns` and is
+                            // resolved by coordinator query below.
+                            report.orphan_resolved_markers += 1;
+                        }
                     }
                     TxnMarker::Forgotten { txn_id } => {
                         inner.decided_txns.remove(txn_id);
@@ -198,6 +231,7 @@ impl Server {
                 }
             }
             report.wal_records_replayed += 1;
+            report.wal_bytes_replayed += size;
         }
         // Resolve interrupted migrations against the shared shard map: a
         // `Started` with no `Completed` whose shard no longer maps here means
@@ -353,7 +387,13 @@ impl Server {
             }
         };
         let mut durable = self.durable.borrow_mut();
-        let lsn = durable.wal.next_lsn().saturating_sub(1);
+        // Checkpoint at the durable watermark, never past it: a record still
+        // in the volatile tail may not survive the next crash, and
+        // truncating it here would lose it even though the checkpointed
+        // snapshot (taken at a quiesce point, after every append's flush
+        // barrier has run) does reflect it. Cutting at `flushed` keeps the
+        // unflushed suffix replayable either way.
+        let lsn = durable.wal.flushed();
         durable.checkpoint.store(lsn, data);
         durable.wal.truncate_through(lsn);
     }

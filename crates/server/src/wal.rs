@@ -290,7 +290,7 @@ mod tests {
         let mut durable = DurableState::new();
         let key = MetaKey::new(DirId::ROOT, "f");
         let attrs = InodeAttrs::new_file(DirId::ROOT, 0, Permissions::default());
-        let lsn = durable.wal.append(WalOp {
+        let record = WalOp {
             op_id: Some(OpId {
                 client: ClientId(1),
                 seq: 1,
@@ -301,7 +301,9 @@ mod tests {
             txn_marker: None,
             completed: None,
             migration: None,
-        });
+        };
+        let size = record.wire_size();
+        let lsn = durable.wal.append_sized(record, size);
         assert_eq!(durable.wal.unapplied().count(), 1);
         durable.wal.mark_applied(lsn);
         assert_eq!(durable.wal.unapplied().count(), 0);
@@ -340,7 +342,9 @@ mod tests {
     #[test]
     fn checkpoint_stores_snapshot() {
         let mut durable = DurableState::new();
-        durable.wal.append(WalOp::local(None, vec![]));
+        let record = WalOp::local(None, vec![]);
+        let size = record.wire_size();
+        durable.wal.append_sized(record, size);
         durable.checkpoint.store(1, CheckpointData::default());
         assert!(durable.checkpoint.is_present());
         assert_eq!(durable.checkpoint.lsn(), Some(1));

@@ -17,6 +17,20 @@ fn cluster() -> Cluster {
     Cluster::new(cfg)
 }
 
+/// Finds a tear seed under which `Wal::crash_apply` leaves none of the
+/// victim's unflushed records intact — the worst-case torn tail. (Any seed
+/// qualifies when nothing is unflushed; the probe works on a clone, so the
+/// real log is untouched until the crash itself.)
+fn tear_all_seed(cluster: &Cluster, victim: usize) -> u64 {
+    let durable = cluster.durable_state(victim);
+    (0..10_000u64)
+        .find(|s| {
+            let mut probe = durable.borrow().wal.clone();
+            probe.crash_apply(*s).kept == 0
+        })
+        .expect("no tear-all seed in 10k tries")
+}
+
 #[test]
 fn server_crash_recovery_restores_inodes_and_changelogs() {
     let cluster = cluster();
@@ -258,6 +272,412 @@ fn checkpoint_bounds_wal_replay() {
     cluster.block_on(async move {
         let dir = client.statdir("/cp").await.unwrap();
         assert_eq!(dir.size, 50);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write disk chaos: checksummed WAL + persist-ordering barriers (PR 6)
+// ---------------------------------------------------------------------------
+
+/// The acceptance-criteria demo: a server is crashed *mid-append* so its WAL
+/// holds an unflushed tail, the crash tears that tail, and recovery detects
+/// it, truncates it, and loses **zero acknowledged updates** — every create
+/// the client saw complete before the crash is still visible after it.
+#[test]
+fn torn_wal_tail_is_detected_truncated_and_loses_no_acked_update() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/torn").await.unwrap();
+        for i in 0..100 {
+            client.create(&format!("/torn/f{i}")).await.unwrap();
+        }
+    });
+    // Widen the torn-write window (append → disk wait → flush): with 64×
+    // slower appends the stepping below reliably pauses the simulation while
+    // some server holds appended-but-unflushed records.
+    for s in cluster.servers() {
+        s.set_disk_slowdown(64);
+    }
+    let progress = Rc::new(RefCell::new(0usize));
+    {
+        let client = cluster.client(0);
+        let progress = progress.clone();
+        cluster.sim.spawn(async move {
+            for i in 0..20 {
+                // Unacknowledged at crash time: any outcome is acceptable,
+                // the client just keeps the cluster busy.
+                let _ = client.create(&format!("/torn/g{i}")).await;
+                *progress.borrow_mut() += 1;
+            }
+        });
+    }
+    let mut victim = None;
+    let deadline = cluster.sim.now() + SimDuration::millis(50);
+    while cluster.sim.now() < deadline {
+        let t = cluster.sim.now() + SimDuration::micros(5);
+        cluster.run_until(t);
+        if let Some(v) = (0..cluster.servers().len())
+            .find(|i| cluster.durable_state(*i).borrow().wal.unflushed_len() > 0)
+        {
+            victim = Some(v);
+            break;
+        }
+    }
+    let victim = victim.expect("no server was caught mid-append with an unflushed tail");
+    // A tear seed that provably corrupts at least one unflushed record.
+    let seed = {
+        let durable = cluster.durable_state(victim);
+        (0..10_000u64)
+            .find(|s| {
+                let mut probe = durable.borrow().wal.clone();
+                probe.crash_apply(*s).torn > 0
+            })
+            .expect("no tearing seed in 10k tries")
+    };
+    let tail = cluster.crash_server_torn(victim, seed);
+    assert!(tail.torn > 0, "the crash must tear the tail: {tail:?}");
+    for s in cluster.servers() {
+        s.set_disk_slowdown(1);
+    }
+
+    let report = cluster.recover_server(victim);
+    assert!(
+        report.wal_torn_records >= 1,
+        "recovery must detect the torn records: {report:?}"
+    );
+    assert!(
+        report.wal_truncated_records >= report.wal_torn_records,
+        "every torn record (and anything stranded behind it) is truncated: {report:?}"
+    );
+    assert!(report.wal_bytes_replayed > 0);
+    assert!(
+        cluster.durable_state(victim).borrow().wal.generation() >= 2,
+        "recovery must bump the WAL generation"
+    );
+
+    // Let the background burst ride out its retries.
+    let deadline = cluster.sim.now() + SimDuration::millis(500);
+    while *progress.borrow() < 20 && cluster.sim.now() < deadline {
+        let t = cluster.sim.now() + SimDuration::millis(1);
+        cluster.run_until(t);
+    }
+
+    // Zero lost acknowledged updates: all 100 acked creates are visible by
+    // stat and by listing.
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        for i in 0..100 {
+            client.stat(&format!("/torn/f{i}")).await.unwrap();
+        }
+        let (_, entries) = client.readdir("/torn").await.unwrap();
+        for i in 0..100 {
+            assert!(
+                entries.iter().any(|e| e.name == format!("f{i}")),
+                "acknowledged create f{i} lost to the torn tail"
+            );
+        }
+    });
+}
+
+/// Crash-in-window regression for the durable-completion barrier
+/// (`reply` persists + flushes the completion record *before* the
+/// acknowledgment escapes): even a crash that destroys the entire unflushed
+/// tail must leave an acknowledged operation's completion record behind, so
+/// a retransmission spanning the crash gets the original result instead of
+/// a re-execution.
+#[test]
+fn retransmission_after_torn_crash_still_gets_the_original_result() {
+    use switchfs::proto::message::{
+        Body, ClientRequest, MetaOp, NetMsg, PacketSeq, ParentRef, ServerMsg,
+    };
+    use switchfs::proto::{ClientId, DirId, Fingerprint, MetaKey, OpId, OpResult, Permissions};
+    use switchfs::simnet::NodeId;
+
+    let cluster = cluster();
+    let placement = cluster.placement();
+    let key = MetaKey::new(DirId::ROOT, "torn-victim-file");
+    let owner = placement.file_owner(&key).0 as usize;
+    let owner_node = cluster.server_node_id(owner);
+
+    let endpoint = Rc::new(cluster.network().register(NodeId(7778)));
+    let request = Rc::new(ClientRequest {
+        op_id: OpId {
+            client: ClientId(78),
+            seq: 1,
+        },
+        op: MetaOp::Create {
+            key,
+            perm: Permissions::default(),
+        },
+        ancestors: vec![DirId::ROOT],
+        parent: Some(ParentRef {
+            key: MetaKey::new(DirId::ROOT, ""),
+            id: DirId::ROOT,
+            fp: Fingerprint::of_dir(&DirId::ROOT, ""),
+        }),
+        epoch: 0,
+        acked_below: 0,
+    });
+
+    let send_and_wait = |pkt_seq: u64| {
+        let endpoint = endpoint.clone();
+        let request = request.clone();
+        cluster.block_on(async move {
+            endpoint.send(
+                owner_node,
+                NetMsg::plain(
+                    PacketSeq {
+                        sender: 7778,
+                        seq: pkt_seq,
+                    },
+                    Body::Request(request),
+                ),
+            );
+            loop {
+                let pkt = endpoint.recv().await.expect("network alive");
+                match pkt.payload.body {
+                    Body::Response(r) => return r,
+                    Body::Server(ServerMsg::AsyncCommit { response, .. }) => return response,
+                    _ => {}
+                }
+            }
+        })
+    };
+
+    let first = send_and_wait(1);
+    assert!(
+        first.result.is_ok(),
+        "initial create failed: {:?}",
+        first.result
+    );
+
+    // Worst-case torn crash: nothing unflushed survives. The acknowledged
+    // create's op record and completion record were flushed before the ack
+    // escaped, so both are in the surviving prefix by construction.
+    let seed = tear_all_seed(&cluster, owner);
+    cluster.crash_server_torn(owner, seed);
+    let report = cluster.recover_server(owner);
+    assert!(
+        report.completed_ops_recovered > 0,
+        "the flushed completion record must survive the torn tail: {report:?}"
+    );
+
+    let second = send_and_wait(2);
+    assert_eq!(
+        second.result, first.result,
+        "retransmission across the torn crash must return the original result"
+    );
+    assert!(
+        !matches!(second.result, OpResult::Err(FsError::AlreadyExists)),
+        "recovered server re-executed a completed create"
+    );
+}
+
+/// Crash-in-window regression for the Prepared-before-vote barrier
+/// (`log_txn_marker` flushes before returning, and the participant inserts
+/// the volatile entry — observable by this test — only after that): a
+/// participant hit by a worst-case torn crash right after voting yes must
+/// still find its in-doubt transaction in the WAL's surviving prefix and
+/// resolve it by re-asking the coordinator.
+#[test]
+fn participant_torn_crash_after_vote_still_recovers_the_prepared_txn() {
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/tt").await.unwrap();
+        client.mkdir("/tt2").await.unwrap();
+        client.mkdir("/tt3").await.unwrap();
+    });
+
+    let mut crashed: Option<usize> = None;
+    let mut outcome: Option<Outcome> = None;
+    'candidates: for (i, dst_dir) in ["/tt2", "/tt3"].iter().enumerate() {
+        let src = format!("/tt/a{i}");
+        let dst = format!("{dst_dir}/b{i}");
+        let client = cluster.client(0);
+        let src2 = src.clone();
+        cluster.block_on(async move {
+            client.create(&src2).await.unwrap();
+        });
+        let done: Outcome = Rc::new(RefCell::new(None));
+        let done2 = done.clone();
+        let client = cluster.client(0);
+        cluster.sim.spawn(async move {
+            let r = client.rename(&src, &dst).await;
+            *done2.borrow_mut() = Some(r);
+        });
+        let mut t = cluster.sim.now();
+        let deadline = t + SimDuration::millis(50);
+        while cluster.sim.now() < deadline {
+            t += SimDuration::micros(5);
+            cluster.run_until(t);
+            if let Some(v) = (0..cluster.servers().len())
+                .find(|i| cluster.servers()[*i].prepared_txn_count() > 0)
+            {
+                // The worst case the device can produce: every unflushed
+                // record is torn or dropped. The Prepared marker must not be
+                // among them.
+                let seed = tear_all_seed(&cluster, v);
+                cluster.crash_server_torn(v, seed);
+                crashed = Some(v);
+                outcome = Some(done.clone());
+                break 'candidates;
+            }
+            if done.borrow().is_some() {
+                continue 'candidates;
+            }
+        }
+    }
+    let victim = crashed.expect("no rename left an observable prepared transaction");
+    let outcome = outcome.unwrap();
+
+    {
+        let deadline = cluster.sim.now() + SimDuration::millis(200);
+        while outcome.borrow().is_none() && cluster.sim.now() < deadline {
+            let t = cluster.sim.now() + SimDuration::millis(1);
+            cluster.run_until(t);
+        }
+    }
+    assert_eq!(
+        *outcome.borrow(),
+        Some(Ok(())),
+        "rename must commit even though a participant tore its disk after voting"
+    );
+
+    let report = cluster.recover_server(victim);
+    assert!(
+        report.prepared_txns_recovered >= 1,
+        "the flushed Prepared marker must survive a total torn tail: {report:?}"
+    );
+    assert_eq!(
+        report.txn_commits_recovered, report.prepared_txns_recovered,
+        "every in-doubt transaction must resolve to the coordinator's commit: {report:?}"
+    );
+    assert_eq!(report.txn_unresolved, 0, "{report:?}");
+}
+
+/// Satellite regression: a `TxnMarker::Resolved` whose matching `Prepared`
+/// is nowhere to be found (torn away, or plain absent) must be tolerated —
+/// counted, never panicked on, never silently leaving a transaction in
+/// doubt.
+#[test]
+fn orphan_resolved_marker_is_tolerated_and_counted() {
+    use switchfs::server::{TxnMarker, WalOp};
+
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/orphan").await.unwrap();
+        client.create("/orphan/f").await.unwrap();
+    });
+    {
+        let durable = cluster.durable_state(2);
+        let mut durable = durable.borrow_mut();
+        let record = WalOp::txn(TxnMarker::Resolved {
+            txn_id: 0xdead_beef,
+        });
+        let size = record.wire_size();
+        durable.wal.append_sized(record, size);
+        durable.wal.flush();
+    }
+    cluster.crash_server(2);
+    let report = cluster.recover_server(2);
+    assert_eq!(report.orphan_resolved_markers, 1, "{report:?}");
+    assert_eq!(report.txn_unresolved, 0, "{report:?}");
+    assert_eq!(report.prepared_txns_recovered, 0, "{report:?}");
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.stat("/orphan/f").await.unwrap();
+    });
+}
+
+/// Every multi-record protocol's marker type can sit in the unflushed tail
+/// when the disk tears it away completely; recovery must truncate them all
+/// cleanly — no panic, no resurrected transaction or migration, watermark
+/// and acked namespace intact.
+#[test]
+fn unflushed_protocol_records_of_every_kind_truncate_cleanly() {
+    use switchfs::proto::message::{ClientResponse, TxnOp};
+    use switchfs::proto::{ClientId, DirId, MetaKey, OpId, OpResult, ServerId};
+    use switchfs::server::wal::MigrationMarker;
+    use switchfs::server::{TxnMarker, WalOp};
+
+    let cluster = cluster();
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        client.mkdir("/win").await.unwrap();
+        for i in 0..10 {
+            client.create(&format!("/win/f{i}")).await.unwrap();
+        }
+    });
+    let victim = 1usize;
+    let flushed_before = {
+        let durable = cluster.durable_state(victim);
+        let mut durable = durable.borrow_mut();
+        let flushed = durable.wal.flushed();
+        let records = vec![
+            WalOp::txn(TxnMarker::Prepared {
+                txn_id: 4242,
+                coordinator: ServerId(0),
+                ops: vec![TxnOp::DeleteInode {
+                    key: MetaKey::new(DirId::ROOT, "x"),
+                }],
+            }),
+            WalOp::txn(TxnMarker::Decided {
+                txn_id: 4242,
+                commit: true,
+            }),
+            WalOp::txn(TxnMarker::Resolved { txn_id: 4242 }),
+            WalOp::migration(MigrationMarker::Started {
+                shard: 3,
+                target: ServerId(0),
+            }),
+            WalOp::completion(ClientResponse {
+                op_id: OpId {
+                    client: ClientId(9),
+                    seq: 9,
+                },
+                result: OpResult::Done,
+                server: ServerId(victim as u32),
+            }),
+        ];
+        for record in records {
+            let size = record.wire_size();
+            // Deliberately left unflushed: these model records caught
+            // mid-append when the crash hits.
+            durable.wal.append_sized(record, size);
+        }
+        flushed
+    };
+    let seed = tear_all_seed(&cluster, victim);
+    let tail = cluster.crash_server_torn(victim, seed);
+    assert_eq!(tail.kept, 0, "{tail:?}");
+    assert!(tail.torn + tail.dropped >= 5, "{tail:?}");
+
+    let report = cluster.recover_server(victim);
+    assert_eq!(
+        report.wal_truncated_records, tail.torn,
+        "exactly the torn survivors are truncated (dropped ones never hit media): {report:?}"
+    );
+    assert_eq!(
+        report.prepared_txns_recovered, 0,
+        "a torn Prepared must not resurrect an in-doubt transaction: {report:?}"
+    );
+    assert_eq!(report.txn_unresolved, 0, "{report:?}");
+    assert_eq!(
+        report.migrations_resolved, 0,
+        "a torn migration marker must not trigger shard resolution: {report:?}"
+    );
+    assert!(
+        cluster.durable_state(victim).borrow().wal.flushed() >= flushed_before,
+        "truncation must never regress the durable watermark"
+    );
+    let client = cluster.client(0);
+    cluster.block_on(async move {
+        for i in 0..10 {
+            client.stat(&format!("/win/f{i}")).await.unwrap();
+        }
     });
 }
 
