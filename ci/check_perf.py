@@ -10,7 +10,12 @@ checked-in baseline:
    present and every row that reports an `errors` column must report 0 —
    live shard migration and graceful shrink are required to be invisible to
    clients (freeze-window drops are absorbed by retransmission, stale maps
-   refresh via WrongOwner).
+   refresh via WrongOwner);
+3. the `metrics` experiment (the one run with the flight recorder ON) must
+   be present with the core unified-registry rows, prove that the
+   tracing-enabled run completed (`client.ops_issued` > 0 and
+   `obs.events_recorded` > 0), and satisfy the WAL watermark invariant
+   (`wal.bytes_flushed` <= `wal.bytes_appended`).
 
 Usage: check_perf.py [SWEEP_JSON] [BASELINE_JSON]
 """
@@ -20,6 +25,22 @@ import sys
 
 ELASTIC_EXPERIMENTS = ("rebalance", "decommission")
 WALL_CLOCK_FACTOR = 3.0
+# Named rows the unified metrics registry must always expose.
+REQUIRED_METRICS = (
+    "client.ops_issued",
+    "client.ops_ok",
+    "kv.gets",
+    "kv.puts",
+    "net.delivered",
+    "net.sent",
+    "obs.events_evicted",
+    "obs.events_recorded",
+    "server.ops_completed",
+    "switch.packets",
+    "wal.appends",
+    "wal.bytes_appended",
+    "wal.bytes_flushed",
+)
 
 
 def main() -> int:
@@ -53,6 +74,35 @@ def main() -> int:
             print(f"{name} / {label}: errors={errors:g}")
             if errors != 0:
                 failures.append(f"{name} / {label}: {errors:g} errors (must be 0)")
+
+    metrics_exp = experiments.get("metrics")
+    if metrics_exp is None:
+        failures.append("experiment 'metrics' missing from the sweep")
+    else:
+        values = {
+            row.get("label"): row.get("value") for row in metrics_exp.get("rows", [])
+        }
+        missing = [name for name in REQUIRED_METRICS if name not in values]
+        if missing:
+            failures.append(f"metrics registry rows missing: {', '.join(missing)}")
+        else:
+            issued = values["client.ops_issued"]
+            recorded = values["obs.events_recorded"]
+            print(
+                f"metrics: {len(values)} rows, ops_issued={issued:g}, "
+                f"trace events recorded={recorded:g}"
+            )
+            if issued <= 0:
+                failures.append("metrics: tracing-enabled run issued no ops")
+            if recorded <= 0:
+                failures.append(
+                    "metrics: flight recorder was enabled but recorded nothing"
+                )
+            if values["wal.bytes_flushed"] > values["wal.bytes_appended"]:
+                failures.append(
+                    "metrics: wal.bytes_flushed exceeds wal.bytes_appended "
+                    "(flush watermark overran the append counter)"
+                )
 
     if failures:
         for f_ in failures:

@@ -9,7 +9,7 @@
 //! where `<experiment>` is one of `tab2`, `fig2`, `fig12a`, `fig12b`,
 //! `fig13`, `fig14`, `overflow`, `fig15`, `fig16`, `fig17a`, `fig17b`,
 //! `fig18`, `fig19`, `recovery`, `availability`, `rebalance`,
-//! `decommission`, or `all`. `--full` uses the larger
+//! `decommission`, `metrics`, or `all`. `--full` uses the larger
 //! experiment scale; `--json` emits machine-readable output — one JSON
 //! document per experiment to stdout, or, when a `PATH` follows, a single
 //! document collecting every experiment plus per-experiment and total wall
@@ -56,7 +56,7 @@ fn print_rows(title: &str, rows: &[Row], json: bool) {
     }
 }
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "tab2",
     "fig2",
     "fig12a",
@@ -74,6 +74,7 @@ const EXPERIMENTS: [&str; 17] = [
     "availability",
     "rebalance",
     "decommission",
+    "metrics",
 ];
 
 fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row>)> {
@@ -136,6 +137,10 @@ fn compute(which: &str, scale: ExperimentScale) -> Option<(&'static str, Vec<Row
         "decommission" => Some((
             "Elastic shrink: graceful decommission of a loaded server",
             experiments::decommission(scale),
+        )),
+        "metrics" => Some((
+            "Unified metrics registry (flight recorder enabled)",
+            experiments::metrics(scale),
         )),
         _ => None,
     }

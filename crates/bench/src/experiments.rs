@@ -661,6 +661,33 @@ pub fn recovery(scale: ExperimentScale) -> Vec<Row> {
     ]
 }
 
+/// Unified metrics registry: one named row per registered metric, from a
+/// small SwitchFS run with the flight recorder *enabled* — so this
+/// experiment doubles as the CI proof that a tracing-enabled run completes.
+/// Values are workload-dependent; `ci/check_perf.py` checks presence of the
+/// core names and basic sanity (ops issued, WAL flushed ≤ appended), not
+/// exact values.
+pub fn metrics(scale: ExperimentScale) -> Vec<Row> {
+    let mut cfg = ClusterConfig::paper_default(SystemKind::SwitchFs);
+    cfg.servers = 4;
+    cfg.clients = 2;
+    cfg.trace_capacity = Some(switchfs_obs::DEFAULT_RING_CAPACITY);
+    let mut cluster = Cluster::new(cfg);
+    let ns = NamespaceSpec::multi_dir(16, 0);
+    for d in ns.all_dirs() {
+        cluster.preload_dir(&d);
+    }
+    let mut builder = WorkloadBuilder::new(ns, 41);
+    let items = builder.uniform(OpKind::Create, scale.ops() / 4);
+    cluster.run_workload(items, 64, None);
+    cluster
+        .metrics_snapshot()
+        .snapshot()
+        .into_iter()
+        .map(|(name, value)| Row::new(name).col("value", value.scalar()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p switchfs-chaos --bin chaos-sweep -- \
 //!     [--seeds N] [--ops N] [--all-systems] [--replay-every N] \
-//!     [--artifact PATH] [--summary PATH]
+//!     [--artifact PATH] [--summary PATH] [--trace-dump PATH]
 //! ```
 //!
 //! Runs `N` seeds × every plan kind (crash / partition / loss / combined /
@@ -19,11 +19,16 @@
 //! ```
 //!
 //! `--summary PATH` additionally writes a machine-readable sweep summary
-//! (runs, failures, per-system×kind pass counts) whether the sweep passes
-//! or fails — so a green CI run leaves evidence too, not only a red one.
+//! (runs, failures, per-system×kind pass counts, summed unified metrics)
+//! whether the sweep passes or fails — so a green CI run leaves evidence
+//! too, not only a red one.
+//!
+//! `--trace-dump PATH` writes the flight-recorder contents of the most
+//! recently completed run after every run, green or red — so trace events
+//! are inspectable without waiting for a checker to trip.
 
 use serde::Deserialize;
-use switchfs_chaos::{run_chaos, verify_replay, ChaosConfig, FaultPlan, PlanKind};
+use switchfs_chaos::{run_chaos, verify_replay, ChaosConfig, PlanKind};
 use switchfs_core::SystemKind;
 
 /// The failure-artifact schema (also what `--repro` reads back).
@@ -46,6 +51,7 @@ struct Args {
     artifact: String,
     summary: Option<String>,
     repro: Option<String>,
+    trace_dump: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +63,7 @@ fn parse_args() -> Args {
         artifact: "chaos-failure.json".to_string(),
         summary: None,
         repro: None,
+        trace_dump: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -87,6 +94,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.repro = Some(argv[i].clone());
             }
+            "--trace-dump" => {
+                i += 1;
+                args.trace_dump = Some(argv[i].clone());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -97,28 +108,45 @@ fn parse_args() -> Args {
     args
 }
 
-/// The artifact format: everything needed to re-run one failing scenario.
-fn failure_artifact(cfg: &ChaosConfig, plan: &FaultPlan, violations: &[String]) -> String {
-    let violations_json: Vec<serde_json::Value> = violations
+/// Serializes a flight-recorder dump into a JSON value (an array of trace
+/// events, ordered by node then FIFO).
+fn recorder_json(events: &[switchfs_obs::TraceEvent]) -> serde_json::Value {
+    serde_json::to_string(&events.to_vec())
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .unwrap_or(serde_json::Value::Null)
+}
+
+/// The artifact format: everything needed to re-run one failing scenario,
+/// plus the flight-recorder dump showing what led up to the violation.
+fn failure_artifact(cfg: &ChaosConfig, report: &switchfs_chaos::ChaosReport) -> String {
+    let violations_json: Vec<serde_json::Value> = report
+        .violations
         .iter()
         .map(|v| serde_json::Value::String(v.clone()))
         .collect();
     serde_json::json!({
         "system": format!("{}", cfg.system),
         "seed": cfg.seed,
-        "kind": plan.kind.label(),
+        "kind": report.plan.kind.label(),
         "servers": cfg.servers,
         "clients": cfg.clients,
         "ops_per_client": cfg.ops_per_client,
         "horizon_us": cfg.horizon_us,
         "violations": violations_json,
-        "plan": serde_json::from_str::<serde_json::Value>(&plan.to_json())
+        "plan": serde_json::from_str::<serde_json::Value>(&report.plan.to_json())
             .unwrap_or(serde_json::Value::Null),
+        "flight_recorder": recorder_json(&report.flight_recorder),
     })
     .to_string()
 }
 
-fn run_one(cfg: ChaosConfig, check_replay: bool, artifact: &str) -> bool {
+fn run_one(
+    cfg: ChaosConfig,
+    check_replay: bool,
+    artifact: &str,
+    trace_dump: Option<&str>,
+) -> (bool, switchfs_chaos::ChaosReport) {
     let label = format!("{} / {} / seed {}", cfg.system, cfg.kind.label(), cfg.seed);
     let (report, replay_ok) = if check_replay {
         verify_replay(cfg)
@@ -130,12 +158,24 @@ fn run_one(cfg: ChaosConfig, check_replay: bool, artifact: &str) -> bool {
         eprintln!("FAIL {label}: same seed + plan did not replay bit-identically");
         ok = false;
     }
+    if let Some(path) = trace_dump {
+        // Written green or red: the most recent run's recorder contents.
+        let dump = serde_json::json!({
+            "system": format!("{}", cfg.system),
+            "seed": cfg.seed,
+            "kind": report.plan.kind.label(),
+            "events": recorder_json(&report.flight_recorder),
+        });
+        if let Err(e) = std::fs::write(path, format!("{dump}\n")) {
+            eprintln!("cannot write trace dump {path}: {e}");
+        }
+    }
     if !report.passed() {
         eprintln!("FAIL {label}: {} violation(s)", report.violations.len());
         for v in &report.violations {
             eprintln!("  - {v}");
         }
-        let art = failure_artifact(&cfg, &report.plan, &report.violations);
+        let art = failure_artifact(&cfg, &report);
         if let Err(e) = std::fs::write(artifact, format!("{art}\n")) {
             eprintln!("cannot write artifact {artifact}: {e}");
         } else {
@@ -172,7 +212,7 @@ fn run_one(cfg: ChaosConfig, check_replay: bool, artifact: &str) -> bool {
             if check_replay { ", replay verified" } else { "" },
         );
     }
-    ok
+    (ok, report)
 }
 
 fn main() {
@@ -206,8 +246,14 @@ fn main() {
             clients: doc.clients,
             ops_per_client: doc.ops_per_client,
             horizon_us: doc.horizon_us,
+            trace: true,
         };
-        let ok = run_one(cfg, true, "chaos-failure-repro.json");
+        let (ok, _) = run_one(
+            cfg,
+            true,
+            "chaos-failure-repro.json",
+            args.trace_dump.as_deref(),
+        );
         std::process::exit(if ok { 0 } else { 1 });
     }
 
@@ -219,6 +265,7 @@ fn main() {
     let mut failures = 0u64;
     let mut runs = 0u64;
     let mut cells: Vec<serde_json::Value> = Vec::new();
+    let mut metric_totals: std::collections::BTreeMap<String, u64> = Default::default();
     for system in &systems {
         for kind in PlanKind::all() {
             let mut cell_passed = 0u64;
@@ -228,7 +275,18 @@ fn main() {
                 cfg.ops_per_client = args.ops;
                 let check_replay = args.replay_every > 0 && seed % args.replay_every == 0;
                 runs += 1;
-                if run_one(cfg, check_replay, &args.artifact) {
+                let (ok, report) = run_one(
+                    cfg,
+                    check_replay,
+                    &args.artifact,
+                    args.trace_dump.as_deref(),
+                );
+                for (name, value) in report.metrics.snapshot() {
+                    if let switchfs_obs::MetricValue::Counter(v) = value {
+                        *metric_totals.entry(name).or_insert(0) += v;
+                    }
+                }
+                if ok {
                     cell_passed += 1;
                 } else {
                     cell_failed += 1;
@@ -252,6 +310,16 @@ fn main() {
     // The summary is written on success AND failure: a green sweep should
     // leave evidence of what it covered, not only a red one.
     if let Some(path) = &args.summary {
+        // Stable-ordered named metric rows, summed over every run of the
+        // sweep (BTreeMap keeps the names sorted).
+        let mut metric_map = serde_json::Map::new();
+        for (name, v) in metric_totals {
+            metric_map.insert(
+                name,
+                serde_json::Value::Number(serde_json::Number::from_u64(v)),
+            );
+        }
+        let metrics_json = serde_json::Value::Object(metric_map);
         let summary = serde_json::json!({
             "runs": runs,
             "failures": failures,
@@ -261,6 +329,7 @@ fn main() {
             "systems": systems.iter().map(|s| format!("{s}")).collect::<Vec<_>>(),
             "kinds": PlanKind::all().iter().map(|k| k.label()).collect::<Vec<_>>(),
             "cells": cells,
+            "metrics": metrics_json,
         });
         match std::fs::write(path, format!("{summary}\n")) {
             Ok(()) => eprintln!("wrote sweep summary to {path}"),

@@ -38,6 +38,12 @@ pub struct ChaosConfig {
     pub ops_per_client: usize,
     /// Virtual microseconds the fault window spans.
     pub horizon_us: u64,
+    /// Record causal trace events into the flight recorder. Tracing never
+    /// touches protocol state: the run digest is bit-identical either way
+    /// (pinned by the `tracing_does_not_perturb_the_run_digest` conformance
+    /// test), so the harness keeps it on by default and drains the recorder
+    /// into the failure artifact when a checker trips.
+    pub trace: bool,
 }
 
 impl ChaosConfig {
@@ -52,6 +58,7 @@ impl ChaosConfig {
             clients: 2,
             ops_per_client: 40,
             horizon_us: 60_000,
+            trace: true,
         }
     }
 }
@@ -82,6 +89,15 @@ pub struct ChaosReport {
     /// What each torn crash did to the victim's unflushed WAL suffix
     /// (diskchaos plans only; empty for the other kinds).
     pub torn_tails: Vec<(usize, switchfs_server::TornTail)>,
+    /// Flight-recorder contents at the end of the run (empty when tracing
+    /// was off): every retained trace event, ordered by node then FIFO.
+    /// Deliberately *not* part of the digest — the digest must be identical
+    /// with tracing on and off.
+    pub flight_recorder: Vec<switchfs_obs::TraceEvent>,
+    /// Stable-ordered unified metrics snapshot of the final cluster state.
+    /// Like the recorder, not part of the digest (it is derived from the
+    /// same counters the digest already covers, plus obs-only ones).
+    pub metrics: switchfs_obs::MetricsRegistry,
     /// Virtual time at the end of the run, ns.
     pub final_now_ns: u64,
     /// FNV-1a digest over the plan, history, final namespace and cluster
@@ -298,6 +314,7 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
     cluster_cfg.servers = cfg.servers;
     cluster_cfg.clients = cfg.clients;
     cluster_cfg.seed = cfg.seed;
+    cluster_cfg.trace_capacity = cfg.trace.then_some(switchfs_obs::DEFAULT_RING_CAPACITY);
     let mut cluster = Cluster::new(cluster_cfg);
 
     // Per-client private namespaces, preloaded so setup cannot fail — and
@@ -462,6 +479,8 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         shards_moved: log.shards_moved,
         decommissions: log.decommissions,
         torn_tails: log.torn_tails.clone(),
+        flight_recorder: cluster.obs().recorder().dump(),
+        metrics: cluster.metrics_snapshot(),
         final_now_ns,
         digest,
     }

@@ -3,12 +3,13 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use switchfs_obs::{EventKind, ObsHandle, TraceEvent};
 use switchfs_proto::message::{
     Body, ClientRequest, ClientResponse, MetaOp, NetMsg, PacketSeq, ParentRef, ServerMsg,
 };
 use switchfs_proto::{
     ClientId, DirEntry, DirId, DirtySetHeader, Fingerprint, FsError, FsResult, InodeAttrs, MetaKey,
-    OpId, OpResult, Permissions, ServerId,
+    OpId, OpResult, Permissions, ServerId, TraceId,
 };
 use switchfs_simnet::sync::oneshot;
 use switchfs_simnet::{timeout, Endpoint, FxHashMap, NodeId, SimDuration, SimHandle};
@@ -92,6 +93,15 @@ pub struct LibFs {
     /// watermark so servers can prune their dedup caches.
     outstanding: RefCell<std::collections::BTreeSet<u64>>,
     stats: RefCell<ClientStats>,
+    /// Shared observability sink; disabled handles make every recording
+    /// site a single branch.
+    obs: ObsHandle,
+    /// Snapshot of `obs.on()` taken at construction. The handle's
+    /// interior-mutable flag lives behind an `Rc` and must be re-read at
+    /// every instrumentation site; a plain immutable bool is free to
+    /// hoist. Recording is always decided at cluster construction, so
+    /// the snapshot never goes stale.
+    obs_enabled: bool,
 }
 
 impl LibFs {
@@ -103,7 +113,9 @@ impl LibFs {
         router: Rc<dyn RequestRouter>,
         server_nodes: Rc<RefCell<Vec<NodeId>>>,
         cfg: LibFsConfig,
+        obs: ObsHandle,
     ) -> Rc<Self> {
+        let obs_enabled = obs.on();
         Rc::new(LibFs {
             handle,
             endpoint: Rc::new(endpoint),
@@ -116,7 +128,25 @@ impl LibFs {
             next_pkt: Cell::new(1),
             outstanding: RefCell::new(std::collections::BTreeSet::new()),
             stats: RefCell::new(ClientStats::default()),
+            obs,
+            obs_enabled,
         })
+    }
+
+    /// Records one client-side trace event, stamped with virtual time and
+    /// the routing epoch this client currently trusts. A disabled handle
+    /// makes this a single branch.
+    fn trace_event(&self, trace: Option<TraceId>, kind: EventKind) {
+        if !self.obs_enabled {
+            return;
+        }
+        self.obs.record(TraceEvent {
+            at_ns: self.handle.now().as_nanos(),
+            node: self.endpoint.node().0,
+            epoch: self.router.epoch(),
+            trace,
+            kind,
+        });
     }
 
     /// Spawns the response dispatcher task.
@@ -578,6 +608,7 @@ impl LibFs {
                 sender: self.endpoint.node().0,
                 seq: pkt,
             };
+            let trace = TraceId::of_op(op_id);
             let msg = match fp {
                 Some(fp) => NetMsg::with_dirty(
                     pkt_seq,
@@ -585,7 +616,9 @@ impl LibFs {
                     Body::Request(request.clone()),
                 ),
                 None => NetMsg::plain(pkt_seq, Body::Request(request.clone())),
-            };
+            }
+            .traced(trace);
+            self.trace_event(Some(trace), EventKind::ClientIssue { op: op_id, attempt });
             self.endpoint.send(dst_node, msg);
             match timeout(&self.handle, wait, rx.recv()).await {
                 Some(Ok(resp)) => match resp.result {
@@ -595,6 +628,13 @@ impl LibFs {
                         // new owner is live and this is not congestion.
                         self.stats.borrow_mut().map_refreshes += 1;
                         self.router.install_map(&map);
+                        self.trace_event(
+                            Some(trace),
+                            EventKind::ClientMapRefresh {
+                                op: op_id,
+                                new_epoch: self.router.epoch(),
+                            },
+                        );
                         let mut rebuilt = (*request).clone();
                         rebuilt.epoch = self.router.epoch();
                         request = Rc::new(rebuilt);

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use switchfs_client::{LibFs, LibFsConfig};
+use switchfs_obs::{MetricsRegistry, Obs, ObsHandle};
 use switchfs_proto::message::NetMsg;
 use switchfs_proto::{
     ClientId, DirEntry, DirId, FileType, Fingerprint, MetaKey, PartitionPolicy, ServerId,
@@ -42,6 +43,9 @@ pub struct Cluster {
     placement: SharedPlacement,
     server_nodes: Rc<RefCell<Vec<NodeId>>>,
     tracking_mode: TrackingMode,
+    /// Shared observability sink: one flight recorder covering every server
+    /// and client of the deployment.
+    obs: ObsHandle,
     /// Directories installed by preloading: path → (key, id).
     pub preloaded_dirs: HashMap<String, (MetaKey, DirId)>,
     preload_counter: u64,
@@ -59,6 +63,10 @@ impl Cluster {
             cfg.seed ^ 0xbeef,
         );
 
+        let obs = match cfg.trace_capacity {
+            Some(capacity) => Obs::recording(capacity),
+            None => Obs::disabled(),
+        };
         let placement = SharedPlacement::initial(cfg.system.partition_policy(), cfg.servers);
         let server_nodes: Rc<RefCell<Vec<NodeId>>> =
             Rc::new(RefCell::new((0..cfg.servers).map(server_node).collect()));
@@ -142,6 +150,7 @@ impl Cluster {
                     proactive: cfg.proactive,
                     placement: placement.clone(),
                     server_nodes: server_nodes.clone(),
+                    obs: obs.clone(),
                 },
                 durable.clone(),
             );
@@ -168,6 +177,7 @@ impl Cluster {
                 router,
                 server_nodes.clone(),
                 lib_cfg,
+                obs.clone(),
             );
             client.start();
             clients.push(client);
@@ -185,6 +195,7 @@ impl Cluster {
             placement,
             server_nodes,
             tracking_mode,
+            obs,
             preloaded_dirs: HashMap::new(),
             preload_counter: 0,
         };
@@ -445,6 +456,7 @@ impl Cluster {
                 proactive: self.cfg.proactive,
                 placement: self.placement.clone(),
                 server_nodes: self.server_nodes.clone(),
+                obs: self.obs.clone(),
             },
             durable.clone(),
         );
@@ -570,6 +582,101 @@ impl Cluster {
             }
         });
         self.sim.now().duration_since(start)
+    }
+
+    /// The deployment's shared observability handle (flight recorder +
+    /// enable switch). Disabled unless `trace_capacity` was configured.
+    pub fn obs(&self) -> ObsHandle {
+        self.obs.clone()
+    }
+
+    /// Registers every subsystem's counters into one typed metrics registry
+    /// with stable (sorted) names: server protocol counters, client-side
+    /// counters, KV-store and WAL accounting, switch counters and network
+    /// fabric counters. Purely a read-side bridge — building a snapshot
+    /// mutates nothing.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let s = self.total_server_stats();
+        reg.counter("server.ops_completed", s.ops_completed)
+            .counter("server.ops_failed", s.ops_failed)
+            .counter("server.aggregations", s.aggregations)
+            .counter("server.entries_applied", s.entries_applied)
+            .counter("server.entries_compacted_away", s.entries_compacted_away)
+            .counter("server.pushes_sent", s.pushes_sent)
+            .counter("server.pushes_received", s.pushes_received)
+            .counter("server.fallback_syncs", s.fallback_syncs)
+            .counter("server.remote_updates", s.remote_updates)
+            .counter("server.retransmissions", s.retransmissions)
+            .counter("server.recoveries", s.recoveries)
+            .counter("server.shards_migrated_out", s.shards_migrated_out)
+            .counter("server.shards_migrated_in", s.shards_migrated_in)
+            .counter("server.wrong_owner_rejects", s.wrong_owner_rejects);
+
+        let mut c = switchfs_client::ClientStats::default();
+        for client in &self.clients {
+            let st = client.stats();
+            c.ops_issued += st.ops_issued;
+            c.ops_ok += st.ops_ok;
+            c.ops_err += st.ops_err;
+            c.retransmissions += st.retransmissions;
+            c.stale_retries += st.stale_retries;
+            c.lookups += st.lookups;
+            c.map_refreshes += st.map_refreshes;
+        }
+        reg.counter("client.ops_issued", c.ops_issued)
+            .counter("client.ops_ok", c.ops_ok)
+            .counter("client.ops_err", c.ops_err)
+            .counter("client.retransmissions", c.retransmissions)
+            .counter("client.stale_retries", c.stale_retries)
+            .counter("client.lookups", c.lookups)
+            .counter("client.map_refreshes", c.map_refreshes);
+
+        let mut kv = switchfs_kvstore::KvStats::default();
+        let (mut wal_appends, mut wal_bytes, mut wal_flushed_bytes) = (0u64, 0u64, 0u64);
+        for (server, durable) in self.servers.iter().zip(&self.durables) {
+            let st = server.kv_stats();
+            kv.gets += st.gets;
+            kv.puts += st.puts;
+            kv.deletes += st.deletes;
+            kv.scans += st.scans;
+            let d = durable.borrow();
+            wal_appends += d.wal.appends();
+            wal_bytes += d.wal.bytes();
+            wal_flushed_bytes += d.wal.flushed_bytes();
+        }
+        reg.counter("kv.gets", kv.gets)
+            .counter("kv.puts", kv.puts)
+            .counter("kv.deletes", kv.deletes)
+            .counter("kv.scans", kv.scans)
+            .counter("wal.appends", wal_appends)
+            .counter("wal.bytes_appended", wal_bytes)
+            .counter("wal.bytes_flushed", wal_flushed_bytes);
+
+        if let Some(sw) = self.switch_stats() {
+            reg.counter("switch.packets", sw.packets)
+                .counter("switch.regular_packets", sw.regular_packets)
+                .counter("switch.queries", sw.queries)
+                .counter("switch.inserts", sw.inserts)
+                .counter("switch.insert_overflows", sw.insert_overflows)
+                .counter("switch.removes", sw.removes)
+                .counter("switch.stale_removes", sw.stale_removes)
+                .counter("switch.mirrored", sw.mirrored)
+                .counter("switch.multicast_copies", sw.multicast_copies);
+        }
+
+        let net = self.network.stats();
+        reg.counter("net.sent", net.sent)
+            .counter("net.delivered", net.delivered)
+            .counter("net.dropped_faults", net.dropped_faults)
+            .counter("net.duplicated", net.duplicated)
+            .counter("net.dropped_node_down", net.dropped_node_down)
+            .counter("net.dropped_by_switch", net.dropped_by_switch)
+            .counter("net.dropped_partition", net.dropped_partition);
+
+        reg.counter("obs.events_recorded", self.obs.recorder().len() as u64)
+            .counter("obs.events_evicted", self.obs.recorder().evicted());
+        reg
     }
 
     /// Aggregate counters across all servers.

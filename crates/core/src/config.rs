@@ -50,6 +50,11 @@ pub struct ClusterConfig {
     /// Deploy a leaf–spine fabric with this many racks and spine switches
     /// instead of a single rack (§6.4).
     pub leaf_spine: Option<(u32, u32)>,
+    /// Enable causal op tracing into the shared flight recorder with this
+    /// many events of per-node ring capacity. `None` (the default) deploys a
+    /// disabled recorder: every instrumentation site is a single branch and
+    /// the protocol schedule is bit-identical either way.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -71,6 +76,7 @@ impl ClusterConfig {
             link_params: LinkParams::default(),
             client_timeout: None,
             leaf_spine: None,
+            trace_capacity: None,
         }
     }
 

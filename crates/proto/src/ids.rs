@@ -170,6 +170,51 @@ impl fmt::Display for OpId {
     }
 }
 
+/// Identifier of a causal trace: one per client operation, stamped on every
+/// packet the operation (or its asynchronous continuations) puts on the wire.
+///
+/// A trace id is a *pure function* of the operation id, so any node holding
+/// an [`OpId`] — the client that issued it, the owner that logged it, the
+/// remote server applying its change-log entry during aggregation — derives
+/// the same trace id locally without threading extra context through the
+/// protocol. Zero is reserved as "no trace" on the wire.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Derives the trace id of an operation. Deterministic: every node
+    /// computes the same id from the same [`OpId`].
+    pub fn of_op(op: OpId) -> TraceId {
+        let mixed = splitmix64(((op.client.0 as u64) << 48) ^ op.seq.wrapping_mul(0x9e37));
+        // Zero means "untraced" on the wire; nudge the (astronomically
+        // unlikely) collision off it.
+        TraceId(if mixed == 0 { 1 } else { mixed })
+    }
+
+    /// Reconstructs a trace id from its raw wire value. Zero maps to `None`
+    /// ("untraced frame").
+    pub fn from_raw(v: u64) -> Option<TraceId> {
+        if v == 0 {
+            None
+        } else {
+            Some(TraceId(v))
+        }
+    }
+
+    /// The raw 64-bit value (never zero).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace:{:016x}", self.0)
+    }
+}
+
 /// One step of the splitmix64 mixing function.
 pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -256,6 +301,42 @@ mod tests {
         assert_eq!(fp.prefix(17), fp.index());
         // Requesting more bits than exist saturates at the index width.
         assert_eq!(fp.prefix(32), fp.index());
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        let a = OpId {
+            client: ClientId(1),
+            seq: 9,
+        };
+        let b = OpId {
+            client: ClientId(2),
+            seq: 9,
+        };
+        assert_eq!(TraceId::of_op(a), TraceId::of_op(a));
+        assert_ne!(TraceId::of_op(a), TraceId::of_op(b));
+        let mut seen = HashSet::new();
+        for c in 0..8u32 {
+            for s in 0..1000u64 {
+                let t = TraceId::of_op(OpId {
+                    client: ClientId(c),
+                    seq: s,
+                });
+                assert_ne!(t.raw(), 0, "zero is reserved for untraced frames");
+                assert!(seen.insert(t));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_id_raw_roundtrip_and_zero_is_none() {
+        let t = TraceId::of_op(OpId {
+            client: ClientId(3),
+            seq: 14,
+        });
+        assert_eq!(TraceId::from_raw(t.raw()), Some(t));
+        assert_eq!(TraceId::from_raw(0), None);
+        assert!(format!("{t}").starts_with("trace:"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod wire;
 pub use changelog::{ChangeLogEntry, ChangeOp};
 pub use dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp, DirtyState};
 pub use error::{FsError, FsResult};
-pub use ids::{ClientId, DirId, Fingerprint, OpId, ServerId};
+pub use ids::{ClientId, DirId, Fingerprint, OpId, ServerId, TraceId};
 pub use message::{
     AggregationPayload, Body, ClientRequest, ClientResponse, MetaOp, NetMsg, OpResult, ParentRef,
     ServerMsg, UdpPorts,

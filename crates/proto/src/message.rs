@@ -12,7 +12,7 @@ use std::rc::Rc;
 use crate::changelog::ChangeLogEntry;
 use crate::dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp};
 use crate::error::FsError;
-use crate::ids::{DirId, Fingerprint, OpId, ServerId};
+use crate::ids::{DirId, Fingerprint, OpId, ServerId, TraceId};
 use crate::schema::{DirEntry, FileType, InodeAttrs, MetaKey, Permissions};
 use serde::{Deserialize, Serialize};
 
@@ -728,6 +728,10 @@ pub struct NetMsg {
     pub pkt_seq: PacketSeq,
     /// Optional dirty-set operation header, parsed by the switch.
     pub dirty: Option<DirtySetHeader>,
+    /// Optional causal-trace id: which client operation this packet belongs
+    /// to. Opaque to the switch, consumed only by the observability layer;
+    /// absent frames are byte-identical to the pre-tracing wire format.
+    pub trace: Option<TraceId>,
     /// Payload, opaque to the switch.
     pub body: Body,
 }
@@ -739,6 +743,7 @@ impl NetMsg {
             dst_port: UdpPorts::PLAIN,
             pkt_seq,
             dirty: None,
+            trace: None,
             body,
         }
     }
@@ -749,8 +754,15 @@ impl NetMsg {
             dst_port: UdpPorts::DIRTY_SET,
             pkt_seq,
             dirty: Some(dirty),
+            trace: None,
             body,
         }
+    }
+
+    /// Stamps a causal-trace id on the packet (builder style).
+    pub fn traced(mut self, trace: TraceId) -> NetMsg {
+        self.trace = Some(trace);
+        self
     }
 }
 

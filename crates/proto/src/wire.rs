@@ -21,7 +21,7 @@
 //! Total: 23 bytes, well within the parser budget of a Tofino stage.
 
 use crate::dirtyset::{DirtyRet, DirtySetHeader, DirtySetOp, DirtyState};
-use crate::ids::Fingerprint;
+use crate::ids::{Fingerprint, TraceId};
 use crate::message::{NetMsg, PacketSeq};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -137,28 +137,33 @@ pub fn decode_dirty_header(mut buf: &[u8]) -> Result<DirtySetHeader, WireError> 
 /// 0       2     DST PORT
 /// 2       4     PKT SENDER     (raw node id)
 /// 6       8     PKT SEQ
-/// 14      1     DIRTY flag     (0 = absent, 1 = header follows)
+/// 14      1     FLAGS          (bit 0 = dirty header follows,
+///                               bit 1 = trace id follows)
 /// 15      0|23  dirty-set operation header (see `encode_dirty_header`)
+/// +0      0|8   TRACE ID       (causal-trace id, never zero when present)
 /// +0      4     BODY length
 /// +4      n     BODY           (JSON, opaque to the switch)
 /// ```
 ///
 /// The switch parser only ever reads up to the end of the dirty-set header;
-/// the body is host-to-host payload and travels as self-describing JSON,
-/// mirroring how the real deployment carries the DFS request opaquely behind
-/// the switch-visible headers (§6.1).
+/// the trace id and body are host-to-host payload. A frame without a trace
+/// id is byte-identical to the pre-tracing format (flag bit 1 simply never
+/// set), so old frames decode unchanged. The body travels as
+/// self-describing JSON, mirroring how the real deployment carries the DFS
+/// request opaquely behind the switch-visible headers (§6.1).
 pub fn encode_net_msg(msg: &NetMsg) -> Bytes {
     let body = serde_json::to_string(&msg.body).expect("Body serializes infallibly");
-    let mut buf = BytesMut::with_capacity(NET_MSG_FIXED_LEN + DIRTY_HEADER_LEN + body.len());
+    let mut buf = BytesMut::with_capacity(NET_MSG_FIXED_LEN + DIRTY_HEADER_LEN + 8 + body.len());
     buf.put_u16_le(msg.dst_port);
     buf.put_u32_le(msg.pkt_seq.sender);
     buf.put_u64_le(msg.pkt_seq.seq);
-    match &msg.dirty {
-        Some(h) => {
-            buf.put_u8(1);
-            buf.put_slice(&encode_dirty_header(h));
-        }
-        None => buf.put_u8(0),
+    let flags = (msg.dirty.is_some() as u8) | ((msg.trace.is_some() as u8) << 1);
+    buf.put_u8(flags);
+    if let Some(h) = &msg.dirty {
+        buf.put_slice(&encode_dirty_header(h));
+    }
+    if let Some(t) = &msg.trace {
+        buf.put_u64_le(t.raw());
     }
     buf.put_u32_le(body.len() as u32);
     buf.put_slice(body.as_bytes());
@@ -173,17 +178,31 @@ pub fn decode_net_msg(mut buf: &[u8]) -> Result<NetMsg, WireError> {
     let dst_port = buf.get_u16_le();
     let sender = buf.get_u32_le();
     let seq = buf.get_u64_le();
-    let dirty = match buf.get_u8() {
-        0 => None,
-        1 => {
-            if buf.len() < DIRTY_HEADER_LEN {
-                return Err(WireError::Truncated);
-            }
-            let h = decode_dirty_header(&buf[..DIRTY_HEADER_LEN])?;
-            buf = &buf[DIRTY_HEADER_LEN..];
-            Some(h)
+    let flags = buf.get_u8();
+    if flags > 3 {
+        return Err(WireError::InvalidField("dirty_flag"));
+    }
+    let dirty = if flags & 1 != 0 {
+        if buf.len() < DIRTY_HEADER_LEN {
+            return Err(WireError::Truncated);
         }
-        _ => return Err(WireError::InvalidField("dirty_flag")),
+        let h = decode_dirty_header(&buf[..DIRTY_HEADER_LEN])?;
+        buf = &buf[DIRTY_HEADER_LEN..];
+        Some(h)
+    } else {
+        None
+    };
+    let trace = if flags & 2 != 0 {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let raw = buf.get_u64_le();
+        match TraceId::from_raw(raw) {
+            Some(t) => Some(t),
+            None => return Err(WireError::InvalidField("trace_id")),
+        }
+    } else {
+        None
     };
     if buf.len() < 4 {
         return Err(WireError::Truncated);
@@ -204,6 +223,7 @@ pub fn decode_net_msg(mut buf: &[u8]) -> Result<NetMsg, WireError> {
         dst_port,
         pkt_seq: PacketSeq { sender, seq },
         dirty,
+        trace,
         body,
     })
 }
@@ -292,13 +312,92 @@ mod tests {
     }
 
     #[test]
+    fn net_msg_roundtrips_with_trace_id() {
+        use crate::ids::{ClientId, OpId};
+        let seq = PacketSeq { sender: 4, seq: 11 };
+        let trace = TraceId::of_op(OpId {
+            client: ClientId(2),
+            seq: 5,
+        });
+        // Trace alone.
+        let msg = NetMsg::plain(seq, Body::Empty).traced(trace);
+        let bytes = encode_net_msg(&msg);
+        assert_eq!(decode_net_msg(&bytes).unwrap(), msg);
+        assert_eq!(bytes[14], 2);
+        // Trace + dirty header together; trace sits after the dirty header.
+        let hdr = DirtySetHeader::insert(Fingerprint::from_raw(0xf00d), 8);
+        let both = NetMsg::with_dirty(seq, hdr, Body::Empty).traced(trace);
+        let bytes = encode_net_msg(&both);
+        assert_eq!(decode_net_msg(&bytes).unwrap(), both);
+        assert_eq!(bytes[14], 3);
+        assert_eq!(decode_dirty_header(&bytes[15..]).unwrap(), hdr);
+        let raw = u64::from_le_bytes(
+            bytes[15 + DIRTY_HEADER_LEN..23 + DIRTY_HEADER_LEN]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(raw, trace.raw());
+    }
+
+    #[test]
+    fn untraced_frames_match_the_pre_tracing_format() {
+        // A frame without a trace id must be byte-identical to what the
+        // pre-tracing encoder produced: flags 0/1, no extra bytes.
+        let seq = PacketSeq { sender: 9, seq: 77 };
+        let plain = NetMsg::plain(seq, Body::Empty);
+        let bytes = encode_net_msg(&plain);
+        assert_eq!(bytes[14], 0);
+        let body = serde_json::to_string(&plain.body).unwrap();
+        assert_eq!(bytes.len(), NET_MSG_FIXED_LEN + body.len());
+        let dirty = NetMsg::with_dirty(
+            seq,
+            DirtySetHeader::query(Fingerprint::from_raw(7)),
+            Body::Empty,
+        );
+        let bytes = encode_net_msg(&dirty);
+        assert_eq!(bytes[14], 1);
+        assert_eq!(
+            bytes.len(),
+            NET_MSG_FIXED_LEN + DIRTY_HEADER_LEN + body.len()
+        );
+    }
+
+    #[test]
+    fn zero_trace_id_on_the_wire_is_rejected() {
+        use crate::ids::{ClientId, OpId};
+        let msg = NetMsg::plain(PacketSeq { sender: 1, seq: 2 }, Body::Empty).traced(
+            TraceId::of_op(OpId {
+                client: ClientId(0),
+                seq: 0,
+            }),
+        );
+        let mut bytes = encode_net_msg(&msg).to_vec();
+        // Zero is reserved for "untraced"; a traced frame carrying it means
+        // corruption.
+        bytes[15..23].fill(0);
+        assert_eq!(
+            decode_net_msg(&bytes),
+            Err(WireError::InvalidField("trace_id"))
+        );
+    }
+
+    #[test]
     fn net_msg_truncations_are_rejected() {
+        use crate::ids::{ClientId, OpId};
         let msg = NetMsg::with_dirty(
             PacketSeq { sender: 1, seq: 2 },
             DirtySetHeader::query(Fingerprint::from_raw(5)),
             Body::Empty,
         );
         let bytes = encode_net_msg(&msg);
+        for len in 0..bytes.len() {
+            assert_eq!(decode_net_msg(&bytes[..len]), Err(WireError::Truncated));
+        }
+        let traced = msg.traced(TraceId::of_op(OpId {
+            client: ClientId(1),
+            seq: 1,
+        }));
+        let bytes = encode_net_msg(&traced);
         for len in 0..bytes.len() {
             assert_eq!(decode_net_msg(&bytes[..len]), Err(WireError::Truncated));
         }

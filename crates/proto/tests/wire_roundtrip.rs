@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use switchfs_proto::changelog::{ChangeLogEntry, ChangeOp};
-use switchfs_proto::ids::{ClientId, DirId, Fingerprint, OpId, ServerId};
+use switchfs_proto::ids::{ClientId, DirId, Fingerprint, OpId, ServerId, TraceId};
 use switchfs_proto::message::{
     Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, NetMsg, OpResult, PacketSeq, ParentRef,
     ServerMsg, SyncFallback,
@@ -397,19 +397,51 @@ fn arb_body() -> impl Strategy<Value = Body> {
     ]
 }
 
+fn arb_trace() -> impl Strategy<Value = Option<TraceId>> {
+    // Trace ids on the wire are always derived from op ids, so generate
+    // them the same way instead of from raw u64s.
+    prop_oneof![
+        Just(None),
+        arb_op_id().prop_map(|op| Some(TraceId::of_op(op))),
+    ]
+}
+
 fn arb_net_msg() -> impl Strategy<Value = NetMsg> {
     (
         any::<u16>(),
         (any::<u32>(), any::<u64>()),
         prop_oneof![Just(None), arb_header().prop_map(Some)],
-        arb_body(),
+        (arb_trace(), arb_body()),
     )
-        .prop_map(|(dst_port, (sender, seq), dirty, body)| NetMsg {
+        .prop_map(|(dst_port, (sender, seq), dirty, (trace, body))| NetMsg {
             dst_port,
             pkt_seq: PacketSeq { sender, seq },
             dirty,
+            trace,
             body,
         })
+}
+
+/// Encodes a frame in the pre-tracing wire format: identical layout except
+/// the flag byte only ever holds 0 or 1 and no trace id is present. Used to
+/// pin backward compatibility — old frames must keep decoding.
+fn encode_old_format(msg: &NetMsg) -> Vec<u8> {
+    assert!(msg.trace.is_none(), "old format cannot carry a trace id");
+    let body = serde_json::to_string(&msg.body).unwrap();
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&msg.dst_port.to_le_bytes());
+    buf.extend_from_slice(&msg.pkt_seq.sender.to_le_bytes());
+    buf.extend_from_slice(&msg.pkt_seq.seq.to_le_bytes());
+    match &msg.dirty {
+        Some(h) => {
+            buf.push(1);
+            buf.extend_from_slice(&switchfs_proto::wire::encode_dirty_header(h));
+        }
+        None => buf.push(0),
+    }
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(body.as_bytes());
+    buf
 }
 
 proptest! {
@@ -447,5 +479,42 @@ proptest! {
         let bytes = encode_net_msg(&m);
         let len = (cut as usize) % bytes.len();
         let _ = decode_net_msg(&bytes[..len]);
+    }
+
+    #[test]
+    fn old_format_frames_still_decode(
+        dst_port in any::<u16>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        dirty in prop_oneof![Just(None), arb_header().prop_map(Some)],
+        body in arb_body(),
+    ) {
+        // Frames encoded before the trace-id field existed (flag byte 0/1,
+        // no trace bytes) must decode to the same message with trace=None.
+        let mut msg = match dirty {
+            Some(h) => NetMsg::with_dirty(PacketSeq { sender, seq }, h, body),
+            None => NetMsg::plain(PacketSeq { sender, seq }, body),
+        };
+        msg.dst_port = dst_port;
+        let old_bytes = encode_old_format(&msg);
+        let back = decode_net_msg(&old_bytes).unwrap();
+        prop_assert_eq!(&msg, &back);
+        prop_assert_eq!(back.trace, None);
+        // And the new encoder emits byte-identical frames when no trace id
+        // is attached: the format change is invisible until used.
+        prop_assert_eq!(encode_net_msg(&msg).as_ref(), &old_bytes[..]);
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_and_cost_exactly_eight_bytes(
+        m in arb_net_msg(), op in arb_op_id(),
+    ) {
+        let mut untraced = m;
+        untraced.trace = None;
+        let traced = untraced.clone().traced(TraceId::of_op(op));
+        let plain_len = encode_net_msg(&untraced).len();
+        let bytes = encode_net_msg(&traced);
+        prop_assert_eq!(bytes.len(), plain_len + 8);
+        prop_assert_eq!(decode_net_msg(&bytes).unwrap(), traced);
     }
 }

@@ -4,6 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use switchfs_obs::ObsHandle;
 use switchfs_proto::{ServerId, SharedPlacement};
 use switchfs_simnet::{NodeId, SimDuration};
 
@@ -101,6 +102,10 @@ pub struct ServerConfig {
     /// paths (aggregation, invalidation broadcast) include new members
     /// immediately.
     pub server_nodes: Rc<RefCell<Vec<NodeId>>>,
+    /// Cluster-wide observability handle. Disabled by default; recording
+    /// never touches protocol state, so the replay digest is identical
+    /// either way.
+    pub obs: ObsHandle,
 }
 
 impl ServerConfig {
@@ -144,6 +149,7 @@ mod tests {
             server_nodes: Rc::new(RefCell::new(
                 (0..n as u32).map(|i| NodeId(100 + i)).collect(),
             )),
+            obs: switchfs_obs::Obs::disabled(),
         }
     }
 

@@ -23,12 +23,13 @@ use std::rc::Rc;
 use switchfs_simnet::{FxHashMap, FxHashSet};
 
 use switchfs_kvstore::KvStore;
+use switchfs_obs::{EventKind, TraceEvent};
 use switchfs_proto::message::{
     Body, ClientRequest, ClientResponse, CoordMsg, MetaOp, NetMsg, OpResult, PacketSeq, ServerMsg,
 };
 use switchfs_proto::{
     ChangeLogEntry, ClientId, DirEntry, DirId, DirtyRet, DirtySetOp, DirtyState, FileType,
-    Fingerprint, FsError, InodeAttrs, MetaKey, OpId, ServerId, Timestamps,
+    Fingerprint, FsError, InodeAttrs, MetaKey, OpId, ServerId, Timestamps, TraceId,
 };
 use switchfs_simnet::sync::oneshot;
 use switchfs_simnet::{timeout, CpuPool, Endpoint, NodeId, SimHandle, SimTime};
@@ -587,6 +588,13 @@ pub struct Server {
     pub(crate) inner: Rc<RefCell<ServerInner>>,
     pub(crate) durable: Rc<RefCell<DurableState>>,
     pub(crate) locks: LockManager,
+    /// Snapshot of `cfg.obs.on()` taken at construction. Hot-path
+    /// instrumentation guards read this plain immutable bool instead of
+    /// the recorder's interior-mutable flag (a `Cell` behind two `Rc`s
+    /// that the optimizer must re-read at every site). Recording is
+    /// always decided at cluster construction, so the snapshot never
+    /// goes stale.
+    pub(crate) obs_enabled: bool,
 }
 
 impl Server {
@@ -599,6 +607,7 @@ impl Server {
         durable: Rc<RefCell<DurableState>>,
     ) -> Self {
         let cpu = CpuPool::new(handle.clone(), cfg.cores);
+        let obs_enabled = cfg.obs.on();
         Server {
             handle,
             cpu,
@@ -607,6 +616,7 @@ impl Server {
             inner: Rc::new(RefCell::new(ServerInner::new())),
             durable,
             locks: LockManager::new(),
+            obs_enabled,
         }
     }
 
@@ -623,6 +633,19 @@ impl Server {
     /// Snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
         self.inner.borrow().stats
+    }
+
+    /// Combined counters of the server's KV stores (inode + entry-list).
+    pub fn kv_stats(&self) -> switchfs_kvstore::KvStats {
+        let inner = self.inner.borrow();
+        let a = inner.inodes.stats();
+        let b = inner.entries.stats();
+        switchfs_kvstore::KvStats {
+            gets: a.gets + b.gets,
+            puts: a.puts + b.puts,
+            deletes: a.deletes + b.deletes,
+            scans: a.scans + b.scans,
+        }
     }
 
     /// Number of change-log entries waiting to be applied remotely.
@@ -724,6 +747,13 @@ impl Server {
             // the previous incarnation) is dropped.
             if let Body::Request(req) = msg.body {
                 self.inner.borrow_mut().stats.wrong_owner_rejects += 1;
+                self.trace_event(
+                    Some(TraceId::of_op(req.op_id)),
+                    EventKind::WrongOwner {
+                        op: req.op_id,
+                        client_epoch: req.epoch,
+                    },
+                );
                 self.send_plain(
                     src,
                     Body::Response(ClientResponse {
@@ -827,6 +857,13 @@ impl Server {
             // Routed with a stale shard map after the target shard moved
             // away: hand back the current map for refresh-and-retry.
             self.inner.borrow_mut().stats.wrong_owner_rejects += 1;
+            self.trace_event(
+                Some(TraceId::of_op(req.op_id)),
+                EventKind::WrongOwner {
+                    op: req.op_id,
+                    client_epoch: req.epoch,
+                },
+            );
             self.send_plain(
                 client_node,
                 Body::Response(ClientResponse {
@@ -840,6 +877,10 @@ impl Server {
             return;
         }
         self.inner.borrow_mut().in_flight_ops.insert(req.op_id);
+        self.trace_event(
+            Some(TraceId::of_op(req.op_id)),
+            EventKind::Dispatch { op: req.op_id },
+        );
         // The rarely-taken handlers with huge state machines (rename's 2PC,
         // rmdir's aggregation) are boxed so the per-packet dispatch future —
         // whose size is the MAX over these branches and which is copied into
@@ -941,14 +982,25 @@ impl Server {
         let record = WalOp::completion(response.clone());
         let size = record.wire_size();
         let mut durable = self.durable.borrow_mut();
-        durable.wal.append_sized(record, size);
+        let lsn = durable.wal.append_sized(record, size);
         // Flush barrier: the caller is about to release the acknowledgment,
         // and a completion record still sitting in the volatile tail would
         // be exactly the torn-tail casualty that turns a post-crash
         // retransmission into a re-execution. The flush rides the group
         // commit already charged to the operation's own append, so it still
         // costs no extra simulated latency.
-        durable.wal.flush();
+        let newly = durable.wal.flush();
+        if self.obs_on() {
+            let trace = Some(TraceId::of_op(response.op_id));
+            self.trace_event(trace, EventKind::WalAppend { lsn, bytes: size });
+            self.trace_event(
+                trace,
+                EventKind::WalFlush {
+                    through_lsn: durable.wal.flushed(),
+                    records: newly as u64,
+                },
+            );
+        }
     }
 
     // Handlers with large state machines are boxed: the per-packet dispatch
@@ -1255,6 +1307,32 @@ impl Server {
         self.handle.now().as_nanos()
     }
 
+    /// True when the observability layer is recording. Instrumentation
+    /// sites check this before computing event payloads, so a disabled run
+    /// pays one branch per site (on a construction-time snapshot; see the
+    /// `obs_enabled` field).
+    #[inline]
+    pub(crate) fn obs_on(&self) -> bool {
+        self.obs_enabled
+    }
+
+    /// Records a flight-recorder event stamped with virtual time, this
+    /// server's node and the current placement epoch. Pure reads plus a
+    /// ring-buffer write: never touches protocol state, stats or the
+    /// schedule, so the replay digest is identical with tracing on or off.
+    pub(crate) fn trace_event(&self, trace: Option<TraceId>, kind: EventKind) {
+        if !self.obs_enabled {
+            return;
+        }
+        self.cfg.obs.record(TraceEvent {
+            at_ns: self.now_ns(),
+            node: self.cfg.node.0,
+            epoch: self.cfg.placement.epoch(),
+            trace,
+            kind,
+        });
+    }
+
     /// True if any ancestor directory appears in the invalidation list.
     pub(crate) fn is_stale(&self, ancestors: &[DirId]) -> bool {
         let inner = self.inner.borrow();
@@ -1279,8 +1357,15 @@ impl Server {
             return;
         }
         let now = self.handle.now();
+        let obs_on = self.obs_on();
         let mut inner = self.inner.borrow_mut();
         for id in ids {
+            if obs_on {
+                self.trace_event(
+                    Some(TraceId::of_op(id)),
+                    EventKind::DiscardConfirm { entry: id },
+                );
+            }
             inner.retire_entry_id(id, now);
         }
     }
@@ -1440,11 +1525,82 @@ impl Server {
         let lsn = self.durable.borrow_mut().wal.append_sized(record, size);
         self.cpu.run(self.wal_append_cost() + kv_cost).await;
         let durable = &mut *self.durable.borrow_mut();
-        durable.wal.flush();
+        let newly_flushed = durable.wal.flush();
         if let Ok(idx) = durable.wal.records().binary_search_by_key(&lsn, |r| r.lsn) {
             let record = &durable.wal.records()[idx].payload;
+            // Observability: derive the batch's causal identity (the client
+            // op when logged on its behalf, else the single change-log
+            // entry applied) and emit events from the *actually applied*
+            // record — not from the caller's intent — so a divergence
+            // between the two is visible in a dump. Everything here is
+            // non-counting peeks and ring-buffer writes; the replay digest
+            // cannot see it.
+            let obs_on = self.obs_on();
+            let (trace, batch) = if obs_on {
+                let trace = record
+                    .op_id
+                    .or(match record.applied_entry_ids[..] {
+                        [only] => Some(only),
+                        _ => None,
+                    })
+                    .map(TraceId::of_op);
+                self.trace_event(trace, EventKind::WalAppend { lsn, bytes: size });
+                self.trace_event(
+                    trace,
+                    EventKind::WalFlush {
+                        through_lsn: durable.wal.flushed(),
+                        records: newly_flushed as u64,
+                    },
+                );
+                (trace, self.cfg.obs.next_batch())
+            } else {
+                (None, 0)
+            };
             let mut inner = self.inner.borrow_mut();
             for e in &record.effects {
+                if obs_on {
+                    match e {
+                        KvEffect::PutInode(key, attrs)
+                            if attrs.file_type == FileType::Directory =>
+                        {
+                            let old = inner.inodes.peek(key).map_or(0, |a| a.size as i64);
+                            let delta = attrs.size as i64 - old;
+                            if delta != 0 {
+                                self.trace_event(
+                                    trace,
+                                    EventKind::SizeDelta {
+                                        batch,
+                                        dir: attrs.id.hash64(),
+                                        delta,
+                                    },
+                                );
+                            }
+                        }
+                        KvEffect::PutEntry(dir, entry) => {
+                            self.trace_event(
+                                trace,
+                                EventKind::EntryApply {
+                                    batch,
+                                    dir: dir.hash64(),
+                                    insert: true,
+                                    changed: !inner.entry_exists(dir, &entry.name),
+                                },
+                            );
+                        }
+                        KvEffect::DeleteEntry(dir, name) => {
+                            self.trace_event(
+                                trace,
+                                EventKind::EntryApply {
+                                    batch,
+                                    dir: dir.hash64(),
+                                    insert: false,
+                                    changed: inner.entry_exists(dir, name),
+                                },
+                            );
+                        }
+                        _ => {}
+                    }
+                }
                 inner.apply_effect(e);
             }
             for id in &record.applied_entry_ids {
@@ -1471,7 +1627,18 @@ impl Server {
         // decision broadcast, `Resolved` before the decision ack.
         let lsn = self.durable.borrow_mut().wal.append_sized(record, size);
         self.cpu.run(self.wal_append_cost()).await;
-        self.durable.borrow_mut().wal.flush();
+        let mut durable = self.durable.borrow_mut();
+        let newly = durable.wal.flush();
+        if self.obs_on() {
+            self.trace_event(None, EventKind::WalAppend { lsn, bytes: size });
+            self.trace_event(
+                None,
+                EventKind::WalFlush {
+                    through_lsn: durable.wal.flushed(),
+                    records: newly as u64,
+                },
+            );
+        }
         lsn
     }
 

@@ -132,6 +132,13 @@ impl Server {
             agg_id,
             owner: self.cfg.id,
         };
+        self.trace_event(
+            None,
+            switchfs_obs::EventKind::AggregationFanout {
+                fp: fp.raw(),
+                peers: others.len() as u32,
+            },
+        );
 
         // Locally-held entries for directories in this group (the file owner
         // and the directory owner can be the same server).
@@ -698,6 +705,19 @@ impl Server {
         let owner = self.cfg.placement.dir_owner_by_fp(fp);
         let discard_confirm = self.inner.borrow_mut().take_discard_confirms(owner);
         self.inner.borrow_mut().stats.pushes_sent += 1;
+        if self.obs_on() {
+            let trace = match entries[..] {
+                [ref only] => Some(switchfs_proto::TraceId::of_op(only.entry_id)),
+                _ => None,
+            };
+            self.trace_event(
+                trace,
+                switchfs_obs::EventKind::ChangeLogPush {
+                    dir: entries.first().map_or(0, |e| e.dir.hash64()),
+                    entries: entries.len() as u32,
+                },
+            );
+        }
         self.send_plain(
             self.cfg.node_of(owner),
             Body::Server(ServerMsg::ChangeLogPush {

@@ -362,6 +362,10 @@ impl Server {
             })
             .await;
             self.inner.borrow_mut().migrating_shards.insert(*shard);
+            self.trace_event(
+                None,
+                switchfs_obs::EventKind::MigrationFreeze { shard: *shard },
+            );
         }
 
         // Drain barrier for the whole batch: pre-freeze client handlers,
@@ -400,6 +404,13 @@ impl Server {
                 .run(self.cfg.costs.kv_get * items.max(1) as u64)
                 .await;
 
+            self.trace_event(
+                None,
+                switchfs_obs::EventKind::MigrationStream {
+                    shard: *shard,
+                    inodes: extract.inodes.len() as u32,
+                },
+            );
             let token = self.next_token();
             let body = Body::Server(ServerMsg::ShardInstall {
                 req_id: token,
@@ -425,6 +436,13 @@ impl Server {
             // Commit point: the shard flips in the shared map; every server
             // and every subsequently-refreshed client routes to the target.
             flip(*shard, *target);
+            self.trace_event(
+                None,
+                switchfs_obs::EventKind::MigrationFlip {
+                    shard: *shard,
+                    new_epoch: self.cfg.placement.epoch(),
+                },
+            );
             self.delete_shard_local(&extract, true).await;
             self.log_migration_marker(MigrationMarker::Completed { shard: *shard })
                 .await;

@@ -233,6 +233,13 @@ impl Server {
             report.wal_records_replayed += 1;
             report.wal_bytes_replayed += size;
         }
+        self.trace_event(
+            None,
+            switchfs_obs::EventKind::RecoveryReplay {
+                records: report.wal_records_replayed as u64,
+                bytes: report.wal_bytes_replayed,
+            },
+        );
         // Resolve interrupted migrations against the shared shard map: a
         // `Started` with no `Completed` whose shard no longer maps here means
         // the flip happened before the crash — the replayed copy is stale

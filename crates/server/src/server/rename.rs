@@ -10,9 +10,10 @@
 
 use std::collections::BTreeMap;
 
+use switchfs_obs::EventKind;
 use switchfs_proto::message::{Body, ClientRequest, MetaOp, ServerMsg, TxnOp};
 use switchfs_proto::{
-    ChangeLogEntry, ChangeOp, FileType, Fingerprint, FsError, OpResult, ServerId,
+    ChangeLogEntry, ChangeOp, FileType, Fingerprint, FsError, OpResult, ServerId, TraceId,
 };
 use switchfs_simnet::SimTime;
 
@@ -399,6 +400,13 @@ impl Server {
             // The abort is decided: presumed-abort needs no durable record,
             // and decision queries may now answer `Some(false)`.
             self.inner.borrow_mut().active_txns.remove(&txn_id);
+            self.trace_event(
+                Some(TraceId::of_op(req.op_id)),
+                EventKind::TxnDecide {
+                    txn: txn_id,
+                    commit: false,
+                },
+            );
             // Abort with acknowledgment so no participant is left holding a
             // prepared transaction after a lost abort packet.
             let _ = self.broadcast_decision(txn_id, &per_server, false).await;
@@ -424,12 +432,26 @@ impl Server {
                 ops: ops.clone(),
             })
             .await;
+            self.trace_event(
+                Some(TraceId::of_op(req.op_id)),
+                EventKind::TxnPrepare {
+                    txn: txn_id,
+                    vote_commit: true,
+                },
+            );
         }
         self.log_txn_marker(TxnMarker::Decided {
             txn_id,
             commit: true,
         })
         .await;
+        self.trace_event(
+            Some(TraceId::of_op(req.op_id)),
+            EventKind::TxnDecide {
+                txn: txn_id,
+                commit: true,
+            },
+        );
         {
             let mut inner = self.inner.borrow_mut();
             inner.decided_txns.insert(txn_id, true);
@@ -640,6 +662,13 @@ impl Server {
             }
         }
         let ok = dst_type.is_none();
+        self.trace_event(
+            None,
+            EventKind::TxnPrepare {
+                txn: txn_id,
+                vote_commit: ok,
+            },
+        );
         if ok {
             // Durably stage the prepared transaction *before* voting yes: a
             // crash between this vote and the coordinator's decision leaves
@@ -718,6 +747,15 @@ impl Server {
     /// already applied by an earlier copy, or for any abort (idempotent).
     pub(crate) async fn handle_txn_decision(&self, txn_id: u64, commit: bool) -> bool {
         let prepared = self.inner.borrow_mut().prepared_txns.remove(&txn_id);
+        if prepared.is_some() {
+            self.trace_event(
+                None,
+                EventKind::TxnDecide {
+                    txn: txn_id,
+                    commit,
+                },
+            );
+        }
         if !commit {
             if prepared.is_some() {
                 // Clear the durable `Prepared` record so recovery does not

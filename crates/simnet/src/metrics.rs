@@ -186,6 +186,53 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_answers_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::micros(7));
+        assert_eq!(h.count(), 1);
+        // With one sample there is only one rank: p0, the median and p100
+        // all collapse onto it, as do min/max/mean.
+        assert_eq!(h.percentile(0.0).as_micros(), 7);
+        assert_eq!(h.median().as_micros(), 7);
+        assert_eq!(h.percentile(100.0).as_micros(), 7);
+        assert_eq!(h.min().as_micros(), 7);
+        assert_eq!(h.max().as_micros(), 7);
+        assert_eq!(h.mean().as_micros(), 7);
+    }
+
+    #[test]
+    fn p0_and_p100_are_clamped_extremes() {
+        let mut h = LatencyHistogram::new();
+        for v in [30u64, 10, 20] {
+            h.record(SimDuration::micros(v));
+        }
+        // Out-of-range percentiles clamp to the extremes rather than
+        // indexing out of bounds.
+        assert_eq!(h.percentile(-5.0).as_micros(), 10);
+        assert_eq!(h.percentile(0.0).as_micros(), 10);
+        assert_eq!(h.percentile(100.0).as_micros(), 30);
+        assert_eq!(h.percentile(250.0).as_micros(), 30);
+    }
+
+    #[test]
+    fn duplicate_samples_keep_nearest_rank_exact() {
+        let mut h = LatencyHistogram::new();
+        // 5 identical low samples and one outlier: every rank below the
+        // last returns the duplicated value exactly (nearest-rank never
+        // interpolates between neighbours).
+        for _ in 0..5 {
+            h.record(SimDuration::micros(4));
+        }
+        h.record(SimDuration::micros(400));
+        assert_eq!(h.median().as_micros(), 4);
+        assert_eq!(h.percentile(75.0).as_micros(), 4);
+        assert_eq!(h.percentile(99.0).as_micros(), 400);
+        assert_eq!(h.percentile(100.0).as_micros(), 400);
+        // The mean, unlike the ranks, does see the outlier.
+        assert_eq!(h.mean().as_micros(), 70);
+    }
+
+    #[test]
     fn empty_histogram_is_zero() {
         let mut h = LatencyHistogram::new();
         assert!(h.is_empty());

@@ -41,6 +41,7 @@ pub use switchfs_chaos as chaos;
 pub use switchfs_client as client;
 pub use switchfs_core as core;
 pub use switchfs_kvstore as kvstore;
+pub use switchfs_obs as obs;
 pub use switchfs_proto as proto;
 pub use switchfs_server as server;
 pub use switchfs_simnet as simnet;

@@ -489,3 +489,57 @@ fn switchfs_agrees_across_an_epoch_bump() {
         "final namespace diverges across the epoch bump"
     );
 }
+
+/// Causal tracing must be pure observation: the same seed with the flight
+/// recorder on and off must produce bit-identical run digests (covering the
+/// op history, final namespace, server counters and the virtual clock).
+/// Events may only ever flow *into* the recorder, never back into protocol
+/// state.
+#[test]
+fn tracing_does_not_perturb_the_run_digest() {
+    use switchfs::chaos::{run_chaos, ChaosConfig, PlanKind};
+    use switchfs::obs::EventKind;
+
+    let mut traced_cfg = ChaosConfig::new(SystemKind::SwitchFs, PlanKind::Combined, 5);
+    traced_cfg.trace = true;
+    let mut untraced_cfg = traced_cfg;
+    untraced_cfg.trace = false;
+
+    let traced = run_chaos(traced_cfg);
+    let untraced = run_chaos(untraced_cfg);
+    assert_eq!(
+        traced.digest, untraced.digest,
+        "recording trace events changed the protocol schedule"
+    );
+    assert_eq!(traced.final_now_ns, untraced.final_now_ns);
+    assert_eq!(traced.violations, untraced.violations);
+
+    // The traced run actually observed something, the untraced one nothing.
+    assert!(untraced.flight_recorder.is_empty());
+    assert!(!traced.flight_recorder.is_empty());
+
+    // Causal correlation across the wire: pick any client-issued op and
+    // find server-side events carrying the same trace id.
+    let issued = traced
+        .flight_recorder
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::ClientIssue { .. }))
+        .expect("a chaos run issues client ops");
+    let trace = issued.trace.expect("client issues are always traced");
+    let same_trace: Vec<_> = traced
+        .flight_recorder
+        .iter()
+        .filter(|e| e.trace == Some(trace))
+        .collect();
+    assert!(
+        same_trace.iter().any(|e| e.node != issued.node),
+        "the trace id must correlate events across nodes, not only on the client"
+    );
+    // Virtual-time stamps within one node are monotone (FIFO ring).
+    let mut per_node: std::collections::BTreeMap<u32, u64> = Default::default();
+    for e in &traced.flight_recorder {
+        let last = per_node.entry(e.node).or_insert(0);
+        assert!(e.at_ns >= *last, "events within a node must be FIFO");
+        *last = e.at_ns;
+    }
+}

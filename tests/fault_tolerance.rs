@@ -42,12 +42,24 @@ fn server_crash_recovery_restores_inodes_and_changelogs() {
         }
     });
     let before: usize = cluster.servers().iter().map(|s| s.inode_count()).sum();
+    let durable = cluster.durable_state(0);
+    let appended_before = durable.borrow().wal.bytes();
+    assert!(durable.borrow().wal.flushed_bytes() <= appended_before);
 
     cluster.crash_server(0);
     assert!(cluster.servers()[0].is_crashed());
     let report = cluster.recover_server(0);
     assert!(report.wal_records_replayed > 0);
     assert!(!cluster.servers()[0].is_crashed());
+
+    // The "WAL KB replayed" figure row is `wal_bytes_replayed / 1024`; it
+    // must agree with the WAL's own flush-watermark accounting. A clean
+    // crash loses nothing, so replay covers exactly the bytes appended
+    // before the crash — and recovery marks all of them durable (without
+    // ever exceeding what was appended).
+    assert_eq!(report.wal_bytes_replayed, appended_before);
+    assert!(durable.borrow().wal.flushed_bytes() >= report.wal_bytes_replayed);
+    assert!(durable.borrow().wal.flushed_bytes() <= durable.borrow().wal.bytes());
 
     let after: usize = cluster.servers().iter().map(|s| s.inode_count()).sum();
     assert_eq!(
