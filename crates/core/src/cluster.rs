@@ -1,7 +1,7 @@
 //! Building and controlling a simulated deployment.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use switchfs_client::{LibFs, LibFsConfig};
@@ -47,7 +47,7 @@ pub struct Cluster {
     /// and client of the deployment.
     obs: ObsHandle,
     /// Directories installed by preloading: path → (key, id).
-    pub preloaded_dirs: HashMap<String, (MetaKey, DirId)>,
+    pub preloaded_dirs: BTreeMap<String, (MetaKey, DirId)>,
     preload_counter: u64,
 }
 
@@ -87,7 +87,7 @@ impl Cluster {
             switch = Some(program);
         }
         if let Some((racks, spines)) = cfg.leaf_spine {
-            let mut node_rack = HashMap::new();
+            let mut node_rack = switchfs_simnet::FxHashMap::default();
             for i in 0..cfg.servers {
                 node_rack.insert(server_node(i), i as u32 % racks);
             }
@@ -196,7 +196,7 @@ impl Cluster {
             server_nodes,
             tracking_mode,
             obs,
-            preloaded_dirs: HashMap::new(),
+            preloaded_dirs: BTreeMap::new(),
             preload_counter: 0,
         };
         cluster.preload_root();

@@ -6,7 +6,7 @@
 //! plus per-operation latency percentiles — the raw material of Fig. 12–19.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use switchfs_simnet::sync::Semaphore;
@@ -46,7 +46,7 @@ pub struct WorkloadReport {
     /// Overall latency distribution.
     pub latency: LatencyHistogram,
     /// Per-operation breakdown.
-    pub per_op: HashMap<&'static str, OpReport>,
+    pub per_op: BTreeMap<&'static str, OpReport>,
 }
 
 impl WorkloadReport {
@@ -71,7 +71,7 @@ struct Collector {
     start: Option<SimTime>,
     end: SimTime,
     latency: LatencyHistogram,
-    per_op: HashMap<&'static str, (LatencyHistogram, u64, u64)>,
+    per_op: BTreeMap<&'static str, (LatencyHistogram, u64, u64)>,
 }
 
 impl Cluster {
@@ -138,7 +138,7 @@ impl Cluster {
         let start = collector.start.unwrap_or(SimTime::ZERO);
         let elapsed = collector.end.duration_since(start);
         let ops = collector.latency.count() as u64;
-        let mut per_op = HashMap::new();
+        let mut per_op = BTreeMap::new();
         let mut errors = 0;
         for (name, (mut hist, count, errs)) in collector.per_op {
             errors += errs;

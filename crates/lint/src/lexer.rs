@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer: just enough token structure for the lint rules.
+//!
+//! The environment is offline (no `syn`), and the rules only need identifier
+//! sequences, punctuation and brace/paren nesting — so the lexer produces a
+//! flat token stream with line numbers, swallows comments and literals
+//! (recording `// switchfs-lint:` directives on the side), and distinguishes
+//! lifetimes from character literals. It is deliberately forgiving: on
+//! malformed input it keeps scanning rather than erroring, because a file
+//! that does not parse will fail `cargo build` long before it reaches the
+//! linter.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `await`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `;`, `{`, `<`, …). Multi-char
+    /// operators arrive as consecutive tokens (`::` is two `:`).
+    Punct,
+    /// A string, byte-string or character literal (contents opaque).
+    Literal,
+    /// A numeric literal (contents opaque).
+    Num,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Literal`] this is a placeholder, not the
+    /// literal's contents — rules must never match inside strings.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `// switchfs-lint: allow(rule, …) reason` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the comment sits on (a finding on this line or the next
+    /// is covered).
+    pub line: u32,
+    /// The rule ids inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing parenthesis. Required:
+    /// an empty reason is itself reported.
+    pub reason: String,
+    /// False when the comment mentioned `switchfs-lint:` but did not parse
+    /// as `allow(rule, …)`.
+    pub well_formed: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The code tokens, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Suppression directives found in line comments.
+    pub directives: Vec<Directive>,
+}
+
+/// Marker text that introduces a suppression directive inside a comment.
+pub const DIRECTIVE_PREFIX: &str = "switchfs-lint:";
+
+/// Lexes `source` into tokens and suppression directives.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == '/' {
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if let Some(d) = parse_directive(&text, line) {
+                    out.directives.push(d);
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                // Nested block comments, per the Rust grammar.
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw strings / raw identifiers / byte strings, all starting at an
+        // `r` or `b` that could also open a plain identifier.
+        if c == 'r' || c == 'b' {
+            if let Some((len, newlines)) = raw_or_byte_string(&bytes[i..]) {
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "\"…\"".into(),
+                    line,
+                });
+                line += newlines;
+                i += len;
+                continue;
+            }
+            if c == 'r' && i + 1 < n && bytes[i + 1] == '#' {
+                // Raw identifier `r#ident`.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: bytes[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let (len, newlines) = plain_string(&bytes[i..]);
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: "\"…\"".into(),
+                line,
+            });
+            line += newlines;
+            i += len;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            if i + 1 < n && bytes[i + 1] == '\\' {
+                // Escaped char literal: skip to the closing quote.
+                let mut j = i + 2;
+                while j < n && bytes[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "'…'".into(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && bytes[i + 2] == '\'' {
+                // One-char literal like 'a' (any single char between quotes).
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "'…'".into(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: consume the identifier, emit nothing (rules never
+            // look at lifetimes).
+            let mut j = i + 1;
+            while j < n && is_ident_char(bytes[j]) {
+                j += 1;
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_char(bytes[i])) {
+                i += 1;
+            }
+            // Float continuation: `.` followed by a digit (leaves ranges
+            // like `0..5` as three tokens).
+            if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < n && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Recognizes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` at the start of `s`.
+/// Returns `(consumed chars, newline count)`.
+fn raw_or_byte_string(s: &[char]) -> Option<(usize, u32)> {
+    let mut i = 0;
+    if s[i] == 'b' {
+        i += 1;
+        if i < s.len() && s[i] == 'r' {
+            i += 1;
+        }
+    } else if s[i] == 'r' {
+        i += 1;
+    } else {
+        return None;
+    }
+    let raw = i >= 2 || (i == 1 && s[0] == 'r');
+    let mut hashes = 0;
+    while raw && i < s.len() && s[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= s.len() || s[i] != '"' {
+        return None;
+    }
+    i += 1;
+    let mut newlines = 0;
+    if raw && (hashes > 0 || s[0] == 'r' || (s[0] == 'b' && s.get(1) == Some(&'r'))) {
+        // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+        while i < s.len() {
+            if s[i] == '\n' {
+                newlines += 1;
+            }
+            if s[i] == '"' {
+                let mut h = 0;
+                while h < hashes && i + 1 + h < s.len() && s[i + 1 + h] == '#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    return Some((i + 1 + hashes, newlines));
+                }
+            }
+            i += 1;
+        }
+        return Some((i, newlines));
+    }
+    // Byte string with escapes (b"…").
+    while i < s.len() {
+        match s[i] {
+            '\\' => i += 2,
+            '"' => return Some((i + 1, newlines)),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    Some((i, newlines))
+}
+
+/// Consumes a `"…"` string with escapes; returns `(consumed, newlines)`.
+fn plain_string(s: &[char]) -> (usize, u32) {
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < s.len() {
+        match s[i] {
+            '\\' => i += 2,
+            '"' => return (i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    (i, newlines)
+}
+
+/// Parses one line comment into a [`Directive`] if it mentions the marker.
+fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
+    let at = comment.find(DIRECTIVE_PREFIX)?;
+    let rest = comment[at + DIRECTIVE_PREFIX.len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Some(Directive {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            well_formed: false,
+        });
+    };
+    let Some(close) = args.find(')') else {
+        return Some(Directive {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            well_formed: false,
+        });
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = args[close + 1..].trim().to_string();
+    let well_formed = !rules.is_empty();
+    Some(Directive {
+        line,
+        rules,
+        reason,
+        well_formed,
+    })
+}
+
+/// Removes `#[cfg(test)]`-gated items from a token stream: test modules and
+/// test-only helpers never run inside the simulation, so the invariants the
+/// rules enforce (determinism of the replayed schedule, guards across
+/// awaits on the executor, persist ordering) do not apply there — and test
+/// assertions legitimately use `std` collections for readability.
+pub fn strip_cfg_test(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Skip this attribute, any further attributes, then one item.
+            let mut j = skip_attr(&tokens, i);
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(&tokens, j);
+            }
+            i = skip_item(&tokens, j);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// True when `tokens[i..]` starts `#[cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+        && tokens.get(i + 6).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Skips a `#[…]` attribute starting at `i`; returns the index past `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    debug_assert!(tokens[i].is_punct('#'));
+    let mut j = i + 1;
+    let mut depth = 0;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips one item starting at `i`: ends at the first `;` at depth zero, or
+/// past the matching `}` of the first block opened at depth zero.
+fn skip_item(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && brace == 0 && paren == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}

@@ -1,0 +1,48 @@
+//! CLI driver: `switchfs-lint [workspace-root]`.
+//!
+//! With no argument, ascends from the current directory to the workspace
+//! `Cargo.toml` (so `cargo run -p switchfs-lint` works from anywhere in the
+//! tree). Prints `file:line: [rule] message` per finding and exits nonzero
+//! when any unsuppressed finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use switchfs_lint::{find_workspace_root, lint_workspace};
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("switchfs-lint: no workspace Cargo.toml found above {cwd:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("switchfs-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "switchfs-lint: {} file(s) scanned, {} finding(s), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,8 @@
+// The finding is suppressed with a justified allow on the preceding line.
+
+async fn deliberately_held(cell: &RefCell<u32>) {
+    let guard = cell.borrow_mut();
+    // switchfs-lint: allow(borrow-across-await) single-task section, the await cannot re-enter this cell
+    do_io().await;
+    *guard += 1;
+}

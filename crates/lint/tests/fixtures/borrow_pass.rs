@@ -1,0 +1,33 @@
+// Must PASS borrow-across-await: guards that provably end before the await.
+
+async fn scoped_guard(cell: &RefCell<u32>) {
+    {
+        let mut guard = cell.borrow_mut();
+        *guard += 1;
+    } // guard dies here
+    do_io().await;
+}
+
+async fn dropped_guard(cell: &RefCell<u32>) {
+    let guard = cell.borrow_mut();
+    drop(guard);
+    do_io().await;
+}
+
+async fn statement_temporary_dies_first(cell: &RefCell<Durable>) {
+    // The guard temporary dies at the end of this statement, before the
+    // next statement's await — the workhorse pattern of `apply_and_log`.
+    let lsn = cell.borrow_mut().wal.append_sized(record, size);
+    cpu.run(cost).await;
+    let _ = lsn;
+}
+
+async fn guard_inside_async_block(cell: &RefCell<u32>) {
+    // The inner async block is its own future: the guard taken inside it is
+    // not held across the spawn site's await points.
+    spawn(async move {
+        let g = cell.borrow_mut();
+        let _ = *g;
+    });
+    do_io().await;
+}

@@ -1,0 +1,20 @@
+// Must TRIP borrow-across-await: all three detector shapes.
+
+async fn let_bound_guard(cell: &RefCell<u32>) {
+    let guard = cell.borrow_mut();
+    do_io().await; // guard still live here
+    *guard += 1;
+}
+
+async fn same_statement_temporary(cell: &RefCell<State>) {
+    // The temporary `Ref` lives to the end of the full statement, across
+    // the await.
+    submit(cell.borrow().payload.clone()).await;
+}
+
+async fn match_scrutinee(cell: &RefCell<Option<u32>>) {
+    match cell.borrow().as_ref() {
+        Some(_) => do_io().await,
+        None => {}
+    }
+}

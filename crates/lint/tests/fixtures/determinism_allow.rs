@@ -1,0 +1,7 @@
+// The default-hasher finding is suppressed with a justified allow.
+
+// switchfs-lint: allow(determinism) alias definition site; the aliases pin an explicit hasher
+use std::collections::{HashMap, HashSet};
+
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;

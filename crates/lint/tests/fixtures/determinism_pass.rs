@@ -1,0 +1,23 @@
+// Must PASS determinism: explicit hashers, BTree collections, virtual time,
+// seeded randomness.
+
+use std::collections::BTreeMap;
+
+struct Index {
+    by_id: FxHashMap<u64, String>,
+    explicit: HashMap<u64, String, FxBuildHasher>,
+    explicit_set: HashSet<u64, FxBuildHasher>,
+    ordered: BTreeMap<u64, String>,
+}
+
+fn timing(handle: &SimHandle) -> SimTime {
+    handle.now()
+}
+
+fn roll(rng: &mut StdRng) -> u32 {
+    rng.gen()
+}
+
+fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,22 @@
+// Must TRIP determinism: default hashers, wall clocks, OS entropy.
+
+use std::collections::HashMap;
+
+struct Index {
+    by_id: HashMap<u64, String>,
+    members: HashSet<u64>,
+}
+
+fn timing() -> u64 {
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn stamp() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs()
+}
+
+fn roll() -> u32 {
+    thread_rng().gen()
+}

@@ -1,0 +1,11 @@
+// EventKind vocabulary for the event-coverage fixtures: one variant that is
+// emitted, one that nobody constructs, and one whose gap is deliberate.
+
+pub enum EventKind {
+    /// Emitted by the companion fixture.
+    Used { op: u64 },
+    /// Never constructed anywhere — must trip event-coverage.
+    NeverEmitted { shard: u32 },
+    // switchfs-lint: allow(event-coverage) reserved for the next protocol revision, emitter lands with it
+    Reserved,
+}

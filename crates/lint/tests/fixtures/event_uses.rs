@@ -1,0 +1,5 @@
+// Companion emission site for the event-coverage fixtures.
+
+fn instrumented(&self, op: u64) {
+    self.trace_event(None, EventKind::Used { op });
+}

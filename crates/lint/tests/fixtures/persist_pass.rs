@@ -1,0 +1,18 @@
+// Must PASS persist-ordering: the flush barrier runs before anything
+// escapes onto the network, and non-critical appends are exempt.
+
+impl Server {
+    fn flush_then_send(&self, txn_id: u64, commit: bool) {
+        let marker = TxnMarker::Decided { txn_id, commit };
+        self.durable.borrow_mut().wal.append(WalOp::txn(marker));
+        self.durable.borrow_mut().wal.flush();
+        self.net.send(self.coordinator, decision_msg(txn_id, commit));
+    }
+
+    fn plain_append_may_defer_flush(&self, record: WalOp) {
+        // No ordering-critical marker in this body: batching the flush is
+        // allowed for plain operation records.
+        self.durable.borrow_mut().wal.append(record);
+        self.net.send(self.peer, ack_msg());
+    }
+}

@@ -1,0 +1,17 @@
+// Must TRIP persist-ordering: ordering-critical appends that escape onto
+// the network unflushed (or are never flushed at all).
+
+impl Server {
+    fn send_before_flush(&self, txn_id: u64, commit: bool) {
+        let marker = TxnMarker::Decided { txn_id, commit };
+        self.durable.borrow_mut().wal.append(WalOp::txn(marker));
+        self.net.send(self.coordinator, decision_msg(txn_id, commit));
+        self.durable.borrow_mut().wal.flush();
+    }
+
+    fn never_flushed(&self, shard: u32, target: ServerId) {
+        let marker = MigrationMarker::Started { shard, target };
+        self.durable.borrow_mut().wal.append(WalOp::migration(marker));
+        self.net.send(self.cfg.node_of(target), freeze_msg(shard));
+    }
+}

@@ -115,6 +115,22 @@ pub enum EventKind {
     AggregationFanout { fp: u64, peers: u32 },
     /// Recovery replayed the WAL (records/bytes actually re-driven).
     RecoveryReplay { records: u64, bytes: u64 },
+    /// Recovery re-applied one entry-list mutation from WAL record `lsn`.
+    /// Mirrors [`EventKind::EntryApply`] (with the LSN standing in for the
+    /// live path's batch id) so a trace dump can line the replayed applies
+    /// up against the pre-crash ones per directory.
+    RecoveryEntryApply {
+        lsn: u64,
+        dir: u64,
+        insert: bool,
+        changed: bool,
+    },
+    /// Recovery moved a directory inode's size counter by `delta` while
+    /// replaying WAL record `lsn`. Mirrors [`EventKind::SizeDelta`]; the
+    /// pair gives the replay path the same per-effect visibility the live
+    /// path has — exactly where an eventless replay can hide a ±1 statdir
+    /// divergence between asymmetric flushed prefixes.
+    RecoverySizeDelta { lsn: u64, dir: u64, delta: i64 },
 }
 
 /// A bounded per-node FIFO ring of recent [`TraceEvent`]s.

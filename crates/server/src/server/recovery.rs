@@ -18,12 +18,13 @@
 //! which every directory is back in *normal* state, consistent with the
 //! empty dirty set.
 
+use switchfs_obs::EventKind;
 use switchfs_proto::message::{Body, ServerMsg};
-use switchfs_proto::Fingerprint;
+use switchfs_proto::{FileType, Fingerprint, TraceId};
 
 use crate::server::rename::PreparedTxn;
 use crate::server::Server;
-use crate::wal::{CheckpointData, TxnMarker};
+use crate::wal::{CheckpointData, KvEffect, TxnMarker};
 
 /// Summary of one recovery run, reported to the harness (used by the §7.7
 /// experiment and asserted by the chaos checker).
@@ -148,14 +149,74 @@ impl Server {
             .collect();
         let mut started_migrations: std::collections::BTreeMap<u32, switchfs_proto::ServerId> =
             std::collections::BTreeMap::new();
-        for (_lsn, op, applied, size) in &records {
+        let obs_on = self.obs_on();
+        for (lsn, op, applied, size) in &records {
             // Each replayed record costs one KV write's worth of CPU; this is
             // what makes the §7.7 recovery time proportional to the number of
             // operations to recover.
             self.cpu.run(costs.kv_put).await;
             {
+                // Causal identity mirrors the live path: the client op the
+                // record was logged for, else the single change-log entry it
+                // applied.
+                let trace = if obs_on {
+                    op.op_id
+                        .or(match op.applied_entry_ids[..] {
+                            [only] => Some(only),
+                            _ => None,
+                        })
+                        .map(TraceId::of_op)
+                } else {
+                    None
+                };
                 let mut inner = self.inner.borrow_mut();
                 for e in &op.effects {
+                    // Per-effect replay events, peeked before the apply just
+                    // like the live path in `apply_and_log`: recorder-only
+                    // state, invisible to the replay digest.
+                    if obs_on {
+                        match e {
+                            KvEffect::PutInode(key, attrs)
+                                if attrs.file_type == FileType::Directory =>
+                            {
+                                let old = inner.inodes.peek(key).map_or(0, |a| a.size as i64);
+                                let delta = attrs.size as i64 - old;
+                                if delta != 0 {
+                                    self.trace_event(
+                                        trace,
+                                        EventKind::RecoverySizeDelta {
+                                            lsn: *lsn,
+                                            dir: attrs.id.hash64(),
+                                            delta,
+                                        },
+                                    );
+                                }
+                            }
+                            KvEffect::PutEntry(dir, entry) => {
+                                self.trace_event(
+                                    trace,
+                                    EventKind::RecoveryEntryApply {
+                                        lsn: *lsn,
+                                        dir: dir.hash64(),
+                                        insert: true,
+                                        changed: !inner.entry_exists(dir, &entry.name),
+                                    },
+                                );
+                            }
+                            KvEffect::DeleteEntry(dir, name) => {
+                                self.trace_event(
+                                    trace,
+                                    EventKind::RecoveryEntryApply {
+                                        lsn: *lsn,
+                                        dir: dir.hash64(),
+                                        insert: false,
+                                        changed: inner.entry_exists(dir, name),
+                                    },
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
                     inner.apply_effect(e);
                 }
                 for id in &op.applied_entry_ids {

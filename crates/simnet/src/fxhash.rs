@@ -8,6 +8,7 @@
 //! it. (Collision hardening is irrelevant here: keys come from the
 //! simulation itself, never from an adversary.)
 
+// switchfs-lint: allow(determinism) alias definition site; the aliases below pin the explicit FxBuildHasher
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -13,7 +13,6 @@
 //! suppression.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -176,7 +175,7 @@ pub enum Topology {
     /// installed via [`Network::set_spine_selector`].
     LeafSpine {
         /// Rack index of every node.
-        node_rack: HashMap<NodeId, u32>,
+        node_rack: FxHashMap<NodeId, u32>,
         /// Number of programmable spine switches.
         spine_count: u32,
     },
@@ -274,7 +273,9 @@ impl<M: Clone + 'static> Network<M> {
                     .entry(SwitchId(spine))
                     .or_insert_with(|| Box::new(L2Forward));
             }
-            let racks: std::collections::HashSet<u32> = node_rack.values().copied().collect();
+            // BTreeSet: racks are iterated below, and switch-install order
+            // must not depend on hash order.
+            let racks: std::collections::BTreeSet<u32> = node_rack.values().copied().collect();
             for rack in racks {
                 inner
                     .switches
@@ -753,7 +754,7 @@ mod tests {
     #[test]
     fn leaf_spine_routes_cross_rack_traffic() {
         let (sim, net) = mk(1, NetFaults::reliable());
-        let mut node_rack = HashMap::new();
+        let mut node_rack = FxHashMap::default();
         node_rack.insert(NodeId(1), 0);
         node_rack.insert(NodeId(2), 1);
         net.set_topology(Topology::LeafSpine {

@@ -99,14 +99,15 @@ fn size_deltas_match_effective_entry_applies_under_loss() {
 /// seeds 3, 12, 34, 35 and 37).
 ///
 /// The flight recorder *localizes* the bug rather than witnessing it: the
-/// recorded streams balance per directory and the ring evicts nothing, yet
-/// the checker still trips. The only apply paths that do not emit events
-/// are crash recovery (`Server::recover` replays WAL effects via
-/// `apply_effect` directly) and the wholesale state install during shard
-/// migration — and this plan has no migration. So the drift originates in
-/// the crash/replay path: size deltas are applied at the directory's owner
-/// while entry mutations land on fingerprint shards, and a crash that
-/// catches one side's WAL tail unflushed replays an asymmetric prefix.
+/// recorded live streams balance per directory and the ring evicts nothing,
+/// yet the checker still trips. The live apply path is therefore exonerated,
+/// pinning the drift on the crash/replay path: size deltas are applied at
+/// the directory's owner while entry mutations land on fingerprint shards,
+/// and a crash that catches one side's WAL tail unflushed replays an
+/// asymmetric prefix. That path now emits per-effect `RecoveryEntryApply` /
+/// `RecoverySizeDelta` events (each carrying the replayed LSN), so a
+/// failure-artifact dump shows exactly which records each side re-drove —
+/// the asymmetry is readable off the trace instead of inferred.
 ///
 /// Ignored until the replay path is fixed; run with
 /// `cargo test --release --test trace_regression -- --ignored` to check
@@ -123,8 +124,8 @@ fn crash_seed_0_statdir_divergence_is_localized_by_the_recorder() {
          regression and close ROADMAP item 4"
     );
     assert_ring_complete(&report);
-    // Every *recorded* apply balances: the live delta path is exonerated,
-    // which pins the divergence on the uninstrumented recovery replay.
+    // Every *recorded* live apply balances: the live delta path is
+    // exonerated, which pins the divergence on the recovery replay.
     for (dir, (size_sum, entry_sum)) in &per_dir_sums(&report.flight_recorder) {
         assert_eq!(
             size_sum, entry_sum,
@@ -132,4 +133,60 @@ fn crash_seed_0_statdir_divergence_is_localized_by_the_recorder() {
              apply path regressed (this is a new bug, not the replay one)"
         );
     }
+    // The replay path itself must no longer be a blind spot: the run crashes
+    // servers, so the recorder must hold per-effect replay events to read
+    // the asymmetric prefix off.
+    assert!(
+        report
+            .flight_recorder
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RecoveryEntryApply { .. })),
+        "crash/0 recovered servers but recorded no per-effect replay events"
+    );
+}
+
+/// Green-path regression for the recovery instrumentation itself: a small
+/// crash run must leave per-effect replay events in the recorder — every
+/// `RecoverySizeDelta` carries a nonzero delta (zero-deltas are filtered at
+/// the emission site, mirroring the live path), and replay detail only
+/// appears alongside an aggregate `RecoveryReplay` summary that accounts for
+/// at least one record.
+#[test]
+fn recovery_replay_emits_per_effect_events() {
+    let mut found_detail = false;
+    for seed in [1u64, 2, 4] {
+        let cfg = ChaosConfig::new(SystemKind::SwitchFs, PlanKind::Crash, seed);
+        let report = run_chaos(cfg);
+        assert!(
+            report.passed(),
+            "crash/{} tripped the checker: {:?}",
+            seed,
+            report.violations
+        );
+        let mut replayed_records = 0u64;
+        let mut detail = 0usize;
+        for e in &report.flight_recorder {
+            match e.kind {
+                EventKind::RecoveryReplay { records, .. } => replayed_records += records,
+                EventKind::RecoveryEntryApply { .. } => detail += 1,
+                EventKind::RecoverySizeDelta { delta, .. } => {
+                    assert_ne!(delta, 0, "crash/{seed}: zero-delta recovery event recorded");
+                    detail += 1;
+                }
+                _ => {}
+            }
+        }
+        if detail > 0 {
+            assert!(
+                replayed_records > 0,
+                "crash/{seed}: replay detail without an aggregate RecoveryReplay summary"
+            );
+            found_detail = true;
+        }
+    }
+    assert!(
+        found_detail,
+        "no crash seed produced per-effect replay events; the instrumentation \
+         (or the plan generator's crash coverage) regressed"
+    );
 }
